@@ -1,0 +1,73 @@
+package bpredpower
+
+import "testing"
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	bench, err := BenchmarkByName("164.gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulator(bench, Options{Predictor: Hybrid1})
+	sim.Run(20000)
+	sim.ResetMeasurement()
+	sim.Run(40000)
+	if sim.Stats().IPC() <= 0 {
+		t.Error("no progress")
+	}
+	if sim.Meter().AveragePower() <= 0 {
+		t.Error("no power accounted")
+	}
+}
+
+func TestFacadeCatalogues(t *testing.T) {
+	if len(PaperConfigs()) != 14 {
+		t.Errorf("PaperConfigs has %d entries, want 14", len(PaperConfigs()))
+	}
+	if len(SPECint2000()) != 10 || len(SPECfp2000()) != 12 || len(AllBenchmarks()) != 22 {
+		t.Error("benchmark catalogues wrong")
+	}
+	if len(Subset7()) != 7 {
+		t.Error("Subset7 wrong")
+	}
+	if _, ok := PredictorByName("Hybrid_1"); !ok {
+		t.Error("PredictorByName failed")
+	}
+	if _, ok := PredictorByName("Hybrid_0"); !ok {
+		t.Error("Hybrid_0 should be resolvable for the gating study")
+	}
+	if _, err := BenchmarkByName("181.mcf"); err == nil {
+		t.Error("excluded benchmark resolvable")
+	}
+}
+
+func TestFacadeDefaults(t *testing.T) {
+	p := DefaultProcessor()
+	if p.RUUSize != 80 || p.LSQSize != 40 || p.BTBEntries != 2048 {
+		t.Error("default processor does not match Table 1")
+	}
+	if DefaultRuns.MeasureInsts <= QuickRuns.MeasureInsts {
+		t.Error("run configs inverted")
+	}
+}
+
+func TestFacadeCustomProgram(t *testing.T) {
+	bench, _ := BenchmarkByName("176.gcc")
+	prog := bench.Program()
+	sim, err := NewSimulatorForProgram(prog, Options{Predictor: Gsh16k12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(10000)
+	if sim.Stats().Committed < 10000 {
+		t.Error("custom-program simulation stalled")
+	}
+}
+
+func TestFacadeHarness(t *testing.T) {
+	h := NewHarness(RunConfig{WarmupInsts: 10000, MeasureInsts: 20000})
+	bench, _ := BenchmarkByName("164.gzip")
+	r := h.Simulate(bench, Options{Predictor: Bim4k})
+	if r.Accuracy <= 0 || r.TotalPower <= 0 {
+		t.Errorf("harness run empty: %+v", r)
+	}
+}

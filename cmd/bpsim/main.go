@@ -1,0 +1,158 @@
+// Command bpsim simulates one benchmark on one machine variant and prints a
+// detailed report: performance, prediction, power breakdown by unit group,
+// and front-end statistics.
+//
+// Usage:
+//
+//	bpsim -bench 164.gzip -pred Hybrid_1
+//	bpsim -bench 181.art -pred Gsh_1_16k_12 -banked -ppd 1
+//	bpsim -bench 254.gap -pred Hybrid_3 -gate 0
+//	bpsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"bpredpower"
+	"bpredpower/internal/gating"
+	"bpredpower/internal/power"
+	"bpredpower/internal/ppd"
+)
+
+func main() {
+	bench := flag.String("bench", "164.gzip", "benchmark name (see -list)")
+	pred := flag.String("pred", "Hybrid_1", "predictor configuration (see -list)")
+	banked := flag.Bool("banked", false, "bank the predictor tables (Table 3)")
+	linepred := flag.Bool("linepred", false, "use a 21264-style next-line predictor instead of the BTB")
+	ppdScenario := flag.Int("ppd", -1, "prediction probe detector scenario (1 or 2)")
+	gate := flag.Int("gate", -1, "pipeline gating threshold N")
+	estimator := flag.String("estimator", "both-strong", "gating confidence estimator: both-strong, jrs, perfect")
+	cc := flag.String("cc", "cc3", "clock gating style: cc0, cc1, cc2, cc3")
+	warm := flag.Uint64("warmup", 200000, "warm-up instructions")
+	measure := flag.Uint64("measure", 200000, "measured instructions")
+	list := flag.Bool("list", false, "list benchmarks and predictors")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("benchmarks:")
+		for _, b := range bpredpower.AllBenchmarks() {
+			fmt.Printf("  %-14s (%v)\n", b.Name, b.Suite)
+		}
+		fmt.Println("predictors:")
+		for _, s := range bpredpower.PaperConfigs() {
+			fmt.Printf("  %-14s (%d Kbits)\n", s.Name, s.TotalBits()/1024)
+		}
+		fmt.Printf("  %-14s (%d Kbits, gating study only)\n", "Hybrid_0", bpredpower.Hybrid0.TotalBits()/1024)
+		fmt.Println("extension predictors:")
+		for _, s := range bpredpower.ExtensionConfigs() {
+			fmt.Printf("  %-16s (%d Kbits)\n", s.Name, s.TotalBits()/1024)
+		}
+		return
+	}
+
+	b, err := bpredpower.BenchmarkByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	spec, ok := bpredpower.PredictorByName(*pred)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown predictor %q (try -list)\n", *pred)
+		os.Exit(2)
+	}
+	opt := bpredpower.Options{Predictor: spec, BankedPredictor: *banked, LinePredictor: *linepred}
+	switch *ppdScenario {
+	case 1:
+		opt.PPD = ppd.Scenario1
+	case 2:
+		opt.PPD = ppd.Scenario2
+	}
+	if *gate >= 0 {
+		est := gating.EstimatorBothStrong
+		switch *estimator {
+		case "both-strong":
+		case "jrs":
+			est = gating.EstimatorJRS
+		case "perfect":
+			est = gating.EstimatorPerfect
+		default:
+			fmt.Fprintf(os.Stderr, "unknown estimator %q\n", *estimator)
+			os.Exit(2)
+		}
+		opt.Gating = gating.Config{Enabled: true, Threshold: *gate, Estimator: est}
+	}
+	switch *cc {
+	case "cc3":
+	case "cc0":
+		opt.ClockGating = power.CC0
+	case "cc1":
+		opt.ClockGating = power.CC1
+	case "cc2":
+		opt.ClockGating = power.CC2
+	default:
+		fmt.Fprintf(os.Stderr, "unknown clock gating style %q\n", *cc)
+		os.Exit(2)
+	}
+
+	sim := bpredpower.NewSimulator(b, opt)
+	sim.Run(*warm)
+	sim.ResetMeasurement()
+	sim.Run(*measure)
+
+	st := sim.Stats()
+	m := sim.Meter()
+	fmt.Printf("benchmark      %s\n", b.Name)
+	fmt.Printf("predictor      %s (%d Kbits)%s\n", spec.Name, spec.TotalBits()/1024, variantSuffix(opt))
+	fmt.Printf("instructions   %d committed in %d cycles\n", st.Committed, st.Cycles)
+	fmt.Printf("IPC            %.3f\n", st.IPC())
+	fmt.Printf("direction rate %.4f (%d/%d conditional branches)\n",
+		st.DirAccuracy(), st.CorrectCond, st.CommittedCond)
+	fmt.Printf("branch freq    %.2f%% conditional, %.2f%% unconditional\n",
+		100*st.CondBranchFreq(), 100*st.UncondFreq())
+	fmt.Printf("mispredicts    %d (squash-causing), %d BTB misfetches\n", st.Mispredicts, st.BTBMisfetches)
+	fmt.Printf("wrong path     %d of %d fetched (%.1f%%)\n",
+		st.WrongPathFetched, st.Fetched, 100*float64(st.WrongPathFetched)/float64(st.Fetched))
+	fmt.Printf("branch dist    %.1f insts between conditionals, %.1f between control flow\n",
+		st.AvgCondDistance(), st.AvgCtlDistance())
+	if probes, dirAvoided, btbAvoided := sim.PPDStats(); probes > 0 {
+		fmt.Printf("PPD            %.1f%% dirpred lookups avoided, %.1f%% BTB lookups avoided\n",
+			100*float64(dirAvoided)/float64(probes), 100*float64(btbAvoided)/float64(probes))
+	}
+	if st.GatedCycles > 0 {
+		fmt.Printf("gating         %d cycles gated, %d low-confidence branches\n",
+			st.GatedCycles, st.LowConfFetched)
+	}
+	fmt.Printf("total power    %.2f W   energy %.2f uJ   energy-delay %.3e J*s\n",
+		m.AveragePower(), 1e6*m.TotalEnergy(), m.EnergyDelay())
+	fmt.Printf("pred power     %.2f W (%.1f%% of chip)\n",
+		m.PredictorPower(), 100*m.PredictorPower()/m.AveragePower())
+
+	fmt.Println("power breakdown:")
+	bd := m.Breakdown()
+	groups := make([]string, 0, len(bd))
+	for g := range bd {
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool { return bd[groups[i]] > bd[groups[j]] })
+	secs := m.Seconds()
+	for _, g := range groups {
+		fmt.Printf("  %-10s %7.2f W\n", g, bd[g]/secs)
+	}
+}
+
+func variantSuffix(opt bpredpower.Options) string {
+	s := ""
+	if opt.BankedPredictor {
+		s += " banked"
+	}
+	if opt.PPD != ppd.Off {
+		s += " " + opt.PPD.String()
+	}
+	if opt.Gating.Enabled {
+		s += fmt.Sprintf(" gating(N=%d)", opt.Gating.Threshold)
+	}
+	return s
+}

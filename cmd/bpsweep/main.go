@@ -1,0 +1,83 @@
+// Command bpsweep explores array organizations: for a direction-predictor
+// table of a given size it prints every feasible physical organization with
+// its read energy, access time, cycle time, and energy-delay product, and
+// marks the organizations Wattch's closest-to-square rule and the paper's
+// min-EDP squarification would choose. With -banked it applies the Table 3
+// bank count first.
+//
+// Usage:
+//
+//	bpsweep -entries 16384
+//	bpsweep -entries 32768 -banked
+//	bpsweep -sweep          # the Figure 3 / Figure 11 size sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"bpredpower/internal/array"
+	"bpredpower/internal/atime"
+)
+
+func main() {
+	entries := flag.Int("entries", 16384, "PHT entries (2-bit counters)")
+	banked := flag.Bool("banked", false, "apply Table 3 banking")
+	sweep := flag.Bool("sweep", false, "sweep the Figure 3/11 size range instead")
+	flag.Parse()
+
+	am := array.NewModel()
+	tm := atime.New()
+
+	if *sweep {
+		fmt.Printf("%8s %6s %-22s %10s %10s %12s\n",
+			"entries", "banks", "organization", "energy pJ", "cycle ns", "EDP (aJ*s)")
+		for _, n := range []int{256, 1024, 2048, 4096, 8192, 16384, 32768, 65536} {
+			for _, b := range []bool{false, true} {
+				s := array.Spec{Entries: n, Width: 2, OutBits: 2}
+				banks := 1
+				if b {
+					banks = array.BanksForBits(s.Bits())
+					s.Banks = banks
+				}
+				org := array.ChooseMinEDP(am, s, tm.Delay)
+				e := am.ReadEnergy(s, org)
+				t := tm.CycleTime(s, org)
+				fmt.Printf("%8d %6d %-22v %10.1f %10.3f %12.2f\n",
+					n, banks, org, e*1e12, t*1e9, e*t*1e18)
+			}
+		}
+		return
+	}
+
+	s := array.Spec{Entries: *entries, Width: 2, OutBits: 2}
+	if *banked {
+		s.Banks = array.BanksForBits(s.Bits())
+	}
+	square := array.ChooseClosestSquare(s)
+	minEDP := array.ChooseMinEDP(am, s, tm.Delay)
+	fmt.Printf("PHT %d entries (%d Kbits), %d bank(s)\n", *entries, s.Bits()/1024, max(1, s.Banks))
+	fmt.Printf("%-22s %10s %10s %10s %12s %s\n",
+		"organization", "energy pJ", "access ns", "cycle ns", "EDP (aJ*s)", "chosen by")
+	for _, org := range array.Organizations(s) {
+		e := am.ReadEnergy(s, org)
+		at := tm.AccessTime(s, org)
+		ct := tm.CycleTime(s, org)
+		tag := ""
+		if org == square {
+			tag += " closest-square"
+		}
+		if org == minEDP {
+			tag += " min-EDP"
+		}
+		fmt.Printf("%-22v %10.1f %10.3f %10.3f %12.2f%s\n",
+			org, e*1e12, at*1e9, ct*1e9, e*at*1e18, tag)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

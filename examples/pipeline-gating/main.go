@@ -1,0 +1,67 @@
+// Pipeline gating: the paper's Section 4.3 revisits Manne et al.'s
+// speculation control with the "both strong" confidence estimator. This
+// example reproduces the study's shape: with a deliberately poor predictor
+// (hybrid_0) gating blocks a useful amount of wrong-path work, but with an
+// accurate predictor (hybrid_3) there is little mis-speculation left to
+// block — and gating can even cost energy by stalling correct fetches.
+//
+//	go run ./examples/pipeline-gating
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bpredpower"
+)
+
+func main() {
+	bench, err := bpredpower.BenchmarkByName("197.parser")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, spec := range []bpredpower.PredictorSpec{bpredpower.Hybrid0, bpredpower.Hybrid3} {
+		fmt.Printf("%s on %s\n", spec.Name, bench.Name)
+		fmt.Printf("  %-10s %9s %12s %9s %12s %12s\n",
+			"gating", "accuracy", "insts fetched", "IPC", "chip energy", "gated cycles")
+
+		var baseFetched, baseEnergy, baseIPC float64
+		for n := -1; n <= 2; n++ {
+			opt := bpredpower.Options{Predictor: spec}
+			label := "off"
+			if n >= 0 {
+				opt.Gating = bpredpower.GatingConfig{Enabled: true, Threshold: n}
+				label = fmt.Sprintf("N=%d", n)
+			}
+			sim := bpredpower.NewSimulator(bench, opt)
+			sim.Run(120000)
+			sim.ResetMeasurement()
+			sim.Run(200000)
+			st := sim.Stats()
+			m := sim.Meter()
+			if n < 0 {
+				baseFetched = float64(st.Fetched)
+				baseEnergy = m.TotalEnergy()
+				baseIPC = st.IPC()
+				fmt.Printf("  %-10s %8.2f%% %12d %9.3f %9.0f uJ %12d\n",
+					label, 100*st.DirAccuracy(), st.Fetched, st.IPC(), 1e6*m.TotalEnergy(), st.GatedCycles)
+				continue
+			}
+			fmt.Printf("  %-10s %8.2f%% %11.4fx %8.4fx %10.4fx %12d\n",
+				label, 100*st.DirAccuracy(),
+				float64(st.Fetched)/baseFetched,
+				st.IPC()/baseIPC,
+				m.TotalEnergy()/baseEnergy,
+				st.GatedCycles)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Two of the paper's findings are visible: the better the predictor, the")
+	fmt.Println("less gating changes (compare the deltas of the two tables), and")
+	fmt.Println("over-aggressive gating can cost energy by stalling correct fetches (N=0's")
+	fmt.Println("energy exceeds baseline — the paper saw the same effect on vortex). In")
+	fmt.Println("this workload model the sweet spot sits at N=1-2 rather than N=0: the")
+	fmt.Println("deep front end over-fetches on low-IPC code, so moderate gating trims")
+	fmt.Println("fetch energy with almost no IPC loss.")
+}

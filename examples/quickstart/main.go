@@ -1,0 +1,44 @@
+// Quickstart: simulate one SPECcpu2000 benchmark model on the paper's
+// Alpha 21264-like machine with the 21264's hybrid predictor, and print the
+// performance and power/energy summary.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bpredpower"
+)
+
+func main() {
+	bench, err := bpredpower.BenchmarkByName("164.gzip")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sim := bpredpower.NewSimulator(bench, bpredpower.Options{
+		Predictor: bpredpower.Hybrid1, // the Alpha 21264 predictor
+	})
+
+	// Warm caches and predictor state, then measure — the same protocol the
+	// paper uses (fast-forward, then detailed simulation).
+	sim.Run(100000)
+	sim.ResetMeasurement()
+	sim.Run(200000)
+
+	st := sim.Stats()
+	m := sim.Meter()
+	fmt.Printf("benchmark        %s\n", bench.Name)
+	fmt.Printf("predictor        %s (%d Kbits of state)\n",
+		bpredpower.Hybrid1.Name, bpredpower.Hybrid1.TotalBits()/1024)
+	fmt.Printf("IPC              %.3f\n", st.IPC())
+	fmt.Printf("direction rate   %.2f%%\n", 100*st.DirAccuracy())
+	fmt.Printf("branch distance  %.1f instructions between conditionals\n", st.AvgCondDistance())
+	fmt.Printf("chip power       %.1f W\n", m.AveragePower())
+	fmt.Printf("predictor power  %.2f W (%.1f%% of chip — the paper's '10%% or more')\n",
+		m.PredictorPower(), 100*m.PredictorPower()/m.AveragePower())
+	fmt.Printf("energy           %.0f uJ over %d instructions\n", 1e6*m.TotalEnergy(), st.Committed)
+	fmt.Printf("energy-delay     %.3e J*s\n", m.EnergyDelay())
+}

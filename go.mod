@@ -1,0 +1,3 @@
+module bpredpower
+
+go 1.22

@@ -1,0 +1,314 @@
+// Package array models the energy of SRAM array structures — pattern
+// history tables, BHTs, BTBs, caches — in the style of Wattch, extended the
+// way the paper extends it (Section 2.4):
+//
+//   - the row decoder is a predecoder of 3-input NANDs followed by NOR row
+//     drivers, as in Wattch 1.02;
+//   - the column decoder, which Wattch 1.02 omits, is modelled explicitly
+//     ("old" model = without it, "new" model = with it), together with the
+//     pass-gate multiplexors it drives;
+//   - tag-path components (comparators, tag drivers, output multiplexor
+//     drivers) are modelled for associative structures like the BTB;
+//   - squarification: the logical entries x width geometry is folded into a
+//     physical rows x columns organization, chosen either Wattch-style
+//     (closest to square) or, per the paper, by minimum energy-delay
+//     product over all feasible organizations (Section 2.5);
+//   - banking (Section 4.1): only one bank is active per access, cutting
+//     both energy and access time.
+//
+// Absolute joules are calibrated to land the simulated processor in the
+// paper's range (predictor + BTB a few watts, whole chip in the mid-30s W at
+// 2.0V / 1200MHz); the paper's claims are about *relative* shapes, which
+// emerge from the structure of the model.
+package array
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tech holds the technology/energy coefficients of the model. Energies are
+// in joules; the defaults approximate a 0.35um-class process at 2.0V.
+type Tech struct {
+	// Vdd is the supply voltage.
+	Vdd float64
+	// ClockHz is the clock frequency (for converting energy to power).
+	ClockHz float64
+
+	// CBitCell is the effective bitline capacitance contributed by one cell
+	// on one column (precharge + discharge, both lines folded in), in farads.
+	CBitCell float64
+	// CWordCell is the wordline capacitance per cell (pass gates + wire).
+	CWordCell float64
+	// CRowDec is the row-decoder capacitance per row (NOR gate load).
+	CRowDec float64
+	// EPredecode is the fixed predecoder energy per access (3-input NANDs).
+	EPredecode float64
+	// ESenseAmp is the sense-amplifier energy per column.
+	ESenseAmp float64
+	// EColDecPerMux is the column-decoder energy per degree of multiplexing
+	// (the "new"-model component absent from Wattch 1.02).
+	EColDecPerMux float64
+	// ECmpBit is the tag comparator energy per tag bit per way.
+	ECmpBit float64
+	// EOutDrive is the output-driver energy per output bit.
+	EOutDrive float64
+	// EWriteCol is the write energy per written column (full-swing drive).
+	EWriteCol float64
+	// ERouteBit is the global routing (H-tree) energy per bit of subarray
+	// distance unit, charged for large partitioned arrays.
+	ERouteBit float64
+	// EBankOverhead is the per-access bank-select/decode overhead energy of
+	// a banked organization.
+	EBankOverhead float64
+}
+
+// Tech350 is the default calibration (0.35um-class, 2.0V, 1200MHz — the
+// paper's operating point).
+var Tech350 = Tech{
+	Vdd:           2.0,
+	ClockHz:       1.2e9,
+	CBitCell:      10.0e-15,
+	CWordCell:     4.0e-15,
+	CRowDec:       20.0e-15,
+	EPredecode:    3.0e-11,
+	ESenseAmp:     5.0e-14,
+	EColDecPerMux: 3.0e-13,
+	ECmpBit:       4.0e-12,
+	EOutDrive:     4.0e-12,
+	EWriteCol:     2.0e-12,
+	ERouteBit:     2.0e-12,
+	EBankOverhead: 0.8e-11,
+}
+
+// e returns 1/2 C Vdd^2 for capacitance c.
+func (t Tech) e(c float64) float64 { return 0.5 * c * t.Vdd * t.Vdd }
+
+// Org is a physical organization of a logical array: the geometry of one
+// subarray plus the partitioning around it. Exactly one subarray (per bank)
+// is active on an access.
+type Org struct {
+	// Rows and Cols are the active subarray's dimensions in cells.
+	Rows, Cols int
+	// MuxDeg is the column multiplexing degree (columns per output bit).
+	MuxDeg int
+	// OutBits is the number of bits delivered per access.
+	OutBits int
+	// Subarrays is how many subarrays the logical array was partitioned
+	// into (all banks counted together).
+	Subarrays int
+	// Banks is the number of independently addressed banks (1 = unbanked).
+	Banks int
+}
+
+// String renders the organization compactly, e.g. "128x256 mux4 b2".
+func (o Org) String() string {
+	return fmt.Sprintf("%dx%d mux%d sub%d b%d", o.Rows, o.Cols, o.MuxDeg, o.Subarrays, o.Banks)
+}
+
+// Spec is a logical array to be organized: Entries rows of Width bits, read
+// OutBits at a time (OutBits defaults to Width).
+type Spec struct {
+	// Entries is the logical entry count.
+	Entries int
+	// Width is the bits per logical entry.
+	Width int
+	// OutBits is the bits read per access (defaults to Width).
+	OutBits int
+	// TagBits, when nonzero, adds an associative tag path with Assoc ways.
+	TagBits int
+	// Assoc is the associativity of the tag path (defaults to 1).
+	Assoc int
+	// Banks forces a banked organization (0 or 1 = unbanked).
+	Banks int
+}
+
+// Bits returns the logical storage in bits.
+func (s Spec) Bits() int { return s.Entries * s.Width }
+
+func (s Spec) normalized() Spec {
+	if s.OutBits == 0 {
+		s.OutBits = s.Width
+	}
+	if s.Assoc == 0 {
+		s.Assoc = 1
+	}
+	if s.Banks == 0 {
+		s.Banks = 1
+	}
+	return s
+}
+
+// Subarray bounds. Logical arrays larger than maxSubarrayBits are
+// partitioned Cacti-style into equal subarrays with only one active per
+// access; the partition count is a property of the capacity, not of the
+// candidate organization, so squarification explores only the active
+// subarray's aspect ratio. This reproduces the paper's observation that
+// organizations differ very little in power but noticeably in access time.
+const (
+	maxSubarrayBits = 64 * 1024
+	maxSubarrayRows = 4096
+	maxSubarrayCols = 2048
+	// maxAspectSkew bounds |log2(rows/cols)| of a subarray.
+	maxAspectSkew = 4
+)
+
+// Organizations enumerates the feasible physical organizations of s:
+// power-of-two row counts folding the active subarray, bounded to
+// implementable aspect ratios.
+func Organizations(s Spec) []Org {
+	s = s.normalized()
+	bitsPerBank := s.Bits() / s.Banks
+	if bitsPerBank == 0 {
+		return nil
+	}
+	target := bitsPerBank
+	sub := 1
+	for target > maxSubarrayBits {
+		target /= 2
+		sub *= 2
+	}
+	var orgs []Org
+	for rows := 4; rows <= maxSubarrayRows && rows <= target; rows *= 2 {
+		cols := target / rows
+		if cols*rows != target {
+			continue
+		}
+		if cols < s.OutBits || cols > maxSubarrayCols {
+			continue
+		}
+		if cols%s.OutBits != 0 {
+			continue
+		}
+		if skew := log2Ratio(rows, cols); skew > maxAspectSkew {
+			continue
+		}
+		orgs = append(orgs, Org{
+			Rows: rows, Cols: cols,
+			MuxDeg:    cols / s.OutBits,
+			OutBits:   s.OutBits,
+			Subarrays: sub * s.Banks,
+			Banks:     s.Banks,
+		})
+	}
+	if len(orgs) == 0 {
+		// Degenerate geometry (e.g. very narrow, very small): fall back to
+		// the least-skewed unconstrained folding so every spec has at least
+		// one organization.
+		best := Org{}
+		bestSkew := math.Inf(1)
+		for rows := 2; rows <= target; rows *= 2 {
+			cols := target / rows
+			if cols*rows != target || cols < s.OutBits || cols%s.OutBits != 0 {
+				continue
+			}
+			if skew := log2Ratio(rows, cols); skew < bestSkew {
+				bestSkew = skew
+				best = Org{Rows: rows, Cols: cols, MuxDeg: cols / s.OutBits, OutBits: s.OutBits, Subarrays: sub * s.Banks, Banks: s.Banks}
+			}
+		}
+		if best.Rows > 0 {
+			orgs = append(orgs, best)
+		}
+	}
+	return orgs
+}
+
+// log2Ratio returns |log2(a/b)|.
+func log2Ratio(a, b int) float64 {
+	return math.Abs(math.Log2(float64(a) / float64(b)))
+}
+
+// Model computes access energies and (via package atime's coefficients)
+// exposes organization choices for an array spec under a Tech.
+type Model struct {
+	// Tech is the technology calibration.
+	Tech Tech
+	// IncludeColumnDecoder selects the paper's "new" model (true) or the
+	// original Wattch 1.02 model without column decoders (false).
+	IncludeColumnDecoder bool
+}
+
+// NewModel returns the paper's extended ("new") model under Tech350.
+func NewModel() Model { return Model{Tech: Tech350, IncludeColumnDecoder: true} }
+
+// OldModel returns the unextended Wattch-style model for comparison
+// (Figure 2's "old" series).
+func OldModel() Model { return Model{Tech: Tech350, IncludeColumnDecoder: false} }
+
+// ReadEnergy returns the energy of one read access of s in organization o.
+func (m Model) ReadEnergy(s Spec, o Org) float64 {
+	s = s.normalized()
+	t := m.Tech
+	// Row decode: predecoder + row-driver load over the subarray's rows.
+	e := t.EPredecode + t.e(float64(o.Rows)*t.CRowDec)
+	// One active wordline across the subarray's columns.
+	e += t.e(float64(o.Cols) * t.CWordCell)
+	// All bitlines in the active subarray precharge and swing.
+	e += t.e(float64(o.Cols) * float64(o.Rows) * t.CBitCell)
+	// Sense amplifiers on every column.
+	e += float64(o.Cols) * t.ESenseAmp
+	// Column decoder + pass-gate mux drivers: the "new" model's addition.
+	if m.IncludeColumnDecoder {
+		e += float64(o.MuxDeg)*t.EColDecPerMux + float64(o.OutBits)*t.EOutDrive
+	}
+	// Output drive.
+	e += float64(o.OutBits) * t.EOutDrive
+	// Global routing for partitioned arrays: address distribution plus data
+	// collection over the H-tree, growing with the tree's extent.
+	if o.Subarrays > 1 {
+		e += math.Sqrt(float64(o.Subarrays)) * float64(o.OutBits+12) * t.ERouteBit
+	}
+	// Tag path for associative structures: comparators in every way plus
+	// the way-select mux drivers.
+	if s.TagBits > 0 {
+		e += float64(s.TagBits*s.Assoc) * t.ECmpBit
+		e += float64(o.OutBits*s.Assoc) * t.EOutDrive / 2
+	}
+	// Bank selection overhead.
+	if o.Banks > 1 {
+		e += t.EBankOverhead
+	}
+	return e
+}
+
+// WriteEnergy returns the energy of one write access (update) of s in o:
+// decode plus full-swing drive of the written columns.
+func (m Model) WriteEnergy(s Spec, o Org) float64 {
+	s = s.normalized()
+	t := m.Tech
+	e := t.EPredecode + t.e(float64(o.Rows)*t.CRowDec)
+	e += t.e(float64(o.Cols) * t.CWordCell)
+	// Only the written columns are driven, but at full swing (2x the
+	// effective read swing folded into CBitCell), plus the write drivers.
+	e += t.e(float64(o.OutBits)*float64(o.Rows)*t.CBitCell*2) + float64(o.OutBits)*t.EWriteCol
+	if m.IncludeColumnDecoder {
+		e += float64(o.MuxDeg) * t.EColDecPerMux
+	}
+	if o.Banks > 1 {
+		e += t.EBankOverhead
+	}
+	return e
+}
+
+// PartialReadEnergy returns the energy of an access that is cancelled after
+// the bitlines but before column multiplexing and sensing — the PPD's
+// Scenario 2, where the probe result arrives too late to prevent the access
+// but in time to gate the sense amps and the column mux.
+func (m Model) PartialReadEnergy(s Spec, o Org) float64 {
+	s = s.normalized()
+	t := m.Tech
+	e := t.EPredecode + t.e(float64(o.Rows)*t.CRowDec)
+	e += t.e(float64(o.Cols) * t.CWordCell)
+	e += t.e(float64(o.Cols) * float64(o.Rows) * t.CBitCell)
+	if o.Banks > 1 {
+		e += t.EBankOverhead
+	}
+	return e
+}
+
+// ReadPowerW converts a per-access read energy to watts at one access per
+// cycle.
+func (m Model) ReadPowerW(s Spec, o Org) float64 {
+	return m.ReadEnergy(s, o) * m.Tech.ClockHz
+}

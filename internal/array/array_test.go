@@ -1,0 +1,243 @@
+package array
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// phtSpec returns the spec of an n-entry PHT of 2-bit counters.
+func phtSpec(entries int) Spec { return Spec{Entries: entries, Width: 2, OutBits: 2} }
+
+func TestOrganizationsCoverBits(t *testing.T) {
+	s := phtSpec(16384) // 32 Kbits
+	orgs := Organizations(s)
+	if len(orgs) == 0 {
+		t.Fatal("no organizations")
+	}
+	for _, o := range orgs {
+		// Active subarray times partition count must reconstruct the full
+		// logical capacity.
+		got := o.Rows * o.Cols * o.Subarrays
+		if got != s.Bits() {
+			t.Errorf("org %v holds %d bits, want %d", o, got, s.Bits())
+		}
+		if o.MuxDeg != o.Cols/s.OutBits {
+			t.Errorf("org %v mux degree inconsistent", o)
+		}
+		if o.Rows > maxSubarrayRows || o.Cols > maxSubarrayCols {
+			t.Errorf("org %v exceeds subarray bounds", o)
+		}
+		if o.Rows*o.Cols > maxSubarrayBits {
+			t.Errorf("org %v subarray exceeds %d bits", o, maxSubarrayBits)
+		}
+	}
+}
+
+func TestOrganizationsBanked(t *testing.T) {
+	s := phtSpec(16384)
+	s.Banks = 4
+	for _, o := range Organizations(s) {
+		if o.Banks != 4 {
+			t.Errorf("org %v lost bank count", o)
+		}
+		if o.Rows*o.Cols*o.Subarrays != s.Bits() {
+			t.Errorf("banked org %v capacity wrong", o)
+		}
+	}
+}
+
+func TestReadEnergyGrowsWithSize(t *testing.T) {
+	m := NewModel()
+	var prev float64
+	for _, entries := range []int{256, 1024, 4096, 16384, 65536} {
+		s := phtSpec(entries)
+		o := ChooseClosestSquare(s)
+		e := m.ReadEnergy(s, o)
+		if e <= prev {
+			t.Errorf("read energy not increasing at %d entries: %.3g <= %.3g", entries, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestNewModelExceedsOldModel(t *testing.T) {
+	// The paper's Figure 2: adding the column decoder gives a roughly
+	// constant upward offset, slightly growing with predictor size.
+	oldM, newM := OldModel(), NewModel()
+	var prevDelta float64
+	for _, entries := range []int{1024, 4096, 16384, 65536} {
+		s := phtSpec(entries)
+		o := ChooseClosestSquare(s)
+		eOld := oldM.ReadEnergy(s, o)
+		eNew := newM.ReadEnergy(s, o)
+		if eNew <= eOld {
+			t.Errorf("%d entries: new model %.3g <= old %.3g", entries, eNew, eOld)
+		}
+		delta := eNew - eOld
+		if delta < prevDelta {
+			t.Errorf("%d entries: column-decoder delta shrank: %.3g < %.3g", entries, delta, prevDelta)
+		}
+		prevDelta = delta
+	}
+}
+
+func TestBankingReducesEnergy(t *testing.T) {
+	m := NewModel()
+	for _, entries := range []int{8192, 16384, 32768} {
+		flat := phtSpec(entries)
+		banked := flat
+		banked.Banks = BanksForBits(flat.Bits())
+		if banked.Banks == 1 {
+			continue
+		}
+		eFlat := m.ReadEnergy(flat, ChooseClosestSquare(flat))
+		eBank := m.ReadEnergy(banked, ChooseClosestSquare(banked))
+		if eBank >= eFlat {
+			t.Errorf("%d entries: banked energy %.3g >= flat %.3g", entries, eBank, eFlat)
+		}
+	}
+}
+
+func TestBanksForBitsMatchesTable3(t *testing.T) {
+	cases := map[int]int{
+		128:       1,
+		2 * 1024:  1,
+		4 * 1024:  2,
+		8 * 1024:  2,
+		16 * 1024: 4,
+		32 * 1024: 4,
+		64 * 1024: 4,
+	}
+	for bits, want := range cases {
+		if got := BanksForBits(bits); got != want {
+			t.Errorf("BanksForBits(%d) = %d, want %d", bits, got, want)
+		}
+	}
+}
+
+func TestWriteCheaperThanRead(t *testing.T) {
+	m := NewModel()
+	s := phtSpec(16384)
+	o := ChooseClosestSquare(s)
+	if m.WriteEnergy(s, o) >= m.ReadEnergy(s, o) {
+		t.Error("narrow counter write should cost less than a full-row read")
+	}
+}
+
+func TestPartialReadBetweenZeroAndFull(t *testing.T) {
+	m := NewModel()
+	s := phtSpec(32768)
+	o := ChooseClosestSquare(s)
+	partial := m.PartialReadEnergy(s, o)
+	full := m.ReadEnergy(s, o)
+	if partial <= 0 || partial >= full {
+		t.Errorf("partial read %.3g not in (0, %.3g)", partial, full)
+	}
+	// For a narrow-output PHT only the (small) sense/mux/output tail is
+	// saved...
+	if (full-partial)/full < 0.02 {
+		t.Errorf("PHT partial read saves only %.1f%%", 100*(full-partial)/full)
+	}
+	// ...but for a wide-output tagged structure like the BTB, gating the
+	// sense amps, way muxes, comparators, and output drivers saves a lot —
+	// which is where Scenario 2's savings come from.
+	btb := Spec{Entries: 1024, Width: 64, OutBits: 64, TagBits: 21, Assoc: 2}
+	ob := ChooseClosestSquare(btb)
+	fullB := m.ReadEnergy(btb, ob)
+	partB := m.PartialReadEnergy(btb, ob)
+	if (fullB-partB)/fullB < 0.10 {
+		t.Errorf("BTB partial read saves only %.1f%%", 100*(fullB-partB)/fullB)
+	}
+}
+
+func TestTagPathAddsEnergy(t *testing.T) {
+	m := NewModel()
+	plain := Spec{Entries: 1024, Width: 32, OutBits: 32}
+	tagged := plain
+	tagged.TagBits = 21
+	tagged.Assoc = 2
+	o := ChooseClosestSquare(plain)
+	ot := ChooseClosestSquare(tagged)
+	if m.ReadEnergy(tagged, ot) <= m.ReadEnergy(plain, o) {
+		t.Error("tag path did not add energy")
+	}
+}
+
+func TestCalibrationSaneMagnitudes(t *testing.T) {
+	// The paper's operating point: a 16K-entry PHT plus the 2K-entry 2-way
+	// BTB looked up every cycle should land in the paper's observed
+	// predictor power band (roughly 2-5 W at 1.2GHz).
+	m := NewModel()
+	pht := phtSpec(16384)
+	phtOrg := ChooseClosestSquare(pht)
+	btb := Spec{Entries: 2048, Width: 32, OutBits: 32, TagBits: 21, Assoc: 2}
+	btbOrg := ChooseClosestSquare(btb)
+	watts := (m.ReadEnergy(pht, phtOrg) + m.ReadEnergy(btb, btbOrg)) * m.Tech.ClockHz
+	if watts < 1 || watts > 8 {
+		t.Errorf("predictor+BTB continuous-lookup power %.2f W outside sane band", watts)
+	}
+}
+
+func TestChooseClosestSquareIsSquarest(t *testing.T) {
+	s := phtSpec(4096)
+	best := ChooseClosestSquare(s)
+	skew := math.Abs(math.Log2(float64(best.Rows) / float64(best.Cols)))
+	for _, o := range Organizations(s) {
+		oskew := math.Abs(math.Log2(float64(o.Rows) / float64(o.Cols)))
+		if oskew < skew-1e-12 {
+			t.Errorf("organization %v squarer than chosen %v", o, best)
+		}
+	}
+}
+
+func TestChooseMinEDPOptimal(t *testing.T) {
+	// Brute-force check against the definition with a synthetic delay.
+	m := NewModel()
+	delay := func(s Spec, o Org) float64 {
+		return 1e-9 + 0.002e-9*float64(o.Rows) + 0.0005e-9*float64(o.Cols)
+	}
+	s := phtSpec(8192)
+	best := ChooseMinEDP(m, s, delay)
+	bestEDP := m.ReadEnergy(s, best) * delay(s, best)
+	for _, o := range Organizations(s) {
+		if edp := m.ReadEnergy(s, o) * delay(s, o); edp < bestEDP-1e-30 {
+			t.Errorf("org %v has lower EDP than chosen %v", o, best)
+		}
+	}
+}
+
+// TestEnergyPositiveProperty: all energies are positive for any feasible
+// organization of any modest spec.
+func TestEnergyPositiveProperty(t *testing.T) {
+	m := NewModel()
+	f := func(entriesLog, width uint8) bool {
+		entries := 1 << (4 + entriesLog%12)
+		w := 1 + int(width%32)
+		s := Spec{Entries: entries, Width: w, OutBits: w}
+		for _, o := range Organizations(s) {
+			if m.ReadEnergy(s, o) <= 0 || m.WriteEnergy(s, o) <= 0 || m.PartialReadEnergy(s, o) <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrgString(t *testing.T) {
+	o := Org{Rows: 128, Cols: 256, MuxDeg: 4, Subarrays: 2, Banks: 2}
+	if o.String() == "" {
+		t.Error("empty Org string")
+	}
+}
+
+func TestSpecNormalization(t *testing.T) {
+	s := Spec{Entries: 64, Width: 2}
+	n := s.normalized()
+	if n.OutBits != 2 || n.Assoc != 1 || n.Banks != 1 {
+		t.Errorf("normalized = %+v", n)
+	}
+}

@@ -1,0 +1,65 @@
+package array
+
+import "math"
+
+// DelayFunc estimates the access time of s in organization o, in seconds.
+// Package atime provides the Cacti-style implementation; it is passed in as
+// a function to keep this package free of a dependency cycle.
+type DelayFunc func(s Spec, o Org) float64
+
+// ChooseClosestSquare picks the organization whose physical aspect ratio is
+// closest to square — Wattch 1.02's automatic squarification ("old"). Wattch
+// computes the row count as the power of two at or above sqrt(bits), so on
+// an aspect-ratio tie the taller organization wins, exactly reproducing its
+// tall bias (and therefore its longer bitlines, which is what the paper's
+// min-EDP squarification improves on).
+func ChooseClosestSquare(s Spec) Org {
+	orgs := Organizations(s)
+	if len(orgs) == 0 {
+		return Org{}
+	}
+	best := orgs[0]
+	bestSkew := math.Inf(1)
+	for _, o := range orgs {
+		skew := math.Abs(math.Log2(float64(o.Rows) / float64(o.Cols)))
+		if skew < bestSkew || (skew == bestSkew && o.Rows > best.Rows) {
+			bestSkew = skew
+			best = o
+		}
+	}
+	return best
+}
+
+// ChooseMinEDP picks the organization minimizing read-energy x access-time,
+// the paper's squarification criterion (Section 2.5, "choose the one that
+// has the minimum energy-delay product").
+func ChooseMinEDP(m Model, s Spec, delay DelayFunc) Org {
+	orgs := Organizations(s)
+	if len(orgs) == 0 {
+		return Org{}
+	}
+	best := orgs[0]
+	bestEDP := math.Inf(1)
+	for _, o := range orgs {
+		edp := m.ReadEnergy(s, o) * delay(s, o)
+		if edp < bestEDP {
+			bestEDP = edp
+			best = o
+		}
+	}
+	return best
+}
+
+// BanksForBits returns the paper's bank count for a direction-predictor
+// structure of the given total size in bits (Table 3): 1 bank up through
+// 2 Kbits, 2 banks for 4-8 Kbits, and 4 banks for 16 Kbits and larger.
+func BanksForBits(bits int) int {
+	switch {
+	case bits <= 2*1024:
+		return 1
+	case bits <= 8*1024:
+		return 2
+	default:
+		return 4
+	}
+}

@@ -1,0 +1,110 @@
+// Package atime is a Cacti-style analytical access/cycle time model for the
+// SRAM arrays organized by package array (Wilton & Jouppi). It estimates
+// delay as the sum of the decode path, wordline rise, bitline discharge,
+// sensing, column multiplexing, and output drive, each an RC-flavoured
+// function of the active subarray's geometry.
+//
+// The paper normalizes cycle times to the maximum observed value because
+// absolute timings are "extremely implementation-dependent"; this model is
+// used the same way (Figures 3 and 11), so only the relative shape matters.
+package atime
+
+import (
+	"math"
+
+	"bpredpower/internal/array"
+)
+
+// Coeffs are the delay coefficients, in seconds (per unit noted).
+type Coeffs struct {
+	// TDecodeBase is the fixed predecoder delay.
+	TDecodeBase float64
+	// TDecodePerLog2Row is the additional decoder depth per doubling of rows.
+	TDecodePerLog2Row float64
+	// TWordPerCol is the wordline RC contribution per column (wire RC grows
+	// quadratically with length; applied to cols^2 scaled by this per-unit
+	// value at 128 columns).
+	TWordPerCol float64
+	// TBitPerRow is the bitline RC contribution per row (same quadratic
+	// treatment, normalized at 128 rows).
+	TBitPerRow float64
+	// TSense is the sense-amplifier resolution time.
+	TSense float64
+	// TColMuxPerLog2 is the column mux select delay per log2 of mux degree.
+	TColMuxPerLog2 float64
+	// TCompare is the tag comparator delay for associative arrays.
+	TCompare float64
+	// TOutput is the output driver delay.
+	TOutput float64
+	// TRoutePerSqrtSub is the global routing delay per sqrt(subarrays).
+	TRoutePerSqrtSub float64
+	// TBankSelect is the added bank decode delay for banked organizations.
+	TBankSelect float64
+}
+
+// Default350 approximates a 0.35um-class process: a 64x64 subarray accesses
+// in well under a nanosecond; large monolithic predictor tables exceed the
+// 0.83ns cycle of the paper's 1200MHz clock, consistent with Jimenez,
+// Keckler & Lin's multi-cycle-predictor observation.
+var Default350 = Coeffs{
+	TDecodeBase:       0.15e-9,
+	TDecodePerLog2Row: 0.035e-9,
+	TWordPerCol:       0.15e-9, // at 128 cols, grows ~quadratically
+	TBitPerRow:        0.50e-9, // at 128 rows, grows ~quadratically; the
+	// bitline is the slow path (large swing into sense amps), so tall
+	// organizations pay heavily
+	TSense:           0.20e-9,
+	TColMuxPerLog2:   0.04e-9,
+	TCompare:         0.25e-9,
+	TOutput:          0.10e-9,
+	TRoutePerSqrtSub: 0.06e-9,
+	TBankSelect:      0.03e-9,
+}
+
+// Model computes access times.
+type Model struct {
+	// Coeffs are the delay coefficients.
+	Coeffs Coeffs
+}
+
+// New returns a model with the default 0.35um coefficients.
+func New() Model { return Model{Coeffs: Default350} }
+
+// AccessTime estimates the access time of spec s in organization o, in
+// seconds.
+func (m Model) AccessTime(s array.Spec, o array.Org) float64 {
+	c := m.Coeffs
+	rows := float64(o.Rows)
+	cols := float64(o.Cols)
+	t := c.TDecodeBase + c.TDecodePerLog2Row*math.Log2(math.Max(rows, 2))
+	// Wire RC grows with the square of length; normalize at 128 cells.
+	t += c.TWordPerCol * (cols / 128) * (cols / 128)
+	t += c.TBitPerRow * (rows / 128) * (rows / 128)
+	t += c.TSense
+	if o.MuxDeg > 1 {
+		t += c.TColMuxPerLog2 * math.Log2(float64(o.MuxDeg))
+	}
+	if s.TagBits > 0 {
+		t += c.TCompare
+	}
+	t += c.TOutput
+	if o.Subarrays > 1 {
+		t += c.TRoutePerSqrtSub * math.Sqrt(float64(o.Subarrays))
+	}
+	if o.Banks > 1 {
+		t += c.TBankSelect
+	}
+	return t
+}
+
+// CycleTime estimates the array's minimum cycle time: access time plus a
+// precharge recovery proportional to the bitline component.
+func (m Model) CycleTime(s array.Spec, o array.Org) float64 {
+	c := m.Coeffs
+	rows := float64(o.Rows)
+	precharge := 0.5 * c.TBitPerRow * (rows / 128) * (rows / 128)
+	return m.AccessTime(s, o) + precharge
+}
+
+// Delay adapts AccessTime to array.DelayFunc for squarification.
+func (m Model) Delay(s array.Spec, o array.Org) float64 { return m.AccessTime(s, o) }

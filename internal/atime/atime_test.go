@@ -1,0 +1,100 @@
+package atime
+
+import (
+	"testing"
+
+	"bpredpower/internal/array"
+)
+
+func pht(entries int) array.Spec { return array.Spec{Entries: entries, Width: 2, OutBits: 2} }
+
+func TestAccessTimeGrowsWithSize(t *testing.T) {
+	m := New()
+	var prev float64
+	for _, entries := range []int{256, 1024, 4096, 16384, 65536} {
+		s := pht(entries)
+		o := array.ChooseClosestSquare(s)
+		at := m.AccessTime(s, o)
+		if at <= prev {
+			t.Errorf("%d entries: access time %.3g not increasing", entries, at)
+		}
+		prev = at
+	}
+}
+
+func TestSquarificationImprovesDelay(t *testing.T) {
+	// The paper's Figure 3: min-EDP organizations have access times no worse
+	// than (and for some sizes significantly better than) closest-to-square.
+	m := New()
+	am := array.NewModel()
+	improved := 0
+	for _, entries := range []int{256, 1024, 2048, 4096, 8192, 16384, 32768, 65536} {
+		s := pht(entries)
+		oldOrg := array.ChooseClosestSquare(s)
+		newOrg := array.ChooseMinEDP(am, s, m.Delay)
+		oldT := m.AccessTime(s, oldOrg)
+		newT := m.AccessTime(s, newOrg)
+		if newT > oldT*1.001 {
+			t.Errorf("%d entries: min-EDP org slower (%.3g) than square (%.3g)", entries, newT, oldT)
+		}
+		if newT < oldT*0.98 {
+			improved++
+		}
+	}
+	if improved == 0 {
+		t.Error("min-EDP squarification never improved access time; Figure 3 would be empty")
+	}
+}
+
+func TestBankingReducesDelay(t *testing.T) {
+	// Figure 11: banked organizations have lower cycle time.
+	m := New()
+	for _, entries := range []int{8192, 16384, 32768} {
+		flat := pht(entries)
+		banked := flat
+		banked.Banks = array.BanksForBits(flat.Bits())
+		of := array.ChooseClosestSquare(flat)
+		ob := array.ChooseClosestSquare(banked)
+		if m.CycleTime(banked, ob) >= m.CycleTime(flat, of) {
+			t.Errorf("%d entries: banked cycle time not lower", entries)
+		}
+	}
+}
+
+func TestCycleTimeExceedsAccessTime(t *testing.T) {
+	m := New()
+	s := pht(4096)
+	o := array.ChooseClosestSquare(s)
+	if m.CycleTime(s, o) <= m.AccessTime(s, o) {
+		t.Error("cycle time must include precharge recovery")
+	}
+}
+
+func TestTagPathAddsDelay(t *testing.T) {
+	m := New()
+	plain := array.Spec{Entries: 1024, Width: 32, OutBits: 32}
+	tagged := plain
+	tagged.TagBits = 20
+	tagged.Assoc = 2
+	o := array.ChooseClosestSquare(plain)
+	if m.AccessTime(tagged, o) <= m.AccessTime(plain, o) {
+		t.Error("comparator did not add delay")
+	}
+}
+
+func TestLargePredictorExceedsCycle(t *testing.T) {
+	// Jimenez et al.: large predictors need multi-cycle access at 1.2GHz.
+	m := New()
+	s := pht(32768)
+	o := array.ChooseClosestSquare(s)
+	cycle := 1.0 / 1.2e9
+	if m.AccessTime(s, o) < cycle*0.8 {
+		t.Errorf("32K-entry PHT access %.3g s implausibly fast vs %.3g s clock", m.AccessTime(s, o), cycle)
+	}
+	// While a small predictor fits comfortably in a cycle.
+	small := pht(256)
+	os := array.ChooseClosestSquare(small)
+	if m.AccessTime(small, os) > cycle {
+		t.Errorf("256-entry PHT access %.3g s exceeds one cycle", m.AccessTime(small, os))
+	}
+}

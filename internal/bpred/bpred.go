@@ -1,0 +1,194 @@
+// Package bpred implements the dynamic branch direction predictors studied
+// by the paper: bimodal (Smith), GAs and gshare (two-level global history),
+// PAs (two-level local history), and hybrid (McFarling selector combining a
+// global and a local/bimodal component), in exactly the fourteen
+// configurations of Section 3.1 plus the deliberately poor hybrid_0 used for
+// the pipeline-gating study.
+//
+// All predictors model speculative global-history update with repair and
+// speculative local-history (BHT) update with repair, as the paper's
+// extended simulator does: Lookup shifts the *predicted* outcome into the
+// history registers, Unwind restores the histories of squashed branches, and
+// Redirect re-seeds them with the resolved outcome after a misprediction.
+// Pattern-history counters train at commit via Update.
+package bpred
+
+import "fmt"
+
+// CounterMax is the saturating maximum of a 2-bit counter.
+const CounterMax = 3
+
+// CounterInit is the reset value of direction counters (weakly taken, as in
+// SimpleScalar's bimodal and two-level predictors).
+const CounterInit = 2
+
+// TableKind distinguishes predictor storage structures for the power model.
+type TableKind uint8
+
+const (
+	// TablePHT is a pattern history table of 2-bit counters.
+	TablePHT TableKind = iota
+	// TableBHT is a table of per-branch history registers.
+	TableBHT
+	// TableSelector is a hybrid chooser table of 2-bit counters.
+	TableSelector
+)
+
+var tableKindNames = [...]string{TablePHT: "pht", TableBHT: "bht", TableSelector: "selector"}
+
+// String returns the table kind name.
+func (k TableKind) String() string {
+	if int(k) < len(tableKindNames) {
+		return tableKindNames[k]
+	}
+	return fmt.Sprintf("table(%d)", uint8(k))
+}
+
+// TableSpec describes one storage structure inside a predictor, in logical
+// dimensions. The power and timing models squarify it into a physical
+// organization.
+type TableSpec struct {
+	// Name identifies the table within its predictor, e.g. "pht" or "lbht".
+	Name string
+	// Kind is the structural role.
+	Kind TableKind
+	// Entries is the number of logical entries.
+	Entries int
+	// Width is the bits per entry (2 for counters, the history width for
+	// BHTs).
+	Width int
+}
+
+// Bits returns the table's total storage in bits.
+func (t TableSpec) Bits() int { return t.Entries * t.Width }
+
+// Prediction carries a direction prediction together with everything needed
+// to train, unwind, and repair it later: the table indices used, the
+// history values prior to speculative update, and per-component outcomes for
+// hybrid selection and "both strong" confidence estimation.
+type Prediction struct {
+	// PC is the predicted branch's address.
+	PC uint64
+	// Taken is the predicted direction.
+	Taken bool
+
+	// Index0..Index2 are predictor-specific table indices captured at lookup
+	// time and used for commit-time training:
+	//
+	//	bimodal:  Index0 = PHT index
+	//	GAs/gshare: Index0 = PHT index
+	//	PAs:      Index0 = PHT index, Index1 = BHT index
+	//	hybrid:   Index0 = global PHT index, Index1 = local PHT or component
+	//	          index, Index2 = selector index; BHTIdx = local BHT index
+	Index0, Index1, Index2 int32
+	// BHTIdx is the local-history table entry updated speculatively at
+	// lookup (-1 when the predictor has no BHT).
+	BHTIdx int32
+
+	// GHistPrior is the global history register before this prediction was
+	// shifted in; Redirect restores from it.
+	GHistPrior uint64
+	// LocalPrior is the BHT entry's value before speculative update.
+	LocalPrior uint32
+
+	// GlobalTaken and LocalTaken are the component predictions for hybrids.
+	GlobalTaken, LocalTaken bool
+	// UsedGlobal reports which component the selector chose.
+	UsedGlobal bool
+	// BothStrong is the "both strong" confidence estimate (Manne et al.):
+	// true when both hybrid components were in a saturated counter state and
+	// agreed in direction. Always false for non-hybrid predictors, which
+	// cannot implement the estimator without extra hardware.
+	BothStrong bool
+}
+
+// Predictor is a dynamic conditional-branch direction predictor with
+// speculative history update and repair.
+//
+// Call sequence per dynamic branch: Lookup at fetch; if the branch (or an
+// older one) is squashed, Unwind in youngest-to-oldest order; if the branch
+// itself mispredicted, Redirect when it resolves; Update at commit.
+type Predictor interface {
+	// Name returns the configuration name, e.g. "Gsh_1_16k_12".
+	Name() string
+	// Lookup predicts the branch at pc and speculatively updates history
+	// with the prediction.
+	Lookup(pc uint64) Prediction
+	// Unwind undoes the speculative history updates made by p's Lookup.
+	// Squashed branches must be unwound youngest first.
+	Unwind(p *Prediction)
+	// Redirect repairs history after p resolved with direction taken:
+	// histories are restored to their pre-p values and the actual outcome is
+	// shifted in. Younger branches must already have been unwound.
+	Redirect(p *Prediction, taken bool)
+	// Update trains the pattern tables at commit with the actual outcome.
+	Update(p *Prediction, taken bool)
+	// Tables describes the predictor's storage for the power/timing models.
+	Tables() []TableSpec
+	// TotalBits returns the predictor's total storage.
+	TotalBits() int
+	// Reset restores power-on state.
+	Reset()
+}
+
+// counters is a table of 2-bit saturating counters.
+type counters []uint8
+
+func newCounters(n int) counters {
+	c := make(counters, n)
+	for i := range c {
+		c[i] = CounterInit
+	}
+	return c
+}
+
+func (c counters) reset() {
+	for i := range c {
+		c[i] = CounterInit
+	}
+}
+
+// taken reports the direction the counter at i predicts.
+func (c counters) taken(i int32) bool { return c[i] >= 2 }
+
+// strong reports whether the counter at i is saturated.
+func (c counters) strong(i int32) bool { return c[i] == 0 || c[i] == CounterMax }
+
+// train moves the counter at i toward the outcome.
+func (c counters) train(i int32, taken bool) {
+	if taken {
+		if c[i] < CounterMax {
+			c[i]++
+		}
+	} else if c[i] > 0 {
+		c[i]--
+	}
+}
+
+// log2 returns floor(log2(n)); n must be a positive power of two for the
+// predictor geometries used here.
+func log2(n int) uint {
+	var l uint
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+// isPow2 reports whether n is a positive power of two.
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+func b2u64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func b2u32(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

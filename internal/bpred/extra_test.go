@@ -1,0 +1,241 @@
+package bpred
+
+import "testing"
+
+func TestStaticPredictors(t *testing.T) {
+	taken := NewStaticTaken()
+	notTaken := NewStaticNotTaken()
+	for i := 0; i < 100; i++ {
+		pc := uint64(i * 4)
+		if !taken.Lookup(pc).Taken {
+			t.Fatal("static-taken predicted not taken")
+		}
+		if notTaken.Lookup(pc).Taken {
+			t.Fatal("static-not-taken predicted taken")
+		}
+	}
+	if taken.TotalBits() != 0 || len(taken.Tables()) != 0 {
+		t.Error("static predictor should have no state")
+	}
+	pr := taken.Lookup(0)
+	taken.Update(&pr, false)
+	taken.Redirect(&pr, false)
+	taken.Unwind(&pr)
+	taken.Reset()
+}
+
+func TestGAgSharedHistoryEntry(t *testing.T) {
+	// GAg has no address bits: two branches with identical history hit the
+	// same counter. Train one always-taken, then a fresh branch with the
+	// same history should predict taken immediately.
+	g := NewGAg("gag", 8)
+	var pr Prediction
+	for i := 0; i < 50; i++ {
+		pr = g.Lookup(0x1000)
+		g.Update(&pr, true)
+	}
+	h := g.GHist()
+	pr2 := g.Lookup(0x9999000)
+	if pr2.Index0 != int32(h&0xff) {
+		t.Errorf("GAg index should be pure history: got %d, hist %b", pr2.Index0, h)
+	}
+	if !pr2.Taken {
+		t.Error("GAg did not share the trained entry across branches")
+	}
+}
+
+func TestGselectLearnsCorrelation(t *testing.T) {
+	var aOut bool
+	seq := func(i int) (uint64, bool) {
+		if i%2 == 0 {
+			aOut = (i/2)%3 == 0
+			return 0x1000, aOut
+		}
+		return 0x2000, aOut
+	}
+	g := NewGselect("gsel", 16384, 6)
+	acc := trainOn(g, seq, 20000)
+	if acc < 0.95 {
+		t.Errorf("gselect on correlated pair: accuracy %.4f", acc)
+	}
+}
+
+func TestGselectHistoryRepair(t *testing.T) {
+	g := NewGselect("gsel", 4096, 8)
+	h0 := g.ghist
+	p1 := g.Lookup(0x1000)
+	p2 := g.Lookup(0x1004)
+	g.Unwind(&p2)
+	g.Redirect(&p1, true)
+	if g.ghist != h0<<1|1 {
+		t.Errorf("gselect history repair broken: %b", g.ghist)
+	}
+}
+
+func TestGselectIndexLayout(t *testing.T) {
+	// History occupies the LOW index bits (the mirror of GAs).
+	g := NewGselect("gsel", 1024, 4)
+	g.ghist = 0b1011
+	i1 := g.index(0)
+	if i1&0xf != 0b1011 {
+		t.Errorf("gselect low bits should be history: %b", i1)
+	}
+	i2 := g.index(4 << 2) // pc bits land above the history
+	if i2&0xf != 0b1011 || i2 == i1 {
+		t.Errorf("gselect address bits misplaced: %b vs %b", i1, i2)
+	}
+}
+
+func TestPAgLearnsLocalPattern(t *testing.T) {
+	pattern := []bool{true, true, false, true}
+	seq := func(i int) (uint64, bool) { return 0x3000, pattern[i%4] }
+	p := NewPAg("pag", 1024, 8)
+	acc := trainOn(p, seq, 8000)
+	if acc != 1 {
+		t.Errorf("PAg on period-4 pattern: accuracy %.4f, want 1", acc)
+	}
+}
+
+func TestPAgPatternSharingAcrossBranches(t *testing.T) {
+	// PAg's PHT is indexed purely by local history: two branches with the
+	// same repeating pattern share (and co-train) the same counters.
+	p := NewPAg("pag", 1024, 6)
+	pattern := []bool{true, false, true, true, false, true}
+	seq := func(i int) (uint64, bool) {
+		pc := uint64(0x4000)
+		if i%2 == 1 {
+			pc = 0x8000
+		}
+		return pc, pattern[(i/2)%6]
+	}
+	acc := trainOn(p, seq, 12000)
+	if acc < 0.99 {
+		t.Errorf("PAg on shared pattern: accuracy %.4f", acc)
+	}
+}
+
+func TestPAgHistoryRepair(t *testing.T) {
+	p := NewPAg("pag", 256, 6)
+	pc := uint64(0x2000)
+	before := p.bht[int32((pc>>2)&p.bhtMask)]
+	p1 := p.Lookup(pc)
+	p2 := p.Lookup(pc)
+	p.Unwind(&p2)
+	p.Unwind(&p1)
+	if got := p.bht[p1.BHTIdx]; got != before {
+		t.Errorf("PAg unwind broken: %b want %b", got, before)
+	}
+	p3 := p.Lookup(pc)
+	p.Redirect(&p3, true)
+	want := (before<<1 | 1) & 0x3f
+	if got := p.bht[p3.BHTIdx]; got != want {
+		t.Errorf("PAg redirect broken: %b want %b", got, want)
+	}
+}
+
+func TestExtraPredictorGeometryPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("gselect non-pow2", func() { NewGselect("x", 1000, 4) })
+	mustPanic("gselect hist too long", func() { NewGselect("x", 256, 12) })
+	mustPanic("pag non-pow2", func() { NewPAg("x", 100, 4) })
+	mustPanic("pag hist range", func() { NewPAg("x", 256, 0) })
+}
+
+func TestExtraPredictorSizes(t *testing.T) {
+	if NewGAg("g", 10).TotalBits() != 1024*2 {
+		t.Error("GAg size wrong")
+	}
+	if NewGselect("g", 4096, 6).TotalBits() != 8192 {
+		t.Error("gselect size wrong")
+	}
+	if NewPAg("p", 512, 8).TotalBits() != 512*8+256*2 {
+		t.Error("PAg size wrong")
+	}
+}
+
+func TestExtensionConfigsBuildAndResolve(t *testing.T) {
+	for _, s := range ExtensionConfigs {
+		p := s.Build()
+		if p.Name() != s.Name {
+			t.Errorf("built name %q != spec %q", p.Name(), s.Name)
+		}
+		pr := p.Lookup(0x1000)
+		p.Update(&pr, true)
+		got, ok := ConfigByName(s.Name)
+		if !ok || got.Name != s.Name {
+			t.Errorf("ConfigByName(%q) failed", s.Name)
+		}
+	}
+	if KindGAg.String() != "GAg" || KindStaticTaken.String() != "static-taken" {
+		t.Error("extension kind names wrong")
+	}
+}
+
+func TestAlloyedUsesBothHistories(t *testing.T) {
+	// A branch whose outcome is its own alternation is caught via local
+	// history; a branch correlated with its predecessor is caught via
+	// global history. Alloyed catches both with one table.
+	var last bool
+	seq := func(i int) (uint64, bool) {
+		switch i % 3 {
+		case 0:
+			out := (i/3)%2 == 0 // alternates: local-history pattern
+			last = out
+			return 0x4000, out
+		case 1:
+			return 0x5000, last // correlated: global-history pattern
+		default:
+			return 0x6000, true
+		}
+	}
+	a := Alloyed16k.Build()
+	acc := trainOn(a, seq, 30000)
+	if acc < 0.97 {
+		t.Errorf("alloyed on mixed workload: accuracy %.4f", acc)
+	}
+	bim := NewBimodal("bim", 16384)
+	if bacc := trainOn(bim, seq, 30000); bacc >= acc {
+		t.Errorf("alloyed (%.4f) should beat bimodal (%.4f) here", acc, bacc)
+	}
+}
+
+func TestAlloyedRepair(t *testing.T) {
+	a := NewAlloyed("al", 256, 4, 4, 4096)
+	pc := uint64(0x1000)
+	g0 := a.GHist()
+	l0 := a.bht[a.bhtIndex(pc)]
+	p1 := a.Lookup(pc)
+	p2 := a.Lookup(pc)
+	a.Unwind(&p2)
+	a.Redirect(&p1, true)
+	if a.GHist() != g0<<1|1 {
+		t.Errorf("alloyed ghist repair broken")
+	}
+	if got := a.bht[p1.BHTIdx]; got != (l0<<1|1)&0xf {
+		t.Errorf("alloyed local repair broken: %b", got)
+	}
+}
+
+func TestAlloyedGeometryPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewAlloyed("x", 100, 4, 4, 4096) },
+		func() { NewAlloyed("x", 256, 8, 8, 4096) }, // 16 bits > 12-bit index
+		func() { NewAlloyed("x", 256, 0, 4, 4096) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad alloyed geometry accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,246 @@
+package bpred
+
+import "fmt"
+
+// HybridComponentKind selects the second component of a hybrid predictor.
+type HybridComponentKind uint8
+
+const (
+	// HybridLocal pairs the global component with a PAs-style local-history
+	// predictor (hybrid_1 through hybrid_4, the Alpha 21264 arrangement).
+	HybridLocal HybridComponentKind = iota
+	// HybridBimodal pairs it with a bimodal predictor (the deliberately poor
+	// hybrid_0 used in the pipeline-gating study).
+	HybridBimodal
+)
+
+// HybridGeometry fully describes a hybrid predictor's tables.
+type HybridGeometry struct {
+	// SelEntries and SelHistBits size the selector PHT and the slice of
+	// global history used to index it (low PC bits fill the remainder).
+	SelEntries, SelHistBits int
+	// GlobalEntries and GlobalHistBits size the global component PHT and its
+	// history slice.
+	GlobalEntries, GlobalHistBits int
+	// Second selects the other component.
+	Second HybridComponentKind
+	// LocalBHTEntries, LocalBHTWidth, LocalPHTEntries size the local
+	// component when Second is HybridLocal.
+	LocalBHTEntries, LocalBHTWidth, LocalPHTEntries int
+	// BimodalEntries sizes the bimodal component when Second is
+	// HybridBimodal.
+	BimodalEntries int
+}
+
+// Hybrid is a McFarling combining predictor: two component predictors run in
+// parallel and a selector PHT of 2-bit counters learns, per branch, which
+// component to trust. One shared speculative global history register feeds
+// the selector and the global component.
+type Hybrid struct {
+	name string
+	geo  HybridGeometry
+
+	ghist uint64
+
+	sel        counters
+	selIdxBits uint
+	selHist    uint
+
+	gpht      counters
+	gIdxBits  uint
+	gHistBits uint
+
+	// Local component (HybridLocal).
+	lbht     []uint32
+	lbhtMask uint64
+	lWidth   uint
+	lpht     counters
+	lIdxBits uint
+
+	// Bimodal component (HybridBimodal).
+	bim counters
+}
+
+// NewHybrid builds a hybrid predictor from its geometry.
+func NewHybrid(name string, geo HybridGeometry) *Hybrid {
+	if !isPow2(geo.SelEntries) || !isPow2(geo.GlobalEntries) {
+		panic(fmt.Sprintf("bpred: hybrid %s selector/global entries must be powers of two", name))
+	}
+	h := &Hybrid{
+		name:       name,
+		geo:        geo,
+		sel:        newCounters(geo.SelEntries),
+		selIdxBits: log2(geo.SelEntries),
+		selHist:    uint(geo.SelHistBits),
+		gpht:       newCounters(geo.GlobalEntries),
+		gIdxBits:   log2(geo.GlobalEntries),
+		gHistBits:  uint(geo.GlobalHistBits),
+	}
+	if h.selHist > h.selIdxBits {
+		panic(fmt.Sprintf("bpred: hybrid %s selector history %d exceeds index %d bits", name, geo.SelHistBits, h.selIdxBits))
+	}
+	if h.gHistBits > h.gIdxBits {
+		panic(fmt.Sprintf("bpred: hybrid %s global history %d exceeds index %d bits", name, geo.GlobalHistBits, h.gIdxBits))
+	}
+	switch geo.Second {
+	case HybridLocal:
+		if !isPow2(geo.LocalBHTEntries) || !isPow2(geo.LocalPHTEntries) {
+			panic(fmt.Sprintf("bpred: hybrid %s local geometry must be powers of two", name))
+		}
+		if uint(geo.LocalBHTWidth) > log2(geo.LocalPHTEntries) {
+			panic(fmt.Sprintf("bpred: hybrid %s local history %d exceeds local PHT index", name, geo.LocalBHTWidth))
+		}
+		h.lbht = make([]uint32, geo.LocalBHTEntries)
+		h.lbhtMask = uint64(geo.LocalBHTEntries - 1)
+		h.lWidth = uint(geo.LocalBHTWidth)
+		h.lpht = newCounters(geo.LocalPHTEntries)
+		h.lIdxBits = log2(geo.LocalPHTEntries)
+	case HybridBimodal:
+		if !isPow2(geo.BimodalEntries) {
+			panic(fmt.Sprintf("bpred: hybrid %s bimodal entries must be a power of two", name))
+		}
+		h.bim = newCounters(geo.BimodalEntries)
+	default:
+		panic("bpred: unknown hybrid component kind")
+	}
+	return h
+}
+
+// Name returns the configuration name.
+func (h *Hybrid) Name() string { return h.name }
+
+// Geometry returns the hybrid's table geometry.
+func (h *Hybrid) Geometry() HybridGeometry { return h.geo }
+
+// GHist returns the current speculative global history (for tests).
+func (h *Hybrid) GHist() uint64 { return h.ghist }
+
+// concatIndex forms (hist:histBits | pc bits) into an idxBits-wide index.
+func concatIndex(pc, ghist uint64, idxBits, histBits uint) int32 {
+	hm := uint64(1)<<histBits - 1
+	pcBits := idxBits - histBits
+	return int32(((ghist & hm) << pcBits) | ((pc >> 2) & (uint64(1)<<pcBits - 1)))
+}
+
+// Lookup runs the selector and both components, chooses a direction, and
+// speculatively updates the shared global history and the local BHT.
+func (h *Hybrid) Lookup(pc uint64) Prediction {
+	selIdx := concatIndex(pc, h.ghist, h.selIdxBits, h.selHist)
+	gIdx := concatIndex(pc, h.ghist, h.gIdxBits, h.gHistBits)
+	gTaken := h.gpht.taken(gIdx)
+	gStrong := h.gpht.strong(gIdx)
+
+	var (
+		sIdx    int32
+		sTaken  bool
+		sStrong bool
+		bhtIdx  int32 = -1
+		lPrior  uint32
+	)
+	switch h.geo.Second {
+	case HybridLocal:
+		bhtIdx = int32((pc >> 2) & h.lbhtMask)
+		lPrior = h.lbht[bhtIdx]
+		hbits := uint64(lPrior) & (uint64(1)<<h.lWidth - 1)
+		pcBits := h.lIdxBits - h.lWidth
+		sIdx = int32((hbits << pcBits) | ((pc >> 2) & (uint64(1)<<pcBits - 1)))
+		sTaken = h.lpht.taken(sIdx)
+		sStrong = h.lpht.strong(sIdx)
+	case HybridBimodal:
+		sIdx = int32((pc >> 2) & uint64(len(h.bim)-1))
+		sTaken = h.bim.taken(sIdx)
+		sStrong = h.bim.strong(sIdx)
+	}
+
+	useGlobal := h.sel.taken(selIdx) // counter >= 2 means "trust global"
+	taken := sTaken
+	if useGlobal {
+		taken = gTaken
+	}
+	p := Prediction{
+		PC: pc, Taken: taken,
+		Index0: gIdx, Index1: sIdx, Index2: selIdx, BHTIdx: bhtIdx,
+		GHistPrior: h.ghist, LocalPrior: lPrior,
+		GlobalTaken: gTaken, LocalTaken: sTaken, UsedGlobal: useGlobal,
+		BothStrong: gStrong && sStrong && gTaken == sTaken,
+	}
+	h.ghist = h.ghist<<1 | b2u64(taken)
+	if bhtIdx >= 0 {
+		h.lbht[bhtIdx] = (lPrior<<1 | b2u32(taken)) & (uint32(1)<<h.lWidth - 1)
+	}
+	return p
+}
+
+// Unwind restores the global history and local BHT entry touched by p.
+func (h *Hybrid) Unwind(p *Prediction) {
+	h.ghist = p.GHistPrior
+	if p.BHTIdx >= 0 {
+		h.lbht[p.BHTIdx] = p.LocalPrior
+	}
+}
+
+// Redirect repairs histories with the resolved outcome.
+func (h *Hybrid) Redirect(p *Prediction, taken bool) {
+	h.ghist = p.GHistPrior<<1 | b2u64(taken)
+	if p.BHTIdx >= 0 {
+		h.lbht[p.BHTIdx] = (p.LocalPrior<<1 | b2u32(taken)) & (uint32(1)<<h.lWidth - 1)
+	}
+}
+
+// Update trains both components and, when they disagreed, the selector
+// toward whichever component was right.
+func (h *Hybrid) Update(p *Prediction, taken bool) {
+	h.gpht.train(p.Index0, taken)
+	switch h.geo.Second {
+	case HybridLocal:
+		h.lpht.train(p.Index1, taken)
+	case HybridBimodal:
+		h.bim.train(p.Index1, taken)
+	}
+	if p.GlobalTaken != p.LocalTaken {
+		h.sel.train(p.Index2, p.GlobalTaken == taken)
+	}
+}
+
+// Tables describes all component tables for the power model.
+func (h *Hybrid) Tables() []TableSpec {
+	ts := []TableSpec{
+		{Name: "selector", Kind: TableSelector, Entries: len(h.sel), Width: 2},
+		{Name: "gpht", Kind: TablePHT, Entries: len(h.gpht), Width: 2},
+	}
+	switch h.geo.Second {
+	case HybridLocal:
+		ts = append(ts,
+			TableSpec{Name: "lbht", Kind: TableBHT, Entries: len(h.lbht), Width: int(h.lWidth)},
+			TableSpec{Name: "lpht", Kind: TablePHT, Entries: len(h.lpht), Width: 2},
+		)
+	case HybridBimodal:
+		ts = append(ts, TableSpec{Name: "bimodal", Kind: TablePHT, Entries: len(h.bim), Width: 2})
+	}
+	return ts
+}
+
+// TotalBits returns the predictor storage in bits.
+func (h *Hybrid) TotalBits() int {
+	total := 0
+	for _, t := range h.Tables() {
+		total += t.Bits()
+	}
+	return total
+}
+
+// Reset restores power-on state.
+func (h *Hybrid) Reset() {
+	h.ghist = 0
+	h.sel.reset()
+	h.gpht.reset()
+	if h.lbht != nil {
+		for i := range h.lbht {
+			h.lbht[i] = 0
+		}
+		h.lpht.reset()
+	}
+	if h.bim != nil {
+		h.bim.reset()
+	}
+}

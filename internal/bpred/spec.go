@@ -1,0 +1,219 @@
+package bpred
+
+import "fmt"
+
+// Kind enumerates predictor families.
+type Kind uint8
+
+const (
+	// KindBimodal is a PC-indexed 2-bit counter table.
+	KindBimodal Kind = iota
+	// KindGAs is a two-level global predictor with concatenated indexing.
+	KindGAs
+	// KindGshare is a two-level global predictor with XOR indexing.
+	KindGshare
+	// KindPAs is a two-level local-history predictor.
+	KindPAs
+	// KindHybrid is a McFarling combining predictor.
+	KindHybrid
+	// KindGAg is the degenerate global two-level predictor (pure history
+	// index) — an extension beyond the paper's fourteen configurations.
+	KindGAg
+	// KindGselect is McFarling's concatenation predictor (extension).
+	KindGselect
+	// KindPAg is the degenerate per-address two-level predictor (extension).
+	KindPAg
+	// KindStaticTaken and KindStaticNotTaken are stateless baselines
+	// (extension).
+	KindStaticTaken
+	KindStaticNotTaken
+	// KindAlloyed merges global and local history into one PHT index
+	// (Skadron et al., the paper's reference [22]; extension).
+	KindAlloyed
+)
+
+var kindNames = [...]string{
+	KindBimodal:        "bimodal",
+	KindGAs:            "GAs",
+	KindGshare:         "gshare",
+	KindPAs:            "PAs",
+	KindHybrid:         "hybrid",
+	KindGAg:            "GAg",
+	KindGselect:        "gselect",
+	KindPAg:            "PAg",
+	KindStaticTaken:    "static-taken",
+	KindStaticNotTaken: "static-nottaken",
+	KindAlloyed:        "alloyed",
+}
+
+// String returns the family name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Spec is a buildable description of a predictor configuration.
+type Spec struct {
+	// Name is the configuration label used in the paper's figures.
+	Name string
+	// Kind selects the family.
+	Kind Kind
+	// Entries is the PHT entry count for bimodal/GAs/gshare, or the local
+	// PHT entry count for PAs.
+	Entries int
+	// HistBits is the global history length for GAs/gshare.
+	HistBits int
+	// BHTEntries and BHTWidth size the PAs first level.
+	BHTEntries, BHTWidth int
+	// Hybrid is the full hybrid geometry for KindHybrid.
+	Hybrid HybridGeometry
+}
+
+// Build constructs the predictor the spec describes.
+func (s Spec) Build() Predictor {
+	switch s.Kind {
+	case KindBimodal:
+		return NewBimodal(s.Name, s.Entries)
+	case KindGAs:
+		return NewTwoLevelGlobal(s.Name, s.Entries, s.HistBits, false)
+	case KindGshare:
+		return NewTwoLevelGlobal(s.Name, s.Entries, s.HistBits, true)
+	case KindPAs:
+		return NewPAs(s.Name, s.BHTEntries, s.BHTWidth, s.Entries)
+	case KindHybrid:
+		return NewHybrid(s.Name, s.Hybrid)
+	case KindGAg:
+		return NewGAg(s.Name, s.HistBits)
+	case KindGselect:
+		return NewGselect(s.Name, s.Entries, s.HistBits)
+	case KindPAg:
+		return NewPAg(s.Name, s.BHTEntries, s.HistBits)
+	case KindStaticTaken:
+		return NewStaticTaken()
+	case KindStaticNotTaken:
+		return NewStaticNotTaken()
+	case KindAlloyed:
+		return NewAlloyed(s.Name, s.BHTEntries, s.BHTWidth, s.HistBits, s.Entries)
+	default:
+		panic(fmt.Sprintf("bpred: unknown kind %v", s.Kind))
+	}
+}
+
+// TotalBits returns the storage the configuration requires.
+func (s Spec) TotalBits() int { return s.Build().TotalBits() }
+
+// Paper configurations (Section 3.1). Names match the figures' X axes.
+var (
+	// Bim128 is the Motorola ColdFire v4-sized bimodal predictor.
+	Bim128 = Spec{Name: "Bim_128", Kind: KindBimodal, Entries: 128}
+	// Bim4k is the Alpha 21064-sized bimodal predictor.
+	Bim4k = Spec{Name: "Bim_4k", Kind: KindBimodal, Entries: 4096}
+	// Bim8k is the Alpha 21164-sized bimodal predictor.
+	Bim8k = Spec{Name: "Bim_8k", Kind: KindBimodal, Entries: 8192}
+	// Bim16k is the largest bimodal configuration studied.
+	Bim16k = Spec{Name: "Bim_16k", Kind: KindBimodal, Entries: 16384}
+	// GAs4k5 is a 4K-entry GAs predictor with 5 bits of history.
+	GAs4k5 = Spec{Name: "GAs_1_4k_5", Kind: KindGAs, Entries: 4096, HistBits: 5}
+	// GAs32k8 is a 32K-entry GAs predictor with 8 bits of history.
+	GAs32k8 = Spec{Name: "GAs_1_32k_8", Kind: KindGAs, Entries: 32768, HistBits: 8}
+	// Gsh16k12 is the Sun UltraSPARC-III gshare: 16K entries, 12 bits of
+	// history XORed with 14 bits of branch address.
+	Gsh16k12 = Spec{Name: "Gsh_1_16k_12", Kind: KindGshare, Entries: 16384, HistBits: 12}
+	// Gsh32k12 is a 32K-entry gshare with 12 bits of history.
+	Gsh32k12 = Spec{Name: "Gsh_1_32k_12", Kind: KindGshare, Entries: 32768, HistBits: 12}
+	// Hybrid1 is the Alpha 21264 predictor: 4K selector indexed by 12 bits
+	// of global history, a same-shaped global component, and a 1K x 10-bit
+	// local BHT over a 1K local PHT. 26 Kbits total.
+	Hybrid1 = Spec{Name: "Hybrid_1", Kind: KindHybrid, Hybrid: HybridGeometry{
+		SelEntries: 4096, SelHistBits: 12,
+		GlobalEntries: 4096, GlobalHistBits: 12,
+		Second:          HybridLocal,
+		LocalBHTEntries: 1024, LocalBHTWidth: 10, LocalPHTEntries: 1024,
+	}}
+	// Hybrid2 is the small 8-Kbit hybrid.
+	Hybrid2 = Spec{Name: "Hybrid_2", Kind: KindHybrid, Hybrid: HybridGeometry{
+		SelEntries: 1024, SelHistBits: 3,
+		GlobalEntries: 2048, GlobalHistBits: 4,
+		Second:          HybridLocal,
+		LocalBHTEntries: 512, LocalBHTWidth: 2, LocalPHTEntries: 512,
+	}}
+	// Hybrid3 is a 64-Kbit hybrid with a 10-bit-history selector.
+	Hybrid3 = Spec{Name: "Hybrid_3", Kind: KindHybrid, Hybrid: HybridGeometry{
+		SelEntries: 8192, SelHistBits: 10,
+		GlobalEntries: 16384, GlobalHistBits: 7,
+		Second:          HybridLocal,
+		LocalBHTEntries: 1024, LocalBHTWidth: 8, LocalPHTEntries: 4096,
+	}}
+	// Hybrid4 is a 64-Kbit hybrid with a 6-bit-history selector.
+	Hybrid4 = Spec{Name: "Hybrid_4", Kind: KindHybrid, Hybrid: HybridGeometry{
+		SelEntries: 8192, SelHistBits: 6,
+		GlobalEntries: 16384, GlobalHistBits: 7,
+		Second:          HybridLocal,
+		LocalBHTEntries: 1024, LocalBHTWidth: 8, LocalPHTEntries: 4096,
+	}}
+	// PAs1k2k4 is the small PAs configuration (1K x 4-bit BHT, 2K PHT).
+	PAs1k2k4 = Spec{Name: "PAs_1k_2k_4", Kind: KindPAs, BHTEntries: 1024, BHTWidth: 4, Entries: 2048}
+	// PAs4k16k8 is the large PAs configuration (4K x 8-bit BHT, 16K PHT).
+	PAs4k16k8 = Spec{Name: "PAs_4k_16k_8", Kind: KindPAs, BHTEntries: 4096, BHTWidth: 8, Entries: 16384}
+	// Hybrid0 is the artificially poor hybrid used only in the
+	// pipeline-gating study: 256-entry selector, 256-entry gshare-style
+	// global component, 256-entry bimodal component.
+	Hybrid0 = Spec{Name: "Hybrid_0", Kind: KindHybrid, Hybrid: HybridGeometry{
+		SelEntries: 256, SelHistBits: 4,
+		GlobalEntries: 256, GlobalHistBits: 6,
+		Second:         HybridBimodal,
+		BimodalEntries: 256,
+	}}
+)
+
+// Extension configurations beyond the paper (equal-ish 32-Kbit points of
+// the Yeh-Patt/McFarling taxonomy, plus static baselines).
+var (
+	// GAg14 is a pure-history two-level predictor with 14 bits of history.
+	GAg14 = Spec{Name: "GAg_14", Kind: KindGAg, HistBits: 14}
+	// Gsel16k6 is gselect with a 16K PHT and 6 bits of history.
+	Gsel16k6 = Spec{Name: "Gsel_16k_6", Kind: KindGselect, Entries: 16384, HistBits: 6}
+	// PAg4k12 is PAg with a 4K-entry BHT and 12 bits of local history.
+	PAg4k12 = Spec{Name: "PAg_4k_12", Kind: KindPAg, BHTEntries: 4096, HistBits: 12}
+	// StaticTaken and StaticNotTaken are the stateless baselines.
+	StaticTaken    = Spec{Name: "Static_taken", Kind: KindStaticTaken}
+	StaticNotTaken = Spec{Name: "Static_nottaken", Kind: KindStaticNotTaken}
+	// Alloyed16k is a 16K-entry alloyed-history predictor (1K x 4-bit BHT,
+	// 4 local + 5 global + 5 address index bits).
+	Alloyed16k = Spec{Name: "Alloyed_16k", Kind: KindAlloyed,
+		BHTEntries: 1024, BHTWidth: 4, HistBits: 5, Entries: 16384}
+)
+
+// ExtensionConfigs lists the extra organizations (not part of the paper's
+// figures).
+var ExtensionConfigs = []Spec{StaticNotTaken, StaticTaken, GAg14, Gsel16k6, PAg4k12, Alloyed16k}
+
+// PaperConfigs lists the fourteen predictor organizations of Figures 2 and
+// 5-13, in the paper's X-axis order.
+var PaperConfigs = []Spec{
+	Bim128, Bim4k, Bim8k, Bim16k,
+	GAs4k5, GAs32k8,
+	Gsh16k12, Gsh32k12,
+	Hybrid2, Hybrid1, Hybrid3, Hybrid4,
+	PAs1k2k4, PAs4k16k8,
+}
+
+// ConfigByName returns the named paper configuration (including Hybrid_0).
+func ConfigByName(name string) (Spec, bool) {
+	for _, s := range PaperConfigs {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	if name == Hybrid0.Name {
+		return Hybrid0, true
+	}
+	for _, s := range ExtensionConfigs {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}

@@ -1,0 +1,102 @@
+package bpred
+
+import "fmt"
+
+// TwoLevelGlobal is a two-level predictor with a single global branch
+// history register (GBHR) and a PHT of 2-bit counters. With XOR false it is
+// GAs (Yeh & Patt / Pan et al.): the history is concatenated with low PC
+// bits to form the index, the PC bits providing anti-aliasing. With XOR true
+// it is gshare (McFarling): history and PC are XORed, permitting history as
+// long as the full index.
+type TwoLevelGlobal struct {
+	name     string
+	pht      counters
+	idxBits  uint
+	histBits uint
+	histMask uint64
+	xor      bool
+	ghist    uint64
+}
+
+// NewTwoLevelGlobal builds a GAs (xor=false) or gshare (xor=true) predictor.
+// entries must be a power of two; histBits must fit in the index.
+func NewTwoLevelGlobal(name string, entries, histBits int, xor bool) *TwoLevelGlobal {
+	if !isPow2(entries) {
+		panic(fmt.Sprintf("bpred: two-level entries %d not a power of two", entries))
+	}
+	idxBits := log2(entries)
+	if histBits < 0 || uint(histBits) > idxBits {
+		panic(fmt.Sprintf("bpred: history %d bits does not fit %d index bits", histBits, idxBits))
+	}
+	if histBits > 63 {
+		panic("bpred: history wider than 63 bits")
+	}
+	return &TwoLevelGlobal{
+		name:     name,
+		pht:      newCounters(entries),
+		idxBits:  idxBits,
+		histBits: uint(histBits),
+		histMask: (1 << uint(histBits)) - 1,
+		xor:      xor,
+	}
+}
+
+// Name returns the configuration name.
+func (t *TwoLevelGlobal) Name() string { return t.name }
+
+// GHist returns the current speculative global history (for tests).
+func (t *TwoLevelGlobal) GHist() uint64 { return t.ghist }
+
+func (t *TwoLevelGlobal) index(pc uint64) int32 {
+	h := t.ghist & t.histMask
+	pcb := pc >> 2
+	var idx uint64
+	if t.xor {
+		idx = (h ^ pcb) & ((1 << t.idxBits) - 1)
+	} else {
+		// Concatenate: history in the high bits, PC in the low bits.
+		pcBits := t.idxBits - t.histBits
+		idx = (h << pcBits) | (pcb & ((1 << pcBits) - 1))
+	}
+	return int32(idx)
+}
+
+// Lookup predicts the branch at pc and shifts the prediction into the
+// speculative global history.
+func (t *TwoLevelGlobal) Lookup(pc uint64) Prediction {
+	i := t.index(pc)
+	taken := t.pht.taken(i)
+	p := Prediction{
+		PC: pc, Taken: taken,
+		Index0: i, Index1: -1, Index2: -1, BHTIdx: -1,
+		GHistPrior: t.ghist,
+	}
+	t.ghist = t.ghist<<1 | b2u64(taken)
+	return p
+}
+
+// Unwind restores the global history to its pre-lookup value.
+func (t *TwoLevelGlobal) Unwind(p *Prediction) { t.ghist = p.GHistPrior }
+
+// Redirect repairs the global history with the resolved outcome.
+func (t *TwoLevelGlobal) Redirect(p *Prediction, taken bool) {
+	t.ghist = p.GHistPrior<<1 | b2u64(taken)
+}
+
+// Update trains the counter selected at lookup time.
+func (t *TwoLevelGlobal) Update(p *Prediction, taken bool) { t.pht.train(p.Index0, taken) }
+
+// Tables describes the PHT for the power model. The GBHR is a register, not
+// an array, and is not charged separately.
+func (t *TwoLevelGlobal) Tables() []TableSpec {
+	return []TableSpec{{Name: "pht", Kind: TablePHT, Entries: len(t.pht), Width: 2}}
+}
+
+// TotalBits returns the predictor storage in bits.
+func (t *TwoLevelGlobal) TotalBits() int { return len(t.pht) * 2 }
+
+// Reset restores power-on state.
+func (t *TwoLevelGlobal) Reset() {
+	t.pht.reset()
+	t.ghist = 0
+}

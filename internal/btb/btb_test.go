@@ -1,0 +1,120 @@
+package btb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLookupMissThenHit(t *testing.T) {
+	b := New(2048, 2)
+	if _, hit := b.Lookup(0x1000); hit {
+		t.Fatal("cold BTB hit")
+	}
+	b.Update(0x1000, 0x2000)
+	target, hit := b.Lookup(0x1000)
+	if !hit || target != 0x2000 {
+		t.Fatalf("lookup after update: hit=%v target=%#x", hit, target)
+	}
+}
+
+func TestUpdateRefreshesTarget(t *testing.T) {
+	b := New(64, 2)
+	b.Update(0x1000, 0x2000)
+	b.Update(0x1000, 0x3000)
+	target, hit := b.Lookup(0x1000)
+	if !hit || target != 0x3000 {
+		t.Fatalf("target not refreshed: hit=%v target=%#x", hit, target)
+	}
+}
+
+func TestAssociativityHoldsConflicts(t *testing.T) {
+	b := New(64, 2) // 32 sets
+	// Two PCs mapping to the same set coexist in a 2-way BTB.
+	pcA := uint64(0x1000)
+	pcB := pcA + 32*4
+	b.Update(pcA, 0xa)
+	b.Update(pcB, 0xb)
+	if _, hit := b.Lookup(pcA); !hit {
+		t.Error("way conflict evicted pcA in 2-way BTB")
+	}
+	if _, hit := b.Lookup(pcB); !hit {
+		t.Error("pcB missing")
+	}
+	// A third conflicting PC evicts the LRU entry.
+	pcC := pcA + 64*4
+	b.Lookup(pcA) // make A most recently used
+	b.Update(pcC, 0xc)
+	if _, hit := b.Lookup(pcB); hit {
+		t.Error("LRU entry pcB survived eviction")
+	}
+	if _, hit := b.Lookup(pcA); !hit {
+		t.Error("MRU entry pcA was evicted")
+	}
+}
+
+func TestStatsAndHitRate(t *testing.T) {
+	b := New(128, 2)
+	b.Update(0x1000, 0x2000)
+	b.Lookup(0x1000)
+	b.Lookup(0x9999000)
+	lookups, hits, misses, updates := b.Stats()
+	if lookups != 2 || hits != 1 || misses != 1 || updates != 1 {
+		t.Errorf("stats = %d/%d/%d/%d", lookups, hits, misses, updates)
+	}
+	if b.HitRate() != 0.5 {
+		t.Errorf("hit rate = %v", b.HitRate())
+	}
+	b.Reset()
+	if b.HitRate() != 0 {
+		t.Error("reset did not clear stats")
+	}
+	if _, hit := b.Lookup(0x1000); hit {
+		t.Error("reset did not invalidate entries")
+	}
+}
+
+func TestGeometryAccessors(t *testing.T) {
+	b := New(2048, 2)
+	if b.Sets() != 1024 || b.Ways() != 2 || b.Entries() != 2048 {
+		t.Errorf("geometry: %d sets, %d ways, %d entries", b.Sets(), b.Ways(), b.Entries())
+	}
+	if tb := b.TagBits(43); tb != 43-2-10 {
+		t.Errorf("TagBits(43) = %d", tb)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(100, 2) },
+		func() { New(64, 3) },
+		func() { New(0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad geometry accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestUpdateThenLookupProperty: any recently updated PC must hit with its
+// target as long as fewer than `ways` conflicting updates intervened.
+func TestUpdateThenLookupProperty(t *testing.T) {
+	f := func(pcs []uint32) bool {
+		b := New(256, 4)
+		for _, pc32 := range pcs {
+			pc := uint64(pc32) &^ 3
+			b.Update(pc, pc+8)
+			if target, hit := b.Lookup(pc); !hit || target != pc+8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

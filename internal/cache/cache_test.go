@@ -1,0 +1,254 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newHierarchy() (*Cache, *Cache, *MainMemory) {
+	mem := &MainMemory{Latency: 100}
+	l2 := New(Config{Name: "ul2", SizeBytes: 2 << 20, BlockBytes: 32, Ways: 4, HitLatency: 11, WriteBack: true}, mem)
+	l1 := New(Config{Name: "dl1", SizeBytes: 64 << 10, BlockBytes: 32, Ways: 2, HitLatency: 1, WriteBack: true}, l2)
+	return l1, l2, mem
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	l1, _, _ := newHierarchy()
+	lat := l1.Access(0x1000, false)
+	if lat != 1+11+100 {
+		t.Errorf("cold miss latency = %d, want 112", lat)
+	}
+	lat = l1.Access(0x1000, false)
+	if lat != 1 {
+		t.Errorf("hit latency = %d, want 1", lat)
+	}
+	s := l1.Stats()
+	if s.Accesses != 2 || s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestL2HitLatency(t *testing.T) {
+	l1, _, _ := newHierarchy()
+	l1.Access(0x1000, false)
+	// Evict 0x1000 from L1 by filling its set (2 ways); L2 still holds it.
+	sets := uint64(l1.Config().Sets())
+	l1.Access(0x1000+sets*32, false)
+	l1.Access(0x1000+2*sets*32, false)
+	lat := l1.Access(0x1000, false)
+	if lat != 1+11 {
+		t.Errorf("L2 hit latency = %d, want 12", lat)
+	}
+}
+
+func TestSpatialLocalitySameBlock(t *testing.T) {
+	l1, _, _ := newHierarchy()
+	l1.Access(0x1000, false)
+	if lat := l1.Access(0x101f, false); lat != 1 {
+		t.Errorf("same-block access latency = %d, want 1", lat)
+	}
+	if lat := l1.Access(0x1020, false); lat == 1 {
+		t.Error("next block should miss")
+	}
+}
+
+func TestWriteBackDirtyEviction(t *testing.T) {
+	l1, _, _ := newHierarchy()
+	l1.Access(0x1000, true) // dirty
+	sets := uint64(l1.Config().Sets())
+	l1.Access(0x1000+sets*32, false)
+	l1.Access(0x1000+2*sets*32, false) // evicts dirty 0x1000
+	if wb := l1.Stats().Writebacks; wb != 1 {
+		t.Errorf("writebacks = %d, want 1", wb)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	l1, _, _ := newHierarchy()
+	sets := uint64(l1.Config().Sets())
+	a, b, c := uint64(0x1000), uint64(0x1000)+sets*32, uint64(0x1000)+2*sets*32
+	l1.Access(a, false)
+	l1.Access(b, false)
+	l1.Access(a, false) // a is MRU
+	l1.Access(c, false) // evicts b
+	if !l1.Probe(a) {
+		t.Error("MRU line a evicted")
+	}
+	if l1.Probe(b) {
+		t.Error("LRU line b survived")
+	}
+	if !l1.Probe(c) {
+		t.Error("newly filled line c missing")
+	}
+}
+
+func TestOnRefillCallback(t *testing.T) {
+	l1, _, _ := newHierarchy()
+	var refills []uint64
+	var lineIdx []int
+	l1.OnRefill = func(block uint64, li int) {
+		refills = append(refills, block)
+		lineIdx = append(lineIdx, li)
+	}
+	l1.Access(0x1234, false)
+	l1.Access(0x1238, false) // same block, no refill
+	if len(refills) != 1 || refills[0] != 0x1220 {
+		t.Errorf("refills = %#v, want [0x1220]", refills)
+	}
+	if len(lineIdx) != 1 || lineIdx[0] != l1.LastLineIndex() {
+		t.Errorf("refill line index %v inconsistent with LastLineIndex %d", lineIdx, l1.LastLineIndex())
+	}
+	if l1.NumLines() != l1.Config().Sets()*l1.Config().Ways {
+		t.Errorf("NumLines = %d", l1.NumLines())
+	}
+}
+
+func TestProbeDoesNotDisturbState(t *testing.T) {
+	l1, _, _ := newHierarchy()
+	l1.Access(0x1000, false)
+	before := l1.Stats()
+	l1.Probe(0x1000)
+	l1.Probe(0x9999)
+	if l1.Stats() != before {
+		t.Error("Probe changed statistics")
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	l1, _, _ := newHierarchy()
+	l1.Access(0x1000, false)
+	l1.Reset()
+	if l1.Probe(0x1000) {
+		t.Error("Reset left valid lines")
+	}
+	if l1.Stats() != (Stats{}) {
+		t.Error("Reset left stats")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Name: "x", SizeBytes: 0, BlockBytes: 32, Ways: 2},
+		{Name: "x", SizeBytes: 1000, BlockBytes: 32, Ways: 2},
+		{Name: "x", SizeBytes: 64 << 10, BlockBytes: 24, Ways: 2},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v validated", c)
+		}
+	}
+	good := Config{Name: "x", SizeBytes: 64 << 10, BlockBytes: 32, Ways: 2, HitLatency: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+	if good.Sets() != 1024 {
+		t.Errorf("Sets = %d", good.Sets())
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	s := Stats{Accesses: 10, Misses: 3}
+	if s.MissRate() != 0.3 {
+		t.Errorf("MissRate = %v", s.MissRate())
+	}
+	if (Stats{}).MissRate() != 0 {
+		t.Error("empty MissRate not 0")
+	}
+}
+
+func TestFootprintDrivesMissRate(t *testing.T) {
+	// A stream confined to 32KB fits the 64KB L1; a 1MB stream does not.
+	small, _, _ := newHierarchy()
+	big, _, _ := newHierarchy()
+	for i := 0; i < 100000; i++ {
+		small.Access(uint64(i*64)%(32<<10), false)
+		big.Access(uint64(i*64)%(1<<20), false)
+	}
+	if smallMR := small.Stats().MissRate(); smallMR > 0.02 {
+		t.Errorf("32KB footprint miss rate %.4f, want ~0", smallMR)
+	}
+	if bigMR := big.Stats().MissRate(); bigMR < 0.5 {
+		t.Errorf("1MB strided footprint miss rate %.4f, want high", bigMR)
+	}
+}
+
+func TestTLBHitMiss(t *testing.T) {
+	tlb := NewTLB(128, 8192, 30)
+	if lat := tlb.Access(0x10000); lat != 30 {
+		t.Errorf("cold TLB access latency = %d, want 30", lat)
+	}
+	if lat := tlb.Access(0x10000 + 4096); lat != 0 {
+		t.Errorf("same-page access latency = %d, want 0", lat)
+	}
+	if lat := tlb.Access(0x20000); lat != 30 {
+		t.Errorf("new page latency = %d, want 30", lat)
+	}
+	s := tlb.Stats()
+	if s.Accesses != 3 || s.Hits != 1 || s.Misses != 2 {
+		t.Errorf("TLB stats = %+v", s)
+	}
+}
+
+func TestTLBLRUCapacity(t *testing.T) {
+	tlb := NewTLB(4, 8192, 30)
+	for p := uint64(0); p < 4; p++ {
+		tlb.Access(p * 8192)
+	}
+	tlb.Access(0)        // page 0 MRU
+	tlb.Access(4 * 8192) // evicts page 1
+	if lat := tlb.Access(0); lat != 0 {
+		t.Error("MRU page evicted")
+	}
+	if lat := tlb.Access(1 * 8192); lat != 30 {
+		t.Error("LRU page survived")
+	}
+}
+
+func TestTLBReset(t *testing.T) {
+	tlb := NewTLB(16, 8192, 30)
+	tlb.Access(0x1000)
+	tlb.Reset()
+	if tlb.Stats() != (Stats{}) {
+		t.Error("Reset left stats")
+	}
+	if lat := tlb.Access(0x1000); lat != 30 {
+		t.Error("Reset left entries")
+	}
+}
+
+func TestMainMemoryCounts(t *testing.T) {
+	m := &MainMemory{Latency: 100}
+	if m.Access(0, false) != 100 || m.Access(4, true) != 100 {
+		t.Error("memory latency wrong")
+	}
+	if m.Accesses != 2 {
+		t.Errorf("memory accesses = %d", m.Accesses)
+	}
+}
+
+// TestAccessedBlocksProbeHit: property — immediately after any access, the
+// block probes as resident.
+func TestAccessedBlocksProbeHit(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		l1, _, _ := newHierarchy()
+		for _, a := range addrs {
+			l1.Access(uint64(a), a%2 == 0)
+			if !l1.Probe(uint64(a)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid cache geometry accepted")
+		}
+	}()
+	New(Config{Name: "bad", SizeBytes: 100, BlockBytes: 32, Ways: 2}, &MainMemory{Latency: 1})
+}

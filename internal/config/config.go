@@ -1,0 +1,105 @@
+// Package config holds the simulated processor configuration of the paper's
+// Table 1, which matches an Alpha 21264 as closely as possible (with a
+// separate 2K-entry 2-way BTB instead of the 21264's integrated next-line
+// predictor, as most contemporary processors used one).
+package config
+
+import "bpredpower/internal/cache"
+
+// Processor is the full machine configuration.
+type Processor struct {
+	// RUUSize is the register update unit (instruction window) capacity.
+	RUUSize int
+	// LSQSize is the load/store queue capacity.
+	LSQSize int
+	// IssueWidth is instructions issued per cycle (6: 4 integer + 2 FP).
+	IssueWidth int
+	// IntIssue and FPIssue split the issue width.
+	IntIssue, FPIssue int
+	// DecodeWidth is instructions decoded/dispatched per cycle.
+	DecodeWidth int
+	// CommitWidth is instructions retired per cycle.
+	CommitWidth int
+	// FetchWidth is the maximum instructions fetched per cycle.
+	FetchWidth int
+	// FetchBuffer is the fetch queue capacity (8 entries).
+	FetchBuffer int
+	// ExtraStages are the additional pipeline stages Wattch inserts between
+	// decode and issue to model 21264-style rename/enqueue depth (3 stages,
+	// for a total pipeline length of 8 cycles).
+	ExtraStages int
+
+	// Functional unit counts.
+	IntALU, IntMultDiv, FPALU, FPMultDiv, MemPorts int
+
+	// Memory hierarchy.
+	IL1, DL1, L2 cache.Config
+	// MemLatency is main memory latency in cycles.
+	MemLatency int
+	// TLBEntries, TLBMissPenalty, PageBytes configure the (fully
+	// associative) I- and D-TLBs.
+	TLBEntries     int
+	TLBMissPenalty int
+	PageBytes      uint64
+
+	// Branch handling.
+	BTBEntries, BTBWays int
+	RASEntries          int
+	// RedirectBubble is the extra fetch-stall after a branch resolves wrong,
+	// on top of the natural pipeline-refill delay (the mispredicted
+	// instruction's successors re-traverse the full 8-stage front end).
+	RedirectBubble int
+
+	// ClockHz and Vdd set the operating point (1200 MHz, 2.0 V).
+	ClockHz float64
+	Vdd     float64
+
+	// VAddrBits sizes BTB/cache tags.
+	VAddrBits int
+}
+
+// Default returns the paper's Table 1 configuration.
+func Default() Processor {
+	return Processor{
+		RUUSize:     80,
+		LSQSize:     40,
+		IssueWidth:  6,
+		IntIssue:    4,
+		FPIssue:     2,
+		DecodeWidth: 6,
+		CommitWidth: 6,
+		FetchWidth:  8,
+		FetchBuffer: 8,
+		ExtraStages: 3,
+
+		IntALU:     4,
+		IntMultDiv: 1,
+		FPALU:      2,
+		FPMultDiv:  1,
+		MemPorts:   2,
+
+		IL1: cache.Config{Name: "il1", SizeBytes: 64 << 10, BlockBytes: 32, Ways: 2, HitLatency: 1, WriteBack: true},
+		DL1: cache.Config{Name: "dl1", SizeBytes: 64 << 10, BlockBytes: 32, Ways: 2, HitLatency: 1, WriteBack: true},
+		L2:  cache.Config{Name: "ul2", SizeBytes: 2 << 20, BlockBytes: 32, Ways: 4, HitLatency: 11, WriteBack: true},
+
+		MemLatency:     100,
+		TLBEntries:     128,
+		TLBMissPenalty: 30,
+		PageBytes:      8192,
+
+		BTBEntries:     2048,
+		BTBWays:        2,
+		RASEntries:     32,
+		RedirectBubble: 2,
+
+		ClockHz:   1.2e9,
+		Vdd:       2.0,
+		VAddrBits: 32,
+	}
+}
+
+// PipelineLength returns the total pipeline depth in cycles.
+func (p Processor) PipelineLength() int { return 5 + p.ExtraStages }
+
+// CycleSeconds returns the clock period.
+func (p Processor) CycleSeconds() float64 { return 1 / p.ClockHz }

@@ -1,0 +1,66 @@
+package config
+
+import "testing"
+
+func TestDefaultMatchesTable1(t *testing.T) {
+	c := Default()
+	if c.RUUSize != 80 || c.LSQSize != 40 {
+		t.Errorf("window: RUU=%d LSQ=%d", c.RUUSize, c.LSQSize)
+	}
+	if c.IssueWidth != 6 || c.IntIssue != 4 || c.FPIssue != 2 {
+		t.Error("issue widths wrong")
+	}
+	if c.PipelineLength() != 8 {
+		t.Errorf("pipeline length = %d, want 8", c.PipelineLength())
+	}
+	if c.FetchBuffer != 8 {
+		t.Errorf("fetch buffer = %d", c.FetchBuffer)
+	}
+	if c.IntALU != 4 || c.IntMultDiv != 1 || c.FPALU != 2 || c.FPMultDiv != 1 || c.MemPorts != 2 {
+		t.Error("functional unit mix wrong")
+	}
+	if c.IL1.SizeBytes != 64<<10 || c.IL1.Ways != 2 || c.IL1.BlockBytes != 32 || c.IL1.HitLatency != 1 {
+		t.Error("I-cache config wrong")
+	}
+	if c.DL1.SizeBytes != 64<<10 || !c.DL1.WriteBack {
+		t.Error("D-cache config wrong")
+	}
+	if c.L2.SizeBytes != 2<<20 || c.L2.Ways != 4 || c.L2.HitLatency != 11 {
+		t.Error("L2 config wrong")
+	}
+	if c.MemLatency != 100 {
+		t.Errorf("memory latency = %d", c.MemLatency)
+	}
+	if c.TLBEntries != 128 || c.TLBMissPenalty != 30 {
+		t.Error("TLB config wrong")
+	}
+	if c.BTBEntries != 2048 || c.BTBWays != 2 {
+		t.Error("BTB config wrong")
+	}
+	if c.RASEntries != 32 {
+		t.Error("RAS size wrong")
+	}
+	if c.ClockHz != 1.2e9 || c.Vdd != 2.0 {
+		t.Error("operating point wrong")
+	}
+}
+
+func TestCacheConfigsValidate(t *testing.T) {
+	c := Default()
+	if err := c.IL1.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := c.DL1.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := c.L2.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCycleSeconds(t *testing.T) {
+	c := Default()
+	if got := c.CycleSeconds(); got <= 0.8e-9 || got >= 0.9e-9 {
+		t.Errorf("cycle = %v s, want ~0.833ns", got)
+	}
+}

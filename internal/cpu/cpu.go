@@ -1,0 +1,343 @@
+// Package cpu is the cycle-level out-of-order processor model: a
+// from-scratch implementation of the paper's simulation substrate
+// (SimpleScalar sim-outorder as extended by Wattch and by the authors).
+//
+// The pipeline is 8 stages: fetch, decode, three extra rename/enqueue stages
+// (the Wattch extension matching the Alpha 21264's depth), issue, writeback,
+// and commit. The machine is configured by package config's Table 1
+// defaults: an 80-entry RUU, 40-entry LSQ, 6-wide issue (4 int + 2 FP), the
+// Table 1 functional unit mix and memory hierarchy.
+//
+// The front end models the paper's key accounting decision: the direction
+// predictor and BTB are charged one lookup for *every cycle in which the
+// fetch engine is active*, because they are accessed in parallel with the
+// I-cache before anything is known about the fetched bits. The prediction
+// probe detector (package ppd) gates exactly those charges.
+//
+// Execution follows an architectural oracle (package program's Walker) on
+// the correct path and fetches real wrong-path instructions from the static
+// code image after a misprediction, so mis-speculated work — the paper's
+// central energy lever — is simulated, not approximated.
+package cpu
+
+import (
+	"fmt"
+
+	"bpredpower/internal/bpred"
+	"bpredpower/internal/btb"
+	"bpredpower/internal/cache"
+	"bpredpower/internal/config"
+	"bpredpower/internal/gating"
+	"bpredpower/internal/isa"
+	"bpredpower/internal/power"
+	"bpredpower/internal/ppd"
+	"bpredpower/internal/program"
+	"bpredpower/internal/ras"
+)
+
+// Options selects the machine variant to simulate.
+type Options struct {
+	// Config is the processor configuration (config.Default() when zero).
+	Config config.Processor
+	// Predictor is the direction-predictor configuration.
+	Predictor bpred.Spec
+	// BankedPredictor banks the direction-predictor tables per Table 3
+	// (power accounting only; banking never changes predictions).
+	BankedPredictor bool
+	// PPD enables the prediction probe detector in the given timing
+	// scenario.
+	PPD ppd.Scenario
+	// Gating configures pipeline gating (requires a hybrid predictor for
+	// the "both strong" confidence estimator).
+	Gating gating.Config
+	// OldArrayModel selects the original Wattch 1.02 array power model
+	// (without column decoders) instead of the paper's extended model.
+	OldArrayModel bool
+	// SquarifyClosest selects Wattch's closest-to-square organization
+	// instead of the paper's min-EDP squarification.
+	SquarifyClosest bool
+	// LinePredictor replaces the separate BTB with a 21264-style next-line
+	// predictor: an untagged, line-granularity target table integrated with
+	// the I-cache (Calder & Grunwald), the arrangement the paper notes as
+	// the real 21264's "most important difference" from its model.
+	LinePredictor bool
+	// ClockGating selects the Wattch conditional-clocking style (default
+	// CC3, the paper's "non-ideal aggressive clock gating").
+	ClockGating power.GatingStyle
+	// ChargeLookupsPerBranch is an ablation of the paper's fetch-engine
+	// accounting: instead of charging one predictor + BTB lookup per active
+	// fetch cycle (the paper's model — the structures are probed before the
+	// fetched bits are known), charge only when a control instruction is
+	// actually predicted. This understates front-end power the way Wattch
+	// 1.02 did before the authors' extension.
+	ChargeLookupsPerBranch bool
+}
+
+type entryState uint8
+
+const (
+	stDispatched entryState = iota
+	stIssued
+	stDone
+)
+
+// robEntry is one in-flight instruction (also used for fetch-queue slots).
+type robEntry struct {
+	si        *isa.StaticInst
+	wrongPath bool
+	fetchSeq  uint64
+	readyAt   uint64 // cycle the front-end pipe delivers it to dispatch
+
+	// Control-flow bookkeeping.
+	isCond, isCtl bool
+	hasPred       bool
+	pred          bpred.Prediction
+	hasRAS        bool
+	rasSnap       ras.Snapshot
+	predTaken     bool
+	predNext      uint64 // where fetch proceeded after this instruction
+	actualTaken   bool
+	actualNext    uint64
+	lowConf       bool
+	resolved      bool
+
+	// Execution bookkeeping.
+	state    entryState
+	doneAt   uint64
+	dep1     int64 // rob IDs of producers (-1 = ready)
+	dep2     int64
+	prevProd int64 // previous producer of si.Dest, for rename rollback
+	isMem    bool
+	memAddr  uint64
+}
+
+// Sim is one simulated machine bound to one program.
+type Sim struct {
+	opt  Options
+	cfg  config.Processor
+	prog *program.Program
+
+	walker *program.Walker
+	pred   bpred.Predictor
+	btb    *btb.BTB
+	ras    *ras.RAS
+	ppd    *ppd.PPD
+	gate   *gating.Gate
+
+	il1, dl1, l2 *cache.Cache
+	itlb, dtlb   *cache.TLB
+	mem          *cache.MainMemory
+
+	meter *power.Meter
+	pw    powerUnits
+
+	cycle uint64
+
+	// Fetch state.
+	fetchPC         uint64
+	onWrongPath     bool
+	fetchHalted     bool // wrong path ran off the code image
+	fetchStallUntil uint64
+	fetchSeq        uint64
+	fetchQueue      []robEntry
+
+	// ROB (RUU) as a ring buffer; robID % size is the slot.
+	rob      []robEntry
+	headID   int64
+	tailID   int64
+	lsqUsed  int
+	regProd  [isa.NumArchRegs]int64
+	divBusy  uint64 // integer divider busy-until cycle
+	fdivBusy uint64 // FP divider busy-until cycle
+
+	// lastL2Accesses snapshots the shared L2's access counter so per-cycle
+	// deltas can be charged to the L2 power unit.
+	lastL2Accesses uint64
+
+	// linePred is the 21264-style next-line target table (one untagged
+	// entry per I-cache line) used instead of the BTB when
+	// Options.LinePredictor is set.
+	linePred      []uint64
+	linePredValid []bool
+
+	stats Stats
+}
+
+// New builds a simulator for prog under opt.
+func New(prog *program.Program, opt Options) (*Sim, error) {
+	if prog == nil {
+		return nil, fmt.Errorf("cpu: nil program")
+	}
+	cfg := opt.Config
+	if cfg.RUUSize == 0 {
+		cfg = config.Default()
+	}
+	if opt.Predictor.Name == "" {
+		opt.Predictor = bpred.Hybrid1
+	}
+	if opt.Gating.Enabled && opt.Gating.Estimator == gating.EstimatorBothStrong && opt.Predictor.Kind != bpred.KindHybrid {
+		return nil, fmt.Errorf("cpu: 'both strong' confidence estimation requires a hybrid predictor (use the JRS or perfect estimator for other kinds)")
+	}
+
+	s := &Sim{
+		opt:    opt,
+		cfg:    cfg,
+		prog:   prog,
+		walker: program.NewWalker(prog),
+		pred:   opt.Predictor.Build(),
+		btb:    btb.New(cfg.BTBEntries, cfg.BTBWays),
+		ras:    ras.New(cfg.RASEntries),
+		gate:   gating.New(opt.Gating),
+		mem:    &cache.MainMemory{Latency: cfg.MemLatency},
+		rob:    make([]robEntry, cfg.RUUSize),
+	}
+	s.l2 = cache.New(cfg.L2, s.mem)
+	s.il1 = cache.New(cfg.IL1, s.l2)
+	s.dl1 = cache.New(cfg.DL1, s.l2)
+	s.itlb = cache.NewTLB(cfg.TLBEntries, cfg.PageBytes, cfg.TLBMissPenalty)
+	s.dtlb = cache.NewTLB(cfg.TLBEntries, cfg.PageBytes, cfg.TLBMissPenalty)
+
+	if opt.LinePredictor {
+		s.linePred = make([]uint64, s.il1.NumLines())
+		s.linePredValid = make([]bool, s.il1.NumLines())
+	}
+	if opt.PPD != ppd.Off {
+		s.ppd = ppd.New(s.il1.NumLines())
+		s.il1.OnRefill = func(blockAddr uint64, lineIndex int) {
+			hasCond, hasCtl := s.predecode(blockAddr)
+			s.ppd.Fill(lineIndex, hasCond, hasCtl)
+		}
+	}
+
+	s.buildPowerModel()
+
+	s.fetchPC = prog.Entry
+	for i := range s.regProd {
+		s.regProd[i] = -1
+	}
+	return s, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(prog *program.Program, opt Options) *Sim {
+	s, err := New(prog, opt)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// predecode scans the I-cache line at blockAddr in the static image and
+// reports whether it contains conditional branches / any control flow —
+// the pre-decode information the PPD stores at refill.
+func (s *Sim) predecode(blockAddr uint64) (hasCond, hasCtl bool) {
+	n := s.cfg.IL1.BlockBytes / isa.InstBytes
+	for i := 0; i < n; i++ {
+		si := s.prog.InstAt(blockAddr + uint64(i*isa.InstBytes))
+		if si == nil {
+			continue
+		}
+		if si.Class.IsCondBranch() {
+			hasCond = true
+			hasCtl = true
+		} else if si.Class.IsControl() {
+			hasCtl = true
+		}
+	}
+	return hasCond, hasCtl
+}
+
+// Config returns the simulated processor configuration.
+func (s *Sim) Config() config.Processor { return s.cfg }
+
+// Predictor returns the direction predictor instance.
+func (s *Sim) Predictor() bpred.Predictor { return s.pred }
+
+// Meter returns the power meter.
+func (s *Sim) Meter() *power.Meter { return s.meter }
+
+// Stats returns the accumulated statistics.
+func (s *Sim) Stats() *Stats { return &s.stats }
+
+// BTB returns the branch target buffer (for inspection).
+func (s *Sim) BTB() *btb.BTB { return s.btb }
+
+// PPDStats returns PPD probe statistics (zeroes when the PPD is off).
+func (s *Sim) PPDStats() (probes, dirAvoided, btbAvoided uint64) {
+	if s.ppd == nil {
+		return 0, 0, 0
+	}
+	return s.ppd.Stats()
+}
+
+// Cycle returns the current cycle number.
+func (s *Sim) Cycle() uint64 { return s.cycle }
+
+// lineSlot maps an address to its next-line predictor entry (untagged,
+// direct-mapped by cache-line address bits — aliasing is a real line
+// predictor's failure mode and is modelled, not hidden).
+func (s *Sim) lineSlot(pc uint64) int {
+	return int((pc / uint64(s.cfg.IL1.BlockBytes)) % uint64(len(s.linePred)))
+}
+
+// targetLookup consults the configured target mechanism (BTB or next-line
+// predictor) for the control instruction at pc.
+func (s *Sim) targetLookup(pc uint64) (uint64, bool) {
+	if s.linePred != nil {
+		i := s.lineSlot(pc)
+		if !s.linePredValid[i] {
+			return 0, false
+		}
+		return s.linePred[i], true
+	}
+	return s.btb.Lookup(pc)
+}
+
+// targetUpdate trains the target mechanism at commit of a taken control
+// transfer.
+func (s *Sim) targetUpdate(pc, target uint64) {
+	if s.linePred != nil {
+		i := s.lineSlot(pc)
+		s.linePred[i] = target
+		s.linePredValid[i] = true
+		return
+	}
+	s.btb.Update(pc, target)
+}
+
+// robCount returns the number of in-flight entries.
+func (s *Sim) robCount() int { return int(s.tailID - s.headID) }
+
+func (s *Sim) slot(id int64) *robEntry { return &s.rob[id%int64(len(s.rob))] }
+
+// Run simulates until n more instructions commit (or the cycle limit of
+// 400 cycles per requested instruction is hit, a safety net against
+// pathological configurations).
+func (s *Sim) Run(n uint64) {
+	target := s.stats.Committed + n
+	limit := s.cycle + n*400 + 10000
+	for s.stats.Committed < target && s.cycle < limit {
+		s.step()
+	}
+}
+
+// ResetMeasurement clears statistics and accumulated energy while keeping
+// all microarchitectural state warm — call after a warm-up run.
+func (s *Sim) ResetMeasurement() {
+	s.stats = Stats{}
+	s.meter.Reset()
+}
+
+// step advances one cycle: commit and writeback/resolve see the machine
+// state produced by earlier cycles, then issue, dispatch, and fetch refill
+// it. Power activity is folded at the end of the cycle.
+func (s *Sim) step() {
+	s.writebackAndResolve()
+	s.commit()
+	s.issue()
+	s.dispatch()
+	s.fetch()
+	s.meter.EndCycle()
+	s.stats.Cycles++
+	s.cycle++
+}

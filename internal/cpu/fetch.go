@@ -1,0 +1,282 @@
+package cpu
+
+import (
+	"bpredpower/internal/bpred"
+	"bpredpower/internal/gating"
+	"bpredpower/internal/isa"
+	"bpredpower/internal/ppd"
+	"bpredpower/internal/program"
+)
+
+// fetch models the front end for one cycle: at most one I-cache line
+// access, up to FetchWidth instructions, stopping at a predicted-taken
+// control transfer, the cache-line boundary, or a full fetch buffer.
+//
+// Per the paper's extended fetch engine, every *active* fetch cycle charges
+// one direction-predictor lookup and one BTB lookup (they are accessed in
+// parallel with the I-cache), unless the PPD's pre-decode bits prove the
+// line needs neither.
+func (s *Sim) fetch() {
+	if s.cycle < s.fetchStallUntil || s.fetchHalted {
+		return
+	}
+	if s.gate.ShouldStallFetch() {
+		s.gate.NoteGatedCycle()
+		s.stats.GatedCycles++
+		return
+	}
+	// The front end holds the fetch buffer plus the instructions latched in
+	// the decode and extra rename/enqueue stages (DecodeWidth per stage).
+	// Modelling the capacity without the per-stage latches would let
+	// Little's law cap throughput at FetchBuffer / pipe-depth.
+	frontEndCap := s.cfg.FetchBuffer + s.cfg.DecodeWidth*(1+s.cfg.ExtraStages)
+	if len(s.fetchQueue) >= frontEndCap {
+		return
+	}
+
+	// Active fetch cycle: access I-cache (and ITLB) for the current line.
+	s.stats.FetchCycles++
+	lat := s.il1.Access(s.fetchPC, false)
+	lat += s.itlb.Access(s.fetchPC)
+	lineIdx := s.il1.LastLineIndex()
+	s.chargeFetch(lineIdx)
+	if lat > s.cfg.IL1.HitLatency {
+		// Miss: the line arrives later; fetch resumes then.
+		s.fetchStallUntil = s.cycle + uint64(lat)
+		s.stats.ICacheMissCycles += uint64(lat)
+		return
+	}
+
+	lineBytes := uint64(s.cfg.IL1.BlockBytes)
+	lineEnd := (s.fetchPC &^ (lineBytes - 1)) + lineBytes
+	budget := s.cfg.FetchWidth
+	frontEndCap = s.cfg.FetchBuffer + s.cfg.DecodeWidth*(1+s.cfg.ExtraStages)
+
+	for budget > 0 && len(s.fetchQueue) < frontEndCap && s.fetchPC < lineEnd {
+		stop := s.fetchOne()
+		budget--
+		if stop {
+			break
+		}
+	}
+}
+
+// fetchOne fetches the instruction at fetchPC, predicts it if it is a
+// control transfer, appends it to the fetch queue, and advances fetchPC.
+// It returns true when fetch must end this cycle (taken prediction,
+// misfetch bubble, or wrong path running off the image).
+func (s *Sim) fetchOne() (stop bool) {
+	e := robEntry{
+		fetchSeq: s.fetchSeq,
+		readyAt:  s.cycle + 1 + uint64(s.cfg.ExtraStages),
+		dep1:     -1, dep2: -1, prevProd: -1,
+	}
+	s.fetchSeq++
+
+	if s.onWrongPath {
+		si := s.prog.InstAt(s.fetchPC)
+		if si == nil {
+			// Wrong path left the code image: fetch idles until redirect.
+			s.fetchHalted = true
+			return true
+		}
+		e.si = si
+		e.wrongPath = true
+		s.stats.WrongPathFetched++
+	} else {
+		if s.walker.PC() != s.fetchPC {
+			panic("cpu: correct-path fetch diverged from the architectural walker")
+		}
+		st := s.walker.Step()
+		e.si = st.SI
+		e.actualTaken = st.Taken
+		e.actualNext = st.NextPC
+		e.memAddr = st.MemAddr
+	}
+	s.stats.Fetched++
+
+	si := e.si
+	e.isCond = si.Class.IsCondBranch()
+	e.isCtl = si.Class.IsControl()
+	e.isMem = si.Class.IsMem()
+	if e.wrongPath && e.isMem {
+		e.memAddr = program.WrongPathMemAddr(s.prog, si, e.fetchSeq)
+	}
+
+	next := si.NextPC()
+	stopAfter := false
+	if e.isCtl {
+		next, stopAfter = s.predictControl(&e)
+	}
+	e.predNext = next
+
+	// Wrong-path control flow: synthesize plausible outcomes so wrong-path
+	// branches resolve and can re-redirect within the wrong path.
+	if e.wrongPath {
+		switch {
+		case e.isCond:
+			e.actualTaken = program.WrongPathOutcome(s.prog.Seed, si.PC, e.fetchSeq)
+			if e.actualTaken {
+				e.actualNext = si.Target
+			} else {
+				e.actualNext = si.NextPC()
+			}
+		case si.Class == isa.ClassReturn:
+			// No architectural stack to consult; treat the RAS prediction
+			// as correct so wrong-path returns never re-redirect.
+			e.actualTaken = true
+			e.actualNext = e.predNext
+		case e.isCtl:
+			e.actualTaken = true
+			e.actualNext = si.Target
+		default:
+			e.actualNext = si.NextPC()
+		}
+	}
+
+	// Detect fetch leaving the correct path.
+	if !e.wrongPath && e.predNext != e.actualNext {
+		s.onWrongPath = true
+	}
+
+	s.fetchQueue = append(s.fetchQueue, e)
+	s.fetchPC = e.predNext
+	return stopAfter || (e.isCtl && e.predNext != si.NextPC())
+}
+
+// predictControl runs the front-end prediction machinery for a control
+// instruction: direction predictor for conditional branches, BTB for taken
+// targets, RAS for calls and returns. It returns the next fetch PC and
+// whether fetch must stop after this instruction.
+func (s *Sim) predictControl(e *robEntry) (next uint64, stop bool) {
+	si := e.si
+	pc := si.PC
+	if s.opt.ChargeLookupsPerBranch && si.Class.IsControl() {
+		if si.Class.IsCondBranch() {
+			for _, u := range s.pw.predTables {
+				u.Read(1)
+			}
+		}
+		for _, u := range s.pw.targetUnits {
+			u.Read(1)
+		}
+	}
+	switch si.Class {
+	case isa.ClassBranch:
+		pr := s.pred.Lookup(pc)
+		e.pred = pr
+		e.hasPred = true
+		e.predTaken = pr.Taken
+		e.rasSnap = s.ras.Checkpoint()
+		e.hasRAS = true
+		e.lowConf = s.gate.Enabled() && !s.highConfidence(e, pr)
+		s.gate.OnFetchBranch(!e.lowConf)
+		if e.lowConf {
+			s.stats.LowConfFetched++
+		}
+		if !pr.Taken {
+			return si.NextPC(), false
+		}
+		if target, hit := s.targetLookup(pc); hit && target == si.Target {
+			return target, true
+		}
+		// Target-mechanism miss (or a stale/aliased next-line entry) on a
+		// predicted-taken direct branch: the decoder computes the target one
+		// cycle later — a misfetch bubble.
+		s.misfetch()
+		return si.Target, true
+
+	case isa.ClassJump:
+		e.predTaken = true
+		if target, hit := s.targetLookup(pc); hit && target == si.Target {
+			return si.Target, true
+		}
+		s.misfetch()
+		return si.Target, true
+
+	case isa.ClassCall:
+		e.predTaken = true
+		s.ras.Push(si.NextPC())
+		s.pw.rasUnit.Write(1)
+		if target, hit := s.targetLookup(pc); hit && target == si.Target {
+			return si.Target, true
+		}
+		s.misfetch()
+		return si.Target, true
+
+	case isa.ClassReturn:
+		e.predTaken = true
+		e.rasSnap = s.ras.Checkpoint()
+		e.hasRAS = true
+		target := s.ras.Pop()
+		s.pw.rasUnit.Read(1)
+		return target, true
+	}
+	return si.NextPC(), false
+}
+
+// highConfidence applies the configured confidence estimator to a fetched
+// conditional branch prediction.
+func (s *Sim) highConfidence(e *robEntry, pr bpred.Prediction) bool {
+	switch s.gate.Config().Estimator {
+	case gating.EstimatorJRS:
+		return s.gate.JRSTable().HighConfidence(e.si.PC)
+	case gating.EstimatorPerfect:
+		// Oracle: for wrong-path branches the actual outcome is not yet
+		// synthesized at this point; treat them as low confidence, which is
+		// what a perfect estimator would effectively do on a wrong path.
+		return !e.wrongPath && pr.Taken == e.actualTaken
+	default:
+		return pr.BothStrong
+	}
+}
+
+// misfetch records a BTB miss on a predicted-taken direct control transfer:
+// the decoder supplies the target one cycle later, so fetch skips a cycle.
+func (s *Sim) misfetch() {
+	s.stats.BTBMisfetches++
+	if s.fetchStallUntil < s.cycle+2 {
+		s.fetchStallUntil = s.cycle + 2
+	}
+}
+
+// chargeFetch charges the per-active-cycle front-end power: I-cache, ITLB,
+// PPD (when present), and — unless the PPD proves them unnecessary — the
+// direction predictor and BTB.
+func (s *Sim) chargeFetch(lineIdx int) {
+	s.pw.il1Data.Read(1)
+	s.pw.il1Tag.Read(1)
+	s.pw.itlbUnit.Read(1)
+
+	if s.opt.ChargeLookupsPerBranch {
+		// Ablation: per-branch charging happens in predictControl instead.
+		return
+	}
+	needDir, needBTB := true, true
+	if s.ppd != nil {
+		s.pw.ppdUnit.Read(1)
+		needDir, needBTB = s.ppd.Probe(lineIdx)
+	}
+	switch {
+	case needDir:
+		for _, u := range s.pw.predTables {
+			u.Read(1)
+		}
+		s.stats.DirLookupCycles++
+	case s.opt.PPD == ppd.Scenario2:
+		for _, u := range s.pw.predTables {
+			u.Partial(1)
+		}
+	}
+	switch {
+	case needBTB:
+		for _, u := range s.pw.targetUnits {
+			u.Read(1)
+		}
+		s.stats.BTBLookupCycles++
+	case s.opt.PPD == ppd.Scenario2:
+		for _, u := range s.pw.targetUnits {
+			u.Partial(1)
+		}
+	}
+}

@@ -1,0 +1,329 @@
+package cpu
+
+import "bpredpower/internal/isa"
+
+// latency returns the execution latency of an operation class. Loads add
+// their memory latency at issue; stores retire through the LSQ at commit.
+func latency(c isa.Class) uint64 {
+	switch c {
+	case isa.ClassIntALU, isa.ClassNop, isa.ClassBranch, isa.ClassJump,
+		isa.ClassCall, isa.ClassReturn, isa.ClassStore:
+		return 1
+	case isa.ClassIntMult:
+		return 3
+	case isa.ClassIntDiv:
+		return 20
+	case isa.ClassFPALU:
+		return 2
+	case isa.ClassFPMult:
+		return 4
+	case isa.ClassFPDiv:
+		return 12
+	case isa.ClassLoad:
+		return 1 // plus the D-cache access, added at issue
+	}
+	return 1
+}
+
+// dispatch moves up to DecodeWidth instructions whose front-end delay has
+// elapsed from the fetch queue into the RUU (and LSQ for memory ops),
+// renaming their register operands.
+func (s *Sim) dispatch() {
+	n := 0
+	for n < s.cfg.DecodeWidth && len(s.fetchQueue) > 0 {
+		e := &s.fetchQueue[0]
+		if s.cycle < e.readyAt {
+			break
+		}
+		if s.robCount() >= len(s.rob) {
+			break
+		}
+		if e.isMem && s.lsqUsed >= s.cfg.LSQSize {
+			break
+		}
+		ent := s.fetchQueue[0]
+		s.fetchQueue = s.fetchQueue[1:]
+
+		// Rename: record producers of the sources, become producer of dest.
+		ent.state = stDispatched
+		ent.dep1 = s.producerOf(ent.si.Src1)
+		ent.dep2 = s.producerOf(ent.si.Src2)
+		if d := ent.si.Dest; d != isa.RegZero {
+			ent.prevProd = s.regProd[d]
+			s.regProd[d] = s.tailID
+		}
+		if ent.isMem {
+			s.lsqUsed++
+			s.pw.lsqUnit.Write(1)
+		}
+		*s.slot(s.tailID) = ent
+		s.tailID++
+		n++
+
+		s.pw.renameUnit.Read(1)
+		s.pw.windowUnit.Write(1)
+		s.stats.Dispatched++
+	}
+}
+
+// producerOf returns the rob ID of the in-flight producer of reg, or -1.
+func (s *Sim) producerOf(reg uint8) int64 {
+	if reg == isa.RegZero {
+		return -1
+	}
+	p := s.regProd[reg]
+	if p < s.headID {
+		return -1 // already committed
+	}
+	return p
+}
+
+// ready reports whether the entry's source operands are available.
+func (s *Sim) ready(e *robEntry) bool {
+	return s.depDone(e.dep1) && s.depDone(e.dep2)
+}
+
+func (s *Sim) depDone(id int64) bool {
+	if id < 0 || id < s.headID {
+		return true
+	}
+	p := s.slot(id)
+	return p.state == stDone && p.doneAt <= s.cycle
+}
+
+// issue selects up to IssueWidth ready instructions (4 int + 2 FP, bounded
+// by memory ports and divider occupancy), oldest first, and starts their
+// execution.
+func (s *Sim) issue() {
+	intLeft := s.cfg.IntIssue
+	fpLeft := s.cfg.FPIssue
+	memLeft := s.cfg.MemPorts
+	total := s.cfg.IssueWidth
+
+	for id := s.headID; id < s.tailID && total > 0; id++ {
+		e := s.slot(id)
+		if e.state != stDispatched || s.cycle < e.readyAt+1 || !s.ready(e) {
+			continue
+		}
+		c := e.si.Class
+		fp := c.IsFP()
+		if fp && fpLeft == 0 {
+			continue
+		}
+		if !fp && intLeft == 0 {
+			continue
+		}
+		if e.isMem && memLeft == 0 {
+			continue
+		}
+		// Unpipelined dividers.
+		switch c {
+		case isa.ClassIntDiv:
+			if s.divBusy > s.cycle {
+				continue
+			}
+			s.divBusy = s.cycle + latency(c)
+		case isa.ClassFPDiv:
+			if s.fdivBusy > s.cycle {
+				continue
+			}
+			s.fdivBusy = s.cycle + latency(c)
+		}
+
+		lat := latency(c)
+		if c == isa.ClassLoad {
+			dlat := s.dl1.Access(e.memAddr, false)
+			dlat += s.dtlb.Access(e.memAddr)
+			lat += uint64(dlat)
+			s.pw.dl1Data.Read(1)
+			s.pw.dl1Tag.Read(1)
+			s.pw.dtlbUnit.Read(1)
+		}
+		e.state = stIssued
+		e.doneAt = s.cycle + lat
+
+		if fp {
+			fpLeft--
+		} else {
+			intLeft--
+		}
+		if e.isMem {
+			memLeft--
+			s.pw.lsqUnit.Read(1)
+		}
+		total--
+
+		s.chargeExec(c)
+		s.pw.windowUnit.Read(1)
+		s.pw.regfileUnit.Read(2)
+		s.stats.Issued++
+	}
+}
+
+// chargeExec charges the functional unit for one operation.
+func (s *Sim) chargeExec(c isa.Class) {
+	switch c {
+	case isa.ClassIntMult, isa.ClassIntDiv:
+		s.pw.imultUnit.Read(1)
+	case isa.ClassFPALU:
+		s.pw.faluUnit.Read(1)
+	case isa.ClassFPMult, isa.ClassFPDiv:
+		s.pw.fmultUnit.Read(1)
+	default:
+		s.pw.ialuUnit.Read(1)
+	}
+}
+
+// writebackAndResolve completes instructions whose latency has elapsed,
+// broadcasts their results, and resolves control transfers — squashing and
+// redirecting on mispredictions.
+func (s *Sim) writebackAndResolve() {
+	for id := s.headID; id < s.tailID; id++ {
+		e := s.slot(id)
+		if e.state != stIssued || e.doneAt != s.cycle {
+			continue
+		}
+		e.state = stDone
+		s.pw.resultBus.Write(1)
+		s.pw.regfileUnit.Write(1)
+		s.pw.windowUnit.Read(1) // wakeup broadcast
+
+		if e.isCtl && !e.resolved {
+			s.resolve(id, e)
+			// resolve may squash entries past id; the loop bound tailID
+			// shrinks accordingly and the iteration stays valid.
+		}
+	}
+}
+
+// resolve checks a completed control transfer against its prediction and
+// recovers on a mispredict.
+func (s *Sim) resolve(id int64, e *robEntry) {
+	e.resolved = true
+	if e.isCond {
+		s.gate.OnRemoveBranch(!e.lowConf)
+	}
+	// Recovery is needed exactly when fetch proceeded down the wrong path.
+	// (Direction accuracy is accounted separately at commit; generated
+	// programs never have a conditional whose taken target equals its
+	// fall-through, so for them direction-wrong implies path-wrong.)
+	if e.predNext == e.actualNext {
+		return
+	}
+	if !e.wrongPath {
+		s.stats.Mispredicts++
+	}
+	s.squashAfter(id)
+	// Repair speculative predictor history with the resolved outcome.
+	if e.hasPred {
+		s.pred.Redirect(&e.pred, e.actualTaken)
+	}
+	// Repair the RAS, then re-apply this instruction's own stack operation.
+	if e.hasRAS {
+		s.ras.Restore(e.rasSnap)
+		switch e.si.Class {
+		case isa.ClassCall:
+			s.ras.Push(e.si.NextPC())
+		case isa.ClassReturn:
+			s.ras.Pop()
+		}
+	}
+	// Redirect fetch.
+	s.fetchPC = e.actualNext
+	s.onWrongPath = e.wrongPath
+	s.fetchHalted = e.wrongPath && s.prog.InstAt(e.actualNext) == nil
+	if bubble := s.cycle + uint64(s.cfg.RedirectBubble); s.fetchStallUntil < bubble {
+		s.fetchStallUntil = bubble
+	}
+}
+
+// squashAfter removes every entry younger than id from the machine:
+// fetch queue entries, then ROB entries youngest-first (unwinding predictor
+// history, rename state, LSQ occupancy, and gating counts).
+func (s *Sim) squashAfter(id int64) {
+	// The entire fetch queue is younger than any ROB entry.
+	for i := len(s.fetchQueue) - 1; i >= 0; i-- {
+		s.unfetch(&s.fetchQueue[i])
+	}
+	s.fetchQueue = s.fetchQueue[:0]
+
+	for y := s.tailID - 1; y > id; y-- {
+		e := s.slot(y)
+		s.unfetch(e)
+		if e.si.Dest != isa.RegZero && s.regProd[e.si.Dest] == y {
+			s.regProd[e.si.Dest] = e.prevProd
+		}
+		if e.isMem {
+			s.lsqUsed--
+		}
+		s.stats.Squashed++
+	}
+	s.tailID = id + 1
+}
+
+// unfetch undoes the speculative front-end effects of a fetched entry:
+// predictor history and gating accounting.
+func (s *Sim) unfetch(e *robEntry) {
+	if e.hasPred {
+		s.pred.Unwind(&e.pred)
+	}
+	if e.isCond && !e.resolved {
+		s.gate.OnRemoveBranch(!e.lowConf)
+	}
+}
+
+// commit retires up to CommitWidth completed instructions from the head of
+// the RUU in program order, training the predictor and BTB and performing
+// store writes.
+func (s *Sim) commit() {
+	n := 0
+	for n < s.cfg.CommitWidth && s.robCount() > 0 {
+		e := s.slot(s.headID)
+		if e.state != stDone || e.doneAt > s.cycle {
+			break
+		}
+		if e.wrongPath {
+			panic("cpu: wrong-path instruction reached commit")
+		}
+		if e.isMem {
+			s.lsqUsed--
+		}
+		if e.si.Class == isa.ClassStore {
+			s.dl1.Access(e.memAddr, true)
+			s.dtlb.Access(e.memAddr)
+			s.pw.dl1Data.Write(1)
+			s.pw.dl1Tag.Read(1)
+			s.pw.dtlbUnit.Read(1)
+		}
+		if e.isCond {
+			s.pred.Update(&e.pred, e.actualTaken)
+			for _, u := range s.pw.predTables {
+				u.Write(1)
+			}
+			if j := s.gate.JRSTable(); j != nil {
+				j.Train(e.si.PC, e.predTaken == e.actualTaken)
+				s.pw.jrsUnit.Write(1)
+			}
+			s.stats.noteCondCommit(e.predTaken == e.actualTaken, s.stats.Committed)
+		}
+		if e.isCtl {
+			s.stats.noteCtlCommit(s.stats.Committed)
+		}
+		if e.isCtl && e.actualTaken && e.si.Class != isa.ClassReturn {
+			s.targetUpdate(e.si.PC, e.actualNext)
+			for _, u := range s.pw.targetUnits {
+				u.Write(1)
+			}
+		}
+		s.headID++
+		n++
+		s.stats.Committed++
+	}
+	// Charge the L2 for the accesses the L1s pushed down this cycle.
+	l2acc := s.l2.Stats().Accesses
+	if d := l2acc - s.lastL2Accesses; d > 0 {
+		s.pw.l2Data.Read(int(d))
+		s.pw.l2Tag.Read(int(d))
+	}
+	s.lastL2Accesses = l2acc
+}

@@ -1,0 +1,150 @@
+package cpu
+
+// Stats accumulates the simulation metrics the paper's figures report.
+type Stats struct {
+	// Cycles is the number of simulated cycles.
+	Cycles uint64
+	// Committed is the number of architecturally retired instructions.
+	Committed uint64
+	// Fetched counts all fetched instructions, both paths.
+	Fetched uint64
+	// WrongPathFetched counts fetched mis-speculated instructions.
+	WrongPathFetched uint64
+	// Dispatched, Issued, Squashed count pipeline events.
+	Dispatched, Issued, Squashed uint64
+
+	// CommittedCond and CorrectCond measure direction-prediction accuracy
+	// over committed conditional branches.
+	CommittedCond, CorrectCond uint64
+	// CommittedCtl counts committed control-flow instructions of any kind.
+	CommittedCtl uint64
+	// Mispredicts counts correct-path control mispredictions (direction or
+	// target) that caused a squash.
+	Mispredicts uint64
+	// BTBMisfetches counts predicted-taken fetches that missed in the BTB.
+	BTBMisfetches uint64
+
+	// FetchCycles counts cycles the fetch engine was active (each charges a
+	// predictor + BTB lookup in the baseline). DirLookupCycles and
+	// BTBLookupCycles count the active cycles in which those structures were
+	// actually read (less than FetchCycles only with a PPD).
+	FetchCycles, DirLookupCycles, BTBLookupCycles uint64
+	// ICacheMissCycles accumulates fetch stall cycles due to I-cache misses.
+	ICacheMissCycles uint64
+	// GatedCycles counts fetch cycles suppressed by pipeline gating;
+	// LowConfFetched counts fetched low-confidence branches.
+	GatedCycles, LowConfFetched uint64
+
+	// Inter-branch distance accounting over the committed path (Figure 14).
+	condDistSum, condDistN  uint64
+	condDistGT10            uint64
+	ctlDistSum, ctlDistN    uint64
+	ctlDistGT10             uint64
+	lastCondPos, lastCtlPos uint64
+	haveCond, haveCtl       bool
+}
+
+// noteCondCommit records a committed conditional branch: its prediction
+// correctness and its distance (in committed instructions) from the
+// previous committed conditional branch.
+func (st *Stats) noteCondCommit(correct bool, pos uint64) {
+	st.CommittedCond++
+	if correct {
+		st.CorrectCond++
+	}
+	if st.haveCond {
+		d := pos - st.lastCondPos
+		st.condDistSum += d
+		st.condDistN++
+		if d > 10 {
+			st.condDistGT10++
+		}
+	}
+	st.haveCond = true
+	st.lastCondPos = pos
+}
+
+// noteCtlCommit records a committed control-flow instruction's distance
+// from the previous one.
+func (st *Stats) noteCtlCommit(pos uint64) {
+	st.CommittedCtl++
+	if st.haveCtl {
+		d := pos - st.lastCtlPos
+		st.ctlDistSum += d
+		st.ctlDistN++
+		if d > 10 {
+			st.ctlDistGT10++
+		}
+	}
+	st.haveCtl = true
+	st.lastCtlPos = pos
+}
+
+// IPC returns committed instructions per cycle.
+func (st *Stats) IPC() float64 {
+	if st.Cycles == 0 {
+		return 0
+	}
+	return float64(st.Committed) / float64(st.Cycles)
+}
+
+// DirAccuracy returns the conditional-branch direction-prediction rate.
+func (st *Stats) DirAccuracy() float64 {
+	if st.CommittedCond == 0 {
+		return 0
+	}
+	return float64(st.CorrectCond) / float64(st.CommittedCond)
+}
+
+// CondBranchFreq returns committed conditional branches per committed
+// instruction.
+func (st *Stats) CondBranchFreq() float64 {
+	if st.Committed == 0 {
+		return 0
+	}
+	return float64(st.CommittedCond) / float64(st.Committed)
+}
+
+// UncondFreq returns committed unconditional control transfers per
+// committed instruction.
+func (st *Stats) UncondFreq() float64 {
+	if st.Committed == 0 {
+		return 0
+	}
+	return float64(st.CommittedCtl-st.CommittedCond) / float64(st.Committed)
+}
+
+// AvgCondDistance returns the mean committed-path distance between
+// conditional branches (Figure 14a).
+func (st *Stats) AvgCondDistance() float64 {
+	if st.condDistN == 0 {
+		return 0
+	}
+	return float64(st.condDistSum) / float64(st.condDistN)
+}
+
+// AvgCtlDistance returns the mean committed-path distance between
+// control-flow instructions (Figure 14b).
+func (st *Stats) AvgCtlDistance() float64 {
+	if st.ctlDistN == 0 {
+		return 0
+	}
+	return float64(st.ctlDistSum) / float64(st.ctlDistN)
+}
+
+// FracCondDistanceGT10 returns the fraction of conditional branches whose
+// distance from the previous one exceeds 10 instructions.
+func (st *Stats) FracCondDistanceGT10() float64 {
+	if st.condDistN == 0 {
+		return 0
+	}
+	return float64(st.condDistGT10) / float64(st.condDistN)
+}
+
+// FracCtlDistanceGT10 returns the same fraction for all control flow.
+func (st *Stats) FracCtlDistanceGT10() float64 {
+	if st.ctlDistN == 0 {
+		return 0
+	}
+	return float64(st.ctlDistGT10) / float64(st.ctlDistN)
+}

@@ -1,0 +1,224 @@
+// Package experiments reproduces every data table and figure of the paper's
+// evaluation: the benchmark characterization (Table 2), the old-vs-new power
+// model comparison (Figure 2), squarification (Figure 3), the 14-predictor
+// performance/power/energy characterization on SPECint and SPECfp (Figures
+// 5-10), banking (Table 3, Figures 11-13), inter-branch distances (Figure
+// 14), the prediction probe detector (Figures 16-17), and pipeline gating
+// (Figure 19).
+//
+// A Harness memoizes generated programs and simulation runs so figures that
+// share underlying sweeps (5/6/7 and 8/9/10) pay for each run once.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"bpredpower/internal/bpred"
+	"bpredpower/internal/cpu"
+	"bpredpower/internal/ppd"
+	"bpredpower/internal/program"
+	"bpredpower/internal/workload"
+)
+
+// RunConfig sets simulation lengths. The paper fast-forwards 2B instructions
+// and measures 200M; we warm micro-architectural state for WarmupInsts and
+// measure MeasureInsts (the synthetic workloads reach steady state quickly).
+type RunConfig struct {
+	WarmupInsts, MeasureInsts uint64
+}
+
+// Default is the full-fidelity configuration used by cmd/bpexperiments.
+var Default = RunConfig{WarmupInsts: 200000, MeasureInsts: 200000}
+
+// Quick is a fast configuration for tests and benchmarks.
+var Quick = RunConfig{WarmupInsts: 30000, MeasureInsts: 60000}
+
+// Run is the outcome of simulating one benchmark on one machine variant.
+type Run struct {
+	Benchmark string
+	Machine   string
+
+	Accuracy float64 // conditional direction-prediction rate
+	IPC      float64
+
+	BpredPower  float64 // W, direction predictor + BTB (+RAS, +PPD)
+	TotalPower  float64 // W, whole chip
+	BpredEnergy float64 // J over the measured window
+	TotalEnergy float64 // J
+	EnergyDelay float64 // J*s
+
+	CondFreq, UncondFreq      float64
+	AvgCondDist, AvgCtlDist   float64
+	FracCondGT10, FracCtlGT10 float64
+
+	Fetched, Committed uint64
+	GatedCycles        uint64
+	BTBMisfetches      uint64
+}
+
+type runKey struct {
+	bench, machine string
+}
+
+// Harness memoizes programs and runs.
+type Harness struct {
+	RC RunConfig
+
+	progs map[string]*program.Program
+	runs  map[runKey]Run
+}
+
+// NewHarness builds a harness with the given run configuration.
+func NewHarness(rc RunConfig) *Harness {
+	return &Harness{
+		RC:    rc,
+		progs: map[string]*program.Program{},
+		runs:  map[runKey]Run{},
+	}
+}
+
+// programFor returns the (memoized) program image of a benchmark.
+// Programs are immutable during simulation, so sharing is safe.
+func (h *Harness) programFor(b workload.Benchmark) *program.Program {
+	if p, ok := h.progs[b.Name]; ok {
+		return p
+	}
+	p := b.Program()
+	h.progs[b.Name] = p
+	return p
+}
+
+// machineLabel canonicalizes a machine variant for memoization.
+func machineLabel(opt cpu.Options) string {
+	l := opt.Predictor.Name
+	if opt.BankedPredictor {
+		l += "+banked"
+	}
+	if opt.PPD != ppd.Off {
+		l += "+" + opt.PPD.String()
+	}
+	if opt.Gating.Enabled {
+		l += fmt.Sprintf("+gateN%d", opt.Gating.Threshold)
+	}
+	if opt.OldArrayModel {
+		l += "+oldmodel"
+	}
+	if opt.SquarifyClosest {
+		l += "+sqclosest"
+	}
+	if opt.ChargeLookupsPerBranch {
+		l += "+perbranch"
+	}
+	if opt.LinePredictor {
+		l += "+linepred"
+	}
+	if opt.Gating.Enabled && opt.Gating.Estimator != 0 {
+		l += "+" + opt.Gating.Estimator.String()
+	}
+	return l
+}
+
+// Simulate runs one benchmark on one machine variant (memoized).
+func (h *Harness) Simulate(b workload.Benchmark, opt cpu.Options) Run {
+	key := runKey{b.Name, machineLabel(opt)}
+	if r, ok := h.runs[key]; ok {
+		return r
+	}
+	sim := cpu.MustNew(h.programFor(b), opt)
+	sim.Run(h.RC.WarmupInsts)
+	sim.ResetMeasurement()
+	sim.Run(h.RC.MeasureInsts)
+
+	st := sim.Stats()
+	m := sim.Meter()
+	r := Run{
+		Benchmark:     b.Name,
+		Machine:       key.machine,
+		Accuracy:      st.DirAccuracy(),
+		IPC:           st.IPC(),
+		BpredPower:    m.PredictorPower(),
+		TotalPower:    m.AveragePower(),
+		BpredEnergy:   m.PredictorEnergy(),
+		TotalEnergy:   m.TotalEnergy(),
+		EnergyDelay:   m.EnergyDelay(),
+		CondFreq:      st.CondBranchFreq(),
+		UncondFreq:    st.UncondFreq(),
+		AvgCondDist:   st.AvgCondDistance(),
+		AvgCtlDist:    st.AvgCtlDistance(),
+		FracCondGT10:  st.FracCondDistanceGT10(),
+		FracCtlGT10:   st.FracCtlDistanceGT10(),
+		Fetched:       st.Fetched,
+		Committed:     st.Committed,
+		GatedCycles:   st.GatedCycles,
+		BTBMisfetches: st.BTBMisfetches,
+	}
+	h.runs[key] = r
+	return r
+}
+
+// SimulateAll runs a benchmark list on one machine variant.
+func (h *Harness) SimulateAll(bs []workload.Benchmark, opt cpu.Options) []Run {
+	out := make([]Run, len(bs))
+	for i, b := range bs {
+		out[i] = h.Simulate(b, opt)
+	}
+	return out
+}
+
+// mean of a projection over runs.
+func mean(rs []Run, f func(Run) float64) float64 {
+	if len(rs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range rs {
+		s += f(r)
+	}
+	return s / float64(len(rs))
+}
+
+// shortName strips the SPEC number prefix for column headers.
+func shortName(b string) string {
+	for i := 0; i < len(b); i++ {
+		if b[i] == '.' {
+			return b[i+1:]
+		}
+	}
+	return b
+}
+
+// predictorSweep simulates every paper predictor configuration over the
+// given suite and returns runs[configIdx][benchIdx].
+func (h *Harness) predictorSweep(bs []workload.Benchmark) [][]Run {
+	out := make([][]Run, len(bpred.PaperConfigs))
+	for i, spec := range bpred.PaperConfigs {
+		out[i] = h.SimulateAll(bs, cpu.Options{Predictor: spec})
+	}
+	return out
+}
+
+// matrix prints one metric across configs (rows) and benchmarks (columns),
+// with an arithmetic-mean column, mirroring the layout of Figures 5-10.
+func matrix(w io.Writer, title string, bs []workload.Benchmark, sweep [][]Run, f func(Run) float64, format string) {
+	fmt.Fprintf(w, "\n%s\n", title)
+	fmt.Fprintf(w, "%-14s", "predictor")
+	for _, b := range bs {
+		fmt.Fprintf(w, " %9s", trunc(shortName(b.Name), 9))
+	}
+	fmt.Fprintf(w, " %9s\n", "Average")
+	for i, spec := range bpred.PaperConfigs {
+		fmt.Fprintf(w, "%-14s", spec.Name)
+		for _, r := range sweep[i] {
+			fmt.Fprintf(w, " "+format, f(r))
+		}
+		fmt.Fprintf(w, " "+format+"\n", mean(sweep[i], f))
+	}
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}

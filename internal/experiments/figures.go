@@ -1,0 +1,437 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"bpredpower/internal/array"
+	"bpredpower/internal/atime"
+	"bpredpower/internal/bpred"
+	"bpredpower/internal/config"
+	"bpredpower/internal/cpu"
+	"bpredpower/internal/gating"
+	"bpredpower/internal/ppd"
+	"bpredpower/internal/workload"
+)
+
+// Table1 prints the simulated processor configuration.
+func Table1(w io.Writer) {
+	c := config.Default()
+	fmt.Fprintln(w, "Table 1: simulated processor configuration (Alpha 21264-like)")
+	fmt.Fprintf(w, "  Instruction window      RUU=%d; LSQ=%d\n", c.RUUSize, c.LSQSize)
+	fmt.Fprintf(w, "  Issue width             %d per cycle: %d integer, %d FP\n", c.IssueWidth, c.IntIssue, c.FPIssue)
+	fmt.Fprintf(w, "  Pipeline length         %d cycles\n", c.PipelineLength())
+	fmt.Fprintf(w, "  Fetch buffer            %d entries\n", c.FetchBuffer)
+	fmt.Fprintf(w, "  Functional units        %d IntALU, %d Int mult/div, %d FP ALU, %d FP mult/div, %d memory ports\n",
+		c.IntALU, c.IntMultDiv, c.FPALU, c.FPMultDiv, c.MemPorts)
+	fmt.Fprintf(w, "  L1 D-cache              %dKB, %d-way, %dB blocks, write-back, %d-cycle\n",
+		c.DL1.SizeBytes>>10, c.DL1.Ways, c.DL1.BlockBytes, c.DL1.HitLatency)
+	fmt.Fprintf(w, "  L1 I-cache              %dKB, %d-way, %dB blocks, write-back, %d-cycle\n",
+		c.IL1.SizeBytes>>10, c.IL1.Ways, c.IL1.BlockBytes, c.IL1.HitLatency)
+	fmt.Fprintf(w, "  L2                      unified, %dMB, %d-way LRU, %dB blocks, %d-cycle, WB\n",
+		c.L2.SizeBytes>>20, c.L2.Ways, c.L2.BlockBytes, c.L2.HitLatency)
+	fmt.Fprintf(w, "  Memory latency          %d cycles\n", c.MemLatency)
+	fmt.Fprintf(w, "  TLB                     %d-entry, fully assoc., %d-cycle miss penalty\n", c.TLBEntries, c.TLBMissPenalty)
+	fmt.Fprintf(w, "  Branch target buffer    %d-entry, %d-way\n", c.BTBEntries, c.BTBWays)
+	fmt.Fprintf(w, "  Return-address stack    %d-entry\n", c.RASEntries)
+	fmt.Fprintf(w, "  Clock                   %.0f MHz at %.1f V\n", c.ClockHz/1e6, c.Vdd)
+}
+
+// Table2 prints the benchmark summary: dynamic branch frequencies and the
+// bimodal-16K / gshare-16K direction rates, with the paper's values beside
+// the measured ones.
+func Table2(h *Harness, w io.Writer) {
+	fmt.Fprintln(w, "Table 2: benchmark summary (measured | paper)")
+	fmt.Fprintf(w, "%-14s %17s %17s %19s %19s\n",
+		"benchmark", "uncond freq", "cond freq", "rate w/ Bimod 16K", "rate w/ Gshare 16K")
+	for _, b := range workload.All() {
+		bim := h.Simulate(b, cpu.Options{Predictor: bpred.Bim16k})
+		gsh := h.Simulate(b, cpu.Options{Predictor: bpred.Gsh16k12})
+		fmt.Fprintf(w, "%-14s  %6.2f%% | %5.2f%%  %6.2f%% | %5.2f%%  %7.2f%% | %6.2f%%  %7.2f%% | %6.2f%%\n",
+			b.Name,
+			100*bim.UncondFreq, 100*b.PaperUncondFreq,
+			100*bim.CondFreq, 100*b.PaperCondFreq,
+			100*bim.Accuracy, 100*b.PaperBimod16K,
+			100*gsh.Accuracy, 100*b.PaperGshare16K)
+	}
+}
+
+// Figure2 compares the original Wattch array power model ("old": no column
+// decoders, closest-to-square organizations) against the paper's extended
+// model ("new") on SPECint averages for every predictor configuration.
+func Figure2(h *Harness, w io.Writer) {
+	bs := workload.SPECint2000()
+	fmt.Fprintln(w, "Figure 2: old vs new array power model (SPECint2000 averages)")
+	fmt.Fprintf(w, "%-14s %11s %11s %11s %11s %11s %11s %12s %12s\n",
+		"predictor", "bpredW.old", "bpredW.new", "totalW.old", "totalW.new",
+		"bpredJ.old", "bpredJ.new", "EDP.old", "EDP.new")
+	for _, spec := range bpred.PaperConfigs {
+		oldRuns := h.SimulateAll(bs, cpu.Options{Predictor: spec, OldArrayModel: true, SquarifyClosest: true})
+		newRuns := h.SimulateAll(bs, cpu.Options{Predictor: spec})
+		fmt.Fprintf(w, "%-14s %11.3f %11.3f %11.2f %11.2f %11.2e %11.2e %12.3e %12.3e\n",
+			spec.Name,
+			mean(oldRuns, func(r Run) float64 { return r.BpredPower }),
+			mean(newRuns, func(r Run) float64 { return r.BpredPower }),
+			mean(oldRuns, func(r Run) float64 { return r.TotalPower }),
+			mean(newRuns, func(r Run) float64 { return r.TotalPower }),
+			mean(oldRuns, func(r Run) float64 { return r.BpredEnergy }),
+			mean(newRuns, func(r Run) float64 { return r.BpredEnergy }),
+			mean(oldRuns, func(r Run) float64 { return r.EnergyDelay }),
+			mean(newRuns, func(r Run) float64 { return r.EnergyDelay }))
+	}
+}
+
+// phtSizes are the direction-predictor PHT sizes swept by Figures 3 and 11.
+var phtSizes = []int{256, 1024, 2048, 4096, 8192, 16384, 32768, 65536}
+
+// Figure3 prints the squarification study: per PHT size, the read power and
+// the cycle time of Wattch's closest-to-square organization versus the
+// min-energy-delay organization, cycle times normalized to the maximum.
+func Figure3(w io.Writer) {
+	am := array.NewModel()
+	tm := atime.New()
+	type row struct {
+		size       int
+		oldP, newP float64
+		oldT, newT float64
+	}
+	rows := make([]row, 0, len(phtSizes))
+	maxT := 0.0
+	for _, n := range phtSizes {
+		s := array.Spec{Entries: n, Width: 2, OutBits: 2}
+		oldOrg := array.ChooseClosestSquare(s)
+		newOrg := array.ChooseMinEDP(am, s, tm.Delay)
+		r := row{
+			size: n,
+			oldP: am.ReadPowerW(s, oldOrg),
+			newP: am.ReadPowerW(s, newOrg),
+			oldT: tm.CycleTime(s, oldOrg),
+			newT: tm.CycleTime(s, newOrg),
+		}
+		if r.oldT > maxT {
+			maxT = r.oldT
+		}
+		if r.newT > maxT {
+			maxT = r.newT
+		}
+		rows = append(rows, r)
+	}
+	fmt.Fprintln(w, "Figure 3: squarification — PHT power and normalized cycle time")
+	fmt.Fprintf(w, "%8s %12s %12s %14s %14s\n", "entries", "powerW.old", "powerW.new", "cycle.old(n)", "cycle.new(n)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %12.3f %12.3f %14.3f %14.3f\n",
+			r.size, r.oldP, r.newP, r.oldT/maxT, r.newT/maxT)
+	}
+}
+
+// Figure5 prints direction accuracy and IPC for SPECint2000 across the 14
+// predictor configurations.
+func Figure5(h *Harness, w io.Writer) {
+	bs := workload.SPECint2000()
+	sweep := h.predictorSweep(bs)
+	matrix(w, "Figure 5a: direction-prediction rate (SPECint2000)", bs, sweep,
+		func(r Run) float64 { return r.Accuracy }, "%9.4f")
+	matrix(w, "Figure 5b: IPC (SPECint2000)", bs, sweep,
+		func(r Run) float64 { return r.IPC }, "%9.3f")
+}
+
+// Figure6 prints predictor energy, overall energy, and overall energy-delay
+// for SPECint2000.
+func Figure6(h *Harness, w io.Writer) {
+	bs := workload.SPECint2000()
+	sweep := h.predictorSweep(bs)
+	matrix(w, "Figure 6a: branch-predictor energy, J (SPECint2000)", bs, sweep,
+		func(r Run) float64 { return r.BpredEnergy * 1e6 }, "%9.2f")
+	fmt.Fprintln(w, "  (energies in microjoules over the measured window)")
+	matrix(w, "Figure 6b: overall energy, uJ (SPECint2000)", bs, sweep,
+		func(r Run) float64 { return r.TotalEnergy * 1e6 }, "%9.1f")
+	matrix(w, "Figure 6c: overall energy-delay, uJ*ms (SPECint2000)", bs, sweep,
+		func(r Run) float64 { return r.EnergyDelay * 1e9 }, "%9.4f")
+}
+
+// Figure7 prints predictor power and overall power for SPECint2000.
+func Figure7(h *Harness, w io.Writer) {
+	bs := workload.SPECint2000()
+	sweep := h.predictorSweep(bs)
+	matrix(w, "Figure 7a: branch-predictor power, W (SPECint2000)", bs, sweep,
+		func(r Run) float64 { return r.BpredPower }, "%9.3f")
+	matrix(w, "Figure 7b: overall power, W (SPECint2000)", bs, sweep,
+		func(r Run) float64 { return r.TotalPower }, "%9.2f")
+}
+
+// Figure8 prints direction accuracy and IPC for SPECfp2000.
+func Figure8(h *Harness, w io.Writer) {
+	bs := workload.SPECfp2000()
+	sweep := h.predictorSweep(bs)
+	matrix(w, "Figure 8a: direction-prediction rate (SPECfp2000)", bs, sweep,
+		func(r Run) float64 { return r.Accuracy }, "%9.4f")
+	matrix(w, "Figure 8b: IPC (SPECfp2000)", bs, sweep,
+		func(r Run) float64 { return r.IPC }, "%9.3f")
+}
+
+// Figure9 prints the SPECfp2000 energy metrics.
+func Figure9(h *Harness, w io.Writer) {
+	bs := workload.SPECfp2000()
+	sweep := h.predictorSweep(bs)
+	matrix(w, "Figure 9a: branch-predictor energy, uJ (SPECfp2000)", bs, sweep,
+		func(r Run) float64 { return r.BpredEnergy * 1e6 }, "%9.2f")
+	matrix(w, "Figure 9b: overall energy, uJ (SPECfp2000)", bs, sweep,
+		func(r Run) float64 { return r.TotalEnergy * 1e6 }, "%9.1f")
+	matrix(w, "Figure 9c: overall energy-delay, uJ*ms (SPECfp2000)", bs, sweep,
+		func(r Run) float64 { return r.EnergyDelay * 1e9 }, "%9.4f")
+}
+
+// Figure10 prints the SPECfp2000 power metrics.
+func Figure10(h *Harness, w io.Writer) {
+	bs := workload.SPECfp2000()
+	sweep := h.predictorSweep(bs)
+	matrix(w, "Figure 10a: branch-predictor power, W (SPECfp2000)", bs, sweep,
+		func(r Run) float64 { return r.BpredPower }, "%9.3f")
+	matrix(w, "Figure 10b: overall power, W (SPECfp2000)", bs, sweep,
+		func(r Run) float64 { return r.TotalPower }, "%9.2f")
+}
+
+// Table3 prints the banking table: number of banks per predictor size.
+func Table3(w io.Writer) {
+	fmt.Fprintln(w, "Table 3: number of banks")
+	fmt.Fprintf(w, "%10s %6s\n", "size", "banks")
+	for _, bits := range []int{128, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10} {
+		label := fmt.Sprintf("%dbits", bits)
+		if bits >= 1024 {
+			label = fmt.Sprintf("%dKbits", bits/1024)
+		}
+		fmt.Fprintf(w, "%10s %6d\n", label, array.BanksForBits(bits))
+	}
+}
+
+// Figure11 prints cycle time and read power for banked vs unbanked PHTs.
+func Figure11(w io.Writer) {
+	am := array.NewModel()
+	tm := atime.New()
+	fmt.Fprintln(w, "Figure 11: cycle time for a banked predictor")
+	fmt.Fprintf(w, "%8s %6s %12s %12s %14s %14s\n",
+		"entries", "banks", "powerW.flat", "powerW.bank", "cycle.flat(n)", "cycle.bank(n)")
+	maxT := 0.0
+	type row struct {
+		n, banks       int
+		pf, pb, tf, tb float64
+	}
+	var rows []row
+	for _, n := range phtSizes {
+		flat := array.Spec{Entries: n, Width: 2, OutBits: 2}
+		banked := flat
+		banked.Banks = array.BanksForBits(flat.Bits())
+		of := array.ChooseClosestSquare(flat)
+		ob := array.ChooseClosestSquare(banked)
+		r := row{
+			n: n, banks: banked.Banks,
+			pf: am.ReadPowerW(flat, of),
+			pb: am.ReadPowerW(banked, ob),
+			tf: tm.CycleTime(flat, of),
+			tb: tm.CycleTime(banked, ob),
+		}
+		if r.tf > maxT {
+			maxT = r.tf
+		}
+		rows = append(rows, r)
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %6d %12.3f %12.3f %14.3f %14.3f\n",
+			r.n, r.banks, r.pf, r.pb, r.tf/maxT, r.tb/maxT)
+	}
+}
+
+// Figures12And13 print the banking savings: percentage reductions in
+// predictor/overall power (Figure 12) and predictor/overall energy and
+// energy-delay (Figure 13), averaged over the seven-benchmark subset.
+func Figures12And13(h *Harness, w io.Writer) {
+	bs := workload.Subset7()
+	fmt.Fprintln(w, "Figures 12-13: banking — percentage reductions (7-benchmark subset averages)")
+	fmt.Fprintf(w, "%-14s %10s %10s %10s %10s %10s\n",
+		"predictor", "bpredW%", "totalW%", "bpredJ%", "totalJ%", "EDP%")
+	for _, spec := range bpred.PaperConfigs {
+		base := h.SimulateAll(bs, cpu.Options{Predictor: spec})
+		bank := h.SimulateAll(bs, cpu.Options{Predictor: spec, BankedPredictor: true})
+		pct := func(f func(Run) float64) float64 {
+			b0 := mean(base, f)
+			b1 := mean(bank, f)
+			if b0 == 0 {
+				return 0
+			}
+			return 100 * (b0 - b1) / b0
+		}
+		fmt.Fprintf(w, "%-14s %10.2f %10.2f %10.2f %10.2f %10.2f\n",
+			spec.Name,
+			pct(func(r Run) float64 { return r.BpredPower }),
+			pct(func(r Run) float64 { return r.TotalPower }),
+			pct(func(r Run) float64 { return r.BpredEnergy }),
+			pct(func(r Run) float64 { return r.TotalEnergy }),
+			pct(func(r Run) float64 { return r.EnergyDelay }))
+	}
+}
+
+// Figure14 prints the average committed-path distances between conditional
+// branches and between control-flow instructions for the subset benchmarks.
+func Figure14(h *Harness, w io.Writer) {
+	bs := workload.Subset7()
+	fmt.Fprintln(w, "Figure 14: average inter-branch distances (committed path)")
+	fmt.Fprintf(w, "%-14s %10s %12s %10s %12s\n",
+		"benchmark", "cond dist", "cond >10 (%)", "ctl dist", "ctl >10 (%)")
+	for _, b := range bs {
+		r := h.Simulate(b, cpu.Options{Predictor: bpred.GAs32k8})
+		fmt.Fprintf(w, "%-14s %10.2f %12.1f %10.2f %12.1f\n",
+			b.Name, r.AvgCondDist, 100*r.FracCondGT10, r.AvgCtlDist, 100*r.FracCtlGT10)
+	}
+}
+
+// Figures16And17 print the PPD savings for the 32K-entry GAs predictor:
+// percentage reductions in predictor and overall power (Figure 16) and in
+// predictor energy, overall energy, and energy-delay (Figure 17), for
+// Scenario 1, banked + Scenario 1, and banked + Scenario 2.
+func Figures16And17(h *Harness, w io.Writer) {
+	bs := workload.Subset7()
+	spec := bpred.GAs32k8
+	variants := []struct {
+		label string
+		opt   cpu.Options
+	}{
+		{"PPD Scenario 1", cpu.Options{Predictor: spec, PPD: ppd.Scenario1}},
+		{"Banked PPD Scenario 1", cpu.Options{Predictor: spec, PPD: ppd.Scenario1, BankedPredictor: true}},
+		{"Banked PPD Scenario 2", cpu.Options{Predictor: spec, PPD: ppd.Scenario2, BankedPredictor: true}},
+	}
+	fmt.Fprintln(w, "Figures 16-17: PPD savings for GAs_1_32k_8 (percent reduction vs matching non-PPD baseline)")
+	fmt.Fprintf(w, "%-14s %-22s %10s %10s %10s %10s %10s\n",
+		"benchmark", "scenario", "bpredW%", "totalW%", "bpredJ%", "totalJ%", "EDP%")
+	for _, b := range bs {
+		for _, v := range variants {
+			baseOpt := cpu.Options{Predictor: spec, BankedPredictor: v.opt.BankedPredictor}
+			base := h.Simulate(b, baseOpt)
+			with := h.Simulate(b, v.opt)
+			pct := func(f func(Run) float64) float64 {
+				b0 := f(base)
+				if b0 == 0 {
+					return 0
+				}
+				return 100 * (b0 - f(with)) / b0
+			}
+			fmt.Fprintf(w, "%-14s %-22s %10.2f %10.2f %10.2f %10.2f %10.2f\n",
+				b.Name, v.label,
+				pct(func(r Run) float64 { return r.BpredPower }),
+				pct(func(r Run) float64 { return r.TotalPower }),
+				pct(func(r Run) float64 { return r.BpredEnergy }),
+				pct(func(r Run) float64 { return r.TotalEnergy }),
+				pct(func(r Run) float64 { return r.EnergyDelay }))
+		}
+	}
+}
+
+// Figure19 prints the pipeline-gating study: for hybrid_0 (deliberately
+// poor) and hybrid_3 (large), the total energy, instructions entering the
+// pipeline, and IPC at thresholds N=0,1,2, normalized to no gating.
+func Figure19(h *Harness, w io.Writer) {
+	bs := workload.Subset7()
+	fmt.Fprintln(w, "Figure 19: pipeline gating, normalized to no gating (7-benchmark subset averages)")
+	fmt.Fprintf(w, "%-10s %4s %14s %14s %10s %12s\n",
+		"predictor", "N", "total energy", "total insts", "IPC", "gated cyc/kc")
+	for _, spec := range []bpred.Spec{bpred.Hybrid0, bpred.Hybrid3} {
+		base := h.SimulateAll(bs, cpu.Options{Predictor: spec})
+		baseE := mean(base, func(r Run) float64 { return r.TotalEnergy })
+		baseI := mean(base, func(r Run) float64 { return float64(r.Fetched) })
+		baseIPC := mean(base, func(r Run) float64 { return r.IPC })
+		for _, n := range []int{0, 1, 2} {
+			runs := h.SimulateAll(bs, cpu.Options{Predictor: spec,
+				Gating: gating.Config{Enabled: true, Threshold: n}})
+			e := mean(runs, func(r Run) float64 { return r.TotalEnergy })
+			in := mean(runs, func(r Run) float64 { return float64(r.Fetched) })
+			ipc := mean(runs, func(r Run) float64 { return r.IPC })
+			gated := mean(runs, func(r Run) float64 { return float64(r.GatedCycles) })
+			fmt.Fprintf(w, "%-10s %4d %14.4f %14.4f %10.4f %12.2f\n",
+				spec.Name, n, e/baseE, in/baseI, ipc/baseIPC, gated/1000)
+		}
+	}
+}
+
+// All runs every table and figure in order.
+func All(h *Harness, w io.Writer) {
+	Table1(w)
+	fmt.Fprintln(w)
+	Table2(h, w)
+	fmt.Fprintln(w)
+	Figure2(h, w)
+	fmt.Fprintln(w)
+	Figure3(w)
+	Figure5(h, w)
+	Figure6(h, w)
+	Figure7(h, w)
+	Figure8(h, w)
+	Figure9(h, w)
+	Figure10(h, w)
+	fmt.Fprintln(w)
+	Table3(w)
+	fmt.Fprintln(w)
+	Figure11(w)
+	fmt.Fprintln(w)
+	Figures12And13(h, w)
+	fmt.Fprintln(w)
+	Figure14(h, w)
+	fmt.Fprintln(w)
+	Figures16And17(h, w)
+	fmt.Fprintln(w)
+	Figure19(h, w)
+	fmt.Fprintln(w)
+	ExtensionConfidence(h, w)
+	fmt.Fprintln(w)
+	ExtensionLinePredictor(h, w)
+}
+
+// ExtensionConfidence is the study the paper calls for in Section 4.3
+// ("the impact of predictor accuracy on pipeline gating [may] be stronger
+// for other confidence estimators ... separate from the predictor"): the
+// same N=0 gating experiment with the paper's "both strong" estimator, a
+// JRS resetting-counter estimator, and a perfect (oracle) estimator.
+func ExtensionConfidence(h *Harness, w io.Writer) {
+	bs := workload.Subset7()
+	fmt.Fprintln(w, "Extension: confidence estimators for pipeline gating at N=0 (normalized to no gating)")
+	fmt.Fprintf(w, "%-10s %-12s %14s %14s %10s\n",
+		"predictor", "estimator", "total energy", "total insts", "IPC")
+	for _, spec := range []bpred.Spec{bpred.Hybrid0, bpred.Hybrid3} {
+		base := h.SimulateAll(bs, cpu.Options{Predictor: spec})
+		baseE := mean(base, func(r Run) float64 { return r.TotalEnergy })
+		baseI := mean(base, func(r Run) float64 { return float64(r.Fetched) })
+		baseIPC := mean(base, func(r Run) float64 { return r.IPC })
+		for _, est := range []gating.Estimator{gating.EstimatorBothStrong, gating.EstimatorJRS, gating.EstimatorPerfect} {
+			runs := h.SimulateAll(bs, cpu.Options{Predictor: spec,
+				Gating: gating.Config{Enabled: true, Threshold: 0, Estimator: est}})
+			fmt.Fprintf(w, "%-10s %-12s %14.4f %14.4f %10.4f\n",
+				spec.Name, est.String(),
+				mean(runs, func(r Run) float64 { return r.TotalEnergy })/baseE,
+				mean(runs, func(r Run) float64 { return float64(r.Fetched) })/baseI,
+				mean(runs, func(r Run) float64 { return r.IPC })/baseIPC)
+		}
+	}
+}
+
+// ExtensionLinePredictor compares the paper's separate-BTB front end with
+// the real Alpha 21264's arrangement — an untagged next-line predictor
+// integrated with the I-cache — which the paper singles out as "the most
+// important difference" between its model and the 21264.
+func ExtensionLinePredictor(h *Harness, w io.Writer) {
+	bs := workload.Subset7()
+	fmt.Fprintln(w, "Extension: separate BTB vs 21264-style next-line predictor (7-benchmark subset)")
+	fmt.Fprintf(w, "%-14s %-9s %8s %8s %10s %10s %12s\n",
+		"benchmark", "frontend", "IPC", "acc", "bpredW", "totalW", "misfetch/kI")
+	for _, b := range bs {
+		for _, lp := range []bool{false, true} {
+			label := "btb"
+			opt := cpu.Options{Predictor: bpred.Hybrid1}
+			if lp {
+				label = "linepred"
+				opt.LinePredictor = true
+			}
+			r := h.Simulate(b, opt)
+			fmt.Fprintf(w, "%-14s %-9s %8.3f %8.4f %10.3f %10.2f %12.2f\n",
+				b.Name, label, r.IPC, r.Accuracy, r.BpredPower, r.TotalPower,
+				1000*float64(r.BTBMisfetches)/float64(r.Committed))
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package gating
+
+import "testing"
+
+func TestDisabledGateNeverStalls(t *testing.T) {
+	g := New(Config{Enabled: false})
+	for i := 0; i < 10; i++ {
+		g.OnFetchBranch(false)
+	}
+	if g.ShouldStallFetch() {
+		t.Error("disabled gate stalled")
+	}
+	if g.InFlight() != 0 {
+		t.Error("disabled gate tracked branches")
+	}
+}
+
+func TestThresholdSemantics(t *testing.T) {
+	// Gate when M > N.
+	for _, n := range []int{0, 1, 2} {
+		g := New(Config{Enabled: true, Threshold: n})
+		for m := 0; m <= n; m++ {
+			if g.ShouldStallFetch() {
+				t.Errorf("N=%d: stalled at M=%d", n, g.InFlight())
+			}
+			g.OnFetchBranch(false)
+		}
+		if !g.ShouldStallFetch() {
+			t.Errorf("N=%d: did not stall at M=%d", n, g.InFlight())
+		}
+	}
+}
+
+func TestHighConfidenceIgnored(t *testing.T) {
+	g := New(Config{Enabled: true, Threshold: 0})
+	g.OnFetchBranch(true)
+	if g.ShouldStallFetch() {
+		t.Error("high-confidence branch engaged the gate")
+	}
+}
+
+func TestResolveReleasesGate(t *testing.T) {
+	g := New(Config{Enabled: true, Threshold: 0})
+	g.OnFetchBranch(false)
+	if !g.ShouldStallFetch() {
+		t.Fatal("gate not engaged")
+	}
+	g.OnRemoveBranch(false)
+	if g.ShouldStallFetch() {
+		t.Error("gate not released after resolve")
+	}
+}
+
+func TestInFlightNeverNegative(t *testing.T) {
+	g := New(Config{Enabled: true, Threshold: 0})
+	g.OnRemoveBranch(false)
+	g.OnRemoveBranch(false)
+	if g.InFlight() != 0 {
+		t.Errorf("in-flight = %d", g.InFlight())
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	g := New(Config{Enabled: true, Threshold: 1})
+	g.OnFetchBranch(false)
+	g.OnFetchBranch(false)
+	g.NoteGatedCycle()
+	low, gated := g.Stats()
+	if low != 2 || gated != 1 {
+		t.Errorf("stats = %d/%d", low, gated)
+	}
+	g.Reset()
+	if low, gated = g.Stats(); low != 0 || gated != 0 || g.InFlight() != 0 {
+		t.Error("reset incomplete")
+	}
+}

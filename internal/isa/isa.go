@@ -1,0 +1,167 @@
+// Package isa defines a minimal Alpha-like instruction set used by the
+// synthetic workloads and the cycle-level processor model.
+//
+// The paper simulates statically linked Alpha binaries on a SimpleScalar
+// derivative. We do not interpret real machine code; instead, instructions
+// carry just enough semantic content to drive a cycle-accurate out-of-order
+// timing model: an operation class (which selects a functional unit and a
+// latency), register operands (which create data dependences), and control
+// flow information (targets, branch-site identity).
+//
+// All instructions are 4 bytes, as on Alpha, so a 32-byte I-cache line holds
+// exactly 8 instructions.
+package isa
+
+import "fmt"
+
+// InstBytes is the size of every instruction in bytes (fixed-width ISA).
+const InstBytes = 4
+
+// NumArchRegs is the number of architectural registers. Alpha has 32 integer
+// and 32 floating-point registers; we model a unified file of 64 plus a zero
+// register convention (register 0 reads as always-ready and is never renamed).
+const NumArchRegs = 64
+
+// RegZero is the always-zero register; writes to it are discarded and reads
+// from it never create a dependence.
+const RegZero = 0
+
+// Class describes the operation class of an instruction. The class selects
+// the functional unit, the execution latency, and how the front end treats
+// the instruction (control transfers redirect fetch).
+type Class uint8
+
+// Operation classes.
+const (
+	// ClassNop performs no work but still occupies fetch/decode/commit
+	// bandwidth and an RUU slot.
+	ClassNop Class = iota
+	// ClassIntALU is a single-cycle integer operation.
+	ClassIntALU
+	// ClassIntMult is a pipelined integer multiply.
+	ClassIntMult
+	// ClassIntDiv is an unpipelined integer divide.
+	ClassIntDiv
+	// ClassFPALU is a pipelined floating-point add/compare/convert.
+	ClassFPALU
+	// ClassFPMult is a pipelined floating-point multiply.
+	ClassFPMult
+	// ClassFPDiv is an unpipelined floating-point divide.
+	ClassFPDiv
+	// ClassLoad reads memory through the LSQ and D-cache.
+	ClassLoad
+	// ClassStore writes memory through the LSQ at commit.
+	ClassStore
+	// ClassBranch is a conditional direct branch. Its outcome is decided by
+	// the workload behaviour engine and predicted by the direction predictor.
+	ClassBranch
+	// ClassJump is an unconditional direct jump.
+	ClassJump
+	// ClassCall is a direct subroutine call; it pushes the return address on
+	// the return-address stack.
+	ClassCall
+	// ClassReturn is an indirect jump through the return-address stack.
+	ClassReturn
+
+	numClasses
+)
+
+// NumClasses is the count of distinct operation classes.
+const NumClasses = int(numClasses)
+
+var classNames = [...]string{
+	ClassNop:     "nop",
+	ClassIntALU:  "ialu",
+	ClassIntMult: "imult",
+	ClassIntDiv:  "idiv",
+	ClassFPALU:   "falu",
+	ClassFPMult:  "fmult",
+	ClassFPDiv:   "fdiv",
+	ClassLoad:    "load",
+	ClassStore:   "store",
+	ClassBranch:  "branch",
+	ClassJump:    "jump",
+	ClassCall:    "call",
+	ClassReturn:  "return",
+}
+
+// String returns the mnemonic class name.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// IsControl reports whether the class transfers control (conditional branch,
+// jump, call, or return).
+func (c Class) IsControl() bool {
+	switch c {
+	case ClassBranch, ClassJump, ClassCall, ClassReturn:
+		return true
+	}
+	return false
+}
+
+// IsCondBranch reports whether the class is a conditional branch.
+func (c Class) IsCondBranch() bool { return c == ClassBranch }
+
+// IsUncondControl reports whether the class is an unconditional control
+// transfer (jump, call, or return).
+func (c Class) IsUncondControl() bool {
+	switch c {
+	case ClassJump, ClassCall, ClassReturn:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether the class accesses data memory.
+func (c Class) IsMem() bool { return c == ClassLoad || c == ClassStore }
+
+// IsFP reports whether the class executes on the floating-point cluster.
+func (c Class) IsFP() bool {
+	switch c {
+	case ClassFPALU, ClassFPMult, ClassFPDiv:
+		return true
+	}
+	return false
+}
+
+// StaticInst is one instruction in a program's static code image.
+//
+// Operand registers encode data dependences: Src1/Src2 name architectural
+// registers read by the instruction (RegZero means "no operand") and Dest
+// names the architectural register written (RegZero means "no result").
+type StaticInst struct {
+	// PC is the virtual address of the instruction.
+	PC uint64
+	// Class is the operation class.
+	Class Class
+	// Dest is the architectural destination register (RegZero if none).
+	Dest uint8
+	// Src1 and Src2 are the architectural source registers (RegZero if unused).
+	Src1, Src2 uint8
+	// Target is the taken target address for direct control transfers
+	// (ClassBranch, ClassJump, ClassCall). Unused for other classes; for
+	// ClassReturn the target comes from the call site at run time.
+	Target uint64
+	// Site is the branch-site index for ClassBranch instructions; it selects
+	// the behaviour model that decides the branch's dynamic outcomes. It is
+	// -1 for non-branch instructions.
+	Site int32
+	// MemBase, for loads and stores, selects the synthetic address stream
+	// the instruction participates in (locality class).
+	MemBase uint32
+}
+
+// NextPC returns the fall-through address of the instruction.
+func (si *StaticInst) NextPC() uint64 { return si.PC + InstBytes }
+
+// String renders a short human-readable form, e.g. "0x12004: branch ->0x12100".
+func (si *StaticInst) String() string {
+	if si.Class.IsControl() && si.Class != ClassReturn {
+		return fmt.Sprintf("%#x: %s ->%#x", si.PC, si.Class, si.Target)
+	}
+	return fmt.Sprintf("%#x: %s r%d=r%d,r%d", si.PC, si.Class, si.Dest, si.Src1, si.Src2)
+}

@@ -1,0 +1,68 @@
+package isa
+
+import "testing"
+
+func TestClassPredicates(t *testing.T) {
+	cases := []struct {
+		c                          Class
+		control, cond, uncond, mem bool
+		fp                         bool
+	}{
+		{ClassNop, false, false, false, false, false},
+		{ClassIntALU, false, false, false, false, false},
+		{ClassIntMult, false, false, false, false, false},
+		{ClassIntDiv, false, false, false, false, false},
+		{ClassFPALU, false, false, false, false, true},
+		{ClassFPMult, false, false, false, false, true},
+		{ClassFPDiv, false, false, false, false, true},
+		{ClassLoad, false, false, false, true, false},
+		{ClassStore, false, false, false, true, false},
+		{ClassBranch, true, true, false, false, false},
+		{ClassJump, true, false, true, false, false},
+		{ClassCall, true, false, true, false, false},
+		{ClassReturn, true, false, true, false, false},
+	}
+	if len(cases) != NumClasses {
+		t.Fatalf("test covers %d classes, ISA has %d", len(cases), NumClasses)
+	}
+	for _, tc := range cases {
+		if got := tc.c.IsControl(); got != tc.control {
+			t.Errorf("%v.IsControl() = %v, want %v", tc.c, got, tc.control)
+		}
+		if got := tc.c.IsCondBranch(); got != tc.cond {
+			t.Errorf("%v.IsCondBranch() = %v, want %v", tc.c, got, tc.cond)
+		}
+		if got := tc.c.IsUncondControl(); got != tc.uncond {
+			t.Errorf("%v.IsUncondControl() = %v, want %v", tc.c, got, tc.uncond)
+		}
+		if got := tc.c.IsMem(); got != tc.mem {
+			t.Errorf("%v.IsMem() = %v, want %v", tc.c, got, tc.mem)
+		}
+		if got := tc.c.IsFP(); got != tc.fp {
+			t.Errorf("%v.IsFP() = %v, want %v", tc.c, got, tc.fp)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassBranch.String() != "branch" {
+		t.Errorf("ClassBranch.String() = %q", ClassBranch.String())
+	}
+	if got := Class(200).String(); got != "class(200)" {
+		t.Errorf("unknown class string = %q", got)
+	}
+}
+
+func TestStaticInstHelpers(t *testing.T) {
+	si := StaticInst{PC: 0x1000, Class: ClassJump, Target: 0x2000}
+	if si.NextPC() != 0x1004 {
+		t.Errorf("NextPC = %#x, want 0x1004", si.NextPC())
+	}
+	if s := si.String(); s == "" {
+		t.Error("empty String for control inst")
+	}
+	alu := StaticInst{PC: 0x1004, Class: ClassIntALU, Dest: 3, Src1: 1, Src2: 2}
+	if s := alu.String(); s == "" {
+		t.Error("empty String for ALU inst")
+	}
+}

@@ -1,0 +1,347 @@
+// Package power is the cycle-by-cycle activity-based power accountant, in
+// the style of Wattch's "cc3" conditional clocking: a unit accessed n times
+// in a cycle dissipates n/ports of its maximum power, and an idle unit still
+// dissipates 10% of maximum (imperfect clock gating).
+//
+// Units are created from SRAM array specs (predictor tables, BTB, caches,
+// register files) via package array, or from fixed per-operation energies
+// (ALUs, result bus). A Meter owns the units, folds their per-cycle activity
+// into accumulated energy, adds clock-tree power, and reports the metrics of
+// Section 2.3: average instantaneous power, energy, energy-delay product.
+package power
+
+import (
+	"fmt"
+	"sort"
+
+	"bpredpower/internal/array"
+)
+
+// Group classifies units for the paper's reporting: "predictor power"
+// includes the direction predictor and the BTB (and the PPD when present).
+type Group uint8
+
+// Unit groups.
+const (
+	// GroupBpred is the direction predictor's tables.
+	GroupBpred Group = iota
+	// GroupBTB is the branch target buffer.
+	GroupBTB
+	// GroupRAS is the return-address stack.
+	GroupRAS
+	// GroupPPD is the prediction probe detector.
+	GroupPPD
+	// GroupFetch is the I-cache and ITLB.
+	GroupFetch
+	// GroupDispatch is decode/rename.
+	GroupDispatch
+	// GroupWindow is the RUU wakeup/select and LSQ.
+	GroupWindow
+	// GroupRegfile is the architectural register file.
+	GroupRegfile
+	// GroupDMem is the D-cache and DTLB.
+	GroupDMem
+	// GroupL2 is the unified L2.
+	GroupL2
+	// GroupALU is the execution units and result bus.
+	GroupALU
+	// GroupClock is the clock tree.
+	GroupClock
+
+	numGroups
+)
+
+var groupNames = [...]string{
+	GroupBpred:    "bpred",
+	GroupBTB:      "btb",
+	GroupRAS:      "ras",
+	GroupPPD:      "ppd",
+	GroupFetch:    "fetch",
+	GroupDispatch: "dispatch",
+	GroupWindow:   "window",
+	GroupRegfile:  "regfile",
+	GroupDMem:     "dmem",
+	GroupL2:       "l2",
+	GroupALU:      "alu",
+	GroupClock:    "clock",
+}
+
+// String returns the group name.
+func (g Group) String() string {
+	if int(g) < len(groupNames) {
+		return groupNames[g]
+	}
+	return fmt.Sprintf("group(%d)", uint8(g))
+}
+
+// PredictorGroups are the groups the paper reports as "predictor power":
+// direction predictor plus BTB (Section 1.1 note), plus RAS and PPD.
+var PredictorGroups = map[Group]bool{
+	GroupBpred: true,
+	GroupBTB:   true,
+	GroupRAS:   true,
+	GroupPPD:   true,
+}
+
+// GatingStyle selects Wattch's conditional-clocking model. The paper's
+// results all use CC3 ("non-ideal aggressive clock gating"); the other
+// styles are provided for ablation, matching Wattch's cc0-cc2.
+type GatingStyle uint8
+
+const (
+	// CC3 scales power linearly with port usage and charges inactive units
+	// 10% of maximum (imperfect gating) — the paper's configuration.
+	CC3 GatingStyle = iota
+	// CC0 applies no clock gating: every unit burns maximum power every
+	// cycle.
+	CC0
+	// CC1 gates whole units: an accessed unit burns full maximum power
+	// regardless of how many ports fired; an idle unit burns nothing.
+	CC1
+	// CC2 is ideal gating: power scales linearly with port usage and idle
+	// units burn nothing.
+	CC2
+)
+
+var gatingNames = [...]string{CC3: "cc3", CC0: "cc0", CC1: "cc1", CC2: "cc2"}
+
+// String returns the style name.
+func (g GatingStyle) String() string {
+	if int(g) < len(gatingNames) {
+		return gatingNames[g]
+	}
+	return "cc?"
+}
+
+// IdleFraction is the cc3 clock-gating floor: inactive units dissipate this
+// fraction of maximum power.
+const IdleFraction = 0.10
+
+// Unit is one power-accounted structure.
+type Unit struct {
+	// Name identifies the unit ("bpred.pht", "il1", "ialu", ...).
+	Name string
+	// Group classifies it for reporting.
+	Group Group
+	// ERead, EWrite, EPartial are per-access energies in joules.
+	ERead, EWrite, EPartial float64
+	// Ports is the number of access ports (the cc3 scaling denominator).
+	Ports int
+
+	reads, writes, partials uint64 // activity in the current cycle
+	energy                  float64
+	totalReads, totalWrites uint64
+}
+
+// maxCycleEnergy is the energy the unit would burn with all ports active.
+func (u *Unit) maxCycleEnergy() float64 { return float64(u.Ports) * u.ERead }
+
+// Read records n read accesses this cycle.
+func (u *Unit) Read(n int) { u.reads += uint64(n) }
+
+// Write records n write accesses this cycle.
+func (u *Unit) Write(n int) { u.writes += uint64(n) }
+
+// Partial records n cancelled (Scenario 2) accesses this cycle.
+func (u *Unit) Partial(n int) { u.partials += uint64(n) }
+
+// Energy returns the unit's accumulated energy in joules.
+func (u *Unit) Energy() float64 { return u.energy }
+
+// Accesses returns lifetime (reads, writes).
+func (u *Unit) Accesses() (reads, writes uint64) { return u.totalReads, u.totalWrites }
+
+// NewArrayUnit builds a unit whose access energies come from the SRAM array
+// model for spec s in organization o.
+func NewArrayUnit(name string, g Group, m array.Model, s array.Spec, o array.Org, ports int) *Unit {
+	if ports < 1 {
+		ports = 1
+	}
+	return &Unit{
+		Name:     name,
+		Group:    g,
+		ERead:    m.ReadEnergy(s, o),
+		EWrite:   m.WriteEnergy(s, o),
+		EPartial: m.PartialReadEnergy(s, o),
+		Ports:    ports,
+	}
+}
+
+// NewFixedUnit builds a unit with a flat per-access energy (functional
+// units, buses, latches).
+func NewFixedUnit(name string, g Group, eAccess float64, ports int) *Unit {
+	if ports < 1 {
+		ports = 1
+	}
+	return &Unit{Name: name, Group: g, ERead: eAccess, EWrite: eAccess, EPartial: 0, Ports: ports}
+}
+
+// Meter accumulates per-cycle energy over a simulation.
+type Meter struct {
+	// CycleSeconds is the clock period, for power conversion.
+	CycleSeconds float64
+	// ClockBaseFraction sets the clock tree's floor as a fraction of the
+	// sum of unit maximum powers; ClockActivityFraction adds clock energy
+	// proportional to the cycle's switched energy (loaded clock nodes).
+	ClockBaseFraction, ClockActivityFraction float64
+	// Style is the conditional-clocking model (default CC3, the paper's).
+	Style GatingStyle
+
+	units  []*Unit
+	byName map[string]*Unit
+
+	cycles      uint64
+	clockEnergy float64
+	maxPerCycle float64 // cached sum of unit max energies
+}
+
+// NewMeter builds a Meter for the given clock period.
+func NewMeter(cycleSeconds float64) *Meter {
+	return &Meter{
+		CycleSeconds:          cycleSeconds,
+		ClockBaseFraction:     0.08,
+		ClockActivityFraction: 0.22,
+		byName:                map[string]*Unit{},
+	}
+}
+
+// Add registers a unit. Names must be unique.
+func (m *Meter) Add(u *Unit) *Unit {
+	if _, dup := m.byName[u.Name]; dup {
+		panic(fmt.Sprintf("power: duplicate unit %q", u.Name))
+	}
+	m.units = append(m.units, u)
+	m.byName[u.Name] = u
+	m.maxPerCycle += u.maxCycleEnergy()
+	return u
+}
+
+// Unit returns the named unit, or nil.
+func (m *Meter) Unit(name string) *Unit { return m.byName[name] }
+
+// Units returns the registered units sorted by name.
+func (m *Meter) Units() []*Unit {
+	us := append([]*Unit(nil), m.units...)
+	sort.Slice(us, func(i, j int) bool { return us[i].Name < us[j].Name })
+	return us
+}
+
+// EndCycle folds the cycle's activity into accumulated energy and resets the
+// per-cycle counters.
+func (m *Meter) EndCycle() {
+	var switched float64
+	for _, u := range m.units {
+		var e float64
+		idle := u.reads == 0 && u.writes == 0 && u.partials == 0
+		switch m.Style {
+		case CC0:
+			e = u.maxCycleEnergy()
+		case CC1:
+			if !idle {
+				e = u.maxCycleEnergy()
+			}
+		case CC2:
+			if !idle {
+				e = float64(u.reads)*u.ERead + float64(u.writes)*u.EWrite + float64(u.partials)*u.EPartial
+			}
+		default: // CC3
+			if idle {
+				e = IdleFraction * u.maxCycleEnergy()
+			} else {
+				e = float64(u.reads)*u.ERead + float64(u.writes)*u.EWrite + float64(u.partials)*u.EPartial
+			}
+		}
+		u.energy += e
+		switched += e
+		u.totalReads += u.reads
+		u.totalWrites += u.writes
+		u.reads, u.writes, u.partials = 0, 0, 0
+	}
+	m.clockEnergy += m.ClockBaseFraction*m.maxPerCycle + m.ClockActivityFraction*switched
+	m.cycles++
+}
+
+// Cycles returns the number of accounted cycles.
+func (m *Meter) Cycles() uint64 { return m.cycles }
+
+// TotalEnergy returns the total energy in joules, including the clock tree.
+func (m *Meter) TotalEnergy() float64 {
+	e := m.clockEnergy
+	for _, u := range m.units {
+		e += u.energy
+	}
+	return e
+}
+
+// GroupEnergy returns the accumulated energy of one group (GroupClock maps
+// to the clock tree).
+func (m *Meter) GroupEnergy(g Group) float64 {
+	if g == GroupClock {
+		return m.clockEnergy
+	}
+	var e float64
+	for _, u := range m.units {
+		if u.Group == g {
+			e += u.energy
+		}
+	}
+	return e
+}
+
+// PredictorEnergy returns the energy of the branch-prediction structures
+// (direction predictor + BTB + RAS + PPD), the paper's "predictor power"
+// aggregation.
+func (m *Meter) PredictorEnergy() float64 {
+	var e float64
+	for _, u := range m.units {
+		if PredictorGroups[u.Group] {
+			e += u.energy
+		}
+	}
+	return e
+}
+
+// Seconds returns the accounted wall-clock time.
+func (m *Meter) Seconds() float64 { return float64(m.cycles) * m.CycleSeconds }
+
+// AveragePower returns total average power in watts.
+func (m *Meter) AveragePower() float64 {
+	if m.cycles == 0 {
+		return 0
+	}
+	return m.TotalEnergy() / m.Seconds()
+}
+
+// PredictorPower returns average predictor power in watts.
+func (m *Meter) PredictorPower() float64 {
+	if m.cycles == 0 {
+		return 0
+	}
+	return m.PredictorEnergy() / m.Seconds()
+}
+
+// EnergyDelay returns the energy-delay product in joule-seconds (Gonzalez &
+// Horowitz), the paper's combined metric.
+func (m *Meter) EnergyDelay() float64 { return m.TotalEnergy() * m.Seconds() }
+
+// Reset zeroes all accumulated energy, activity, and cycle counts while
+// keeping the registered units — used to discard warm-up before measuring.
+func (m *Meter) Reset() {
+	for _, u := range m.units {
+		u.energy = 0
+		u.reads, u.writes, u.partials = 0, 0, 0
+		u.totalReads, u.totalWrites = 0, 0
+	}
+	m.clockEnergy = 0
+	m.cycles = 0
+}
+
+// Breakdown returns per-group energies in joules, keyed by group name, with
+// "clock" included.
+func (m *Meter) Breakdown() map[string]float64 {
+	out := map[string]float64{"clock": m.clockEnergy}
+	for _, u := range m.units {
+		out[u.Group.String()] += u.energy
+	}
+	return out
+}

@@ -1,0 +1,252 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"bpredpower/internal/array"
+)
+
+func testUnit(name string, g Group, e float64, ports int) *Unit {
+	return NewFixedUnit(name, g, e, ports)
+}
+
+func TestIdleUnitsDissipateTenPercent(t *testing.T) {
+	m := NewMeter(1e-9)
+	m.ClockBaseFraction, m.ClockActivityFraction = 0, 0
+	u := m.Add(testUnit("u", GroupALU, 1e-9, 2))
+	m.EndCycle()
+	want := IdleFraction * 2 * 1e-9
+	if math.Abs(u.Energy()-want) > 1e-15 {
+		t.Errorf("idle energy = %.3g, want %.3g", u.Energy(), want)
+	}
+}
+
+func TestActiveUnitScalesWithAccesses(t *testing.T) {
+	m := NewMeter(1e-9)
+	m.ClockBaseFraction, m.ClockActivityFraction = 0, 0
+	u := m.Add(testUnit("u", GroupALU, 1e-9, 4))
+	u.Read(3)
+	m.EndCycle()
+	if math.Abs(u.Energy()-3e-9) > 1e-15 {
+		t.Errorf("active energy = %.3g, want 3e-9", u.Energy())
+	}
+	reads, _ := u.Accesses()
+	if reads != 3 {
+		t.Errorf("lifetime reads = %d", reads)
+	}
+}
+
+func TestWriteAndPartialEnergies(t *testing.T) {
+	m := NewMeter(1e-9)
+	m.ClockBaseFraction, m.ClockActivityFraction = 0, 0
+	u := m.Add(&Unit{Name: "arr", Group: GroupBpred, ERead: 10e-12, EWrite: 4e-12, EPartial: 6e-12, Ports: 1})
+	u.Write(2)
+	u.Partial(1)
+	m.EndCycle()
+	want := 2*4e-12 + 6e-12
+	if math.Abs(u.Energy()-want) > 1e-18 {
+		t.Errorf("energy = %.4g, want %.4g", u.Energy(), want)
+	}
+}
+
+func TestClockTreeEnergy(t *testing.T) {
+	m := NewMeter(1e-9)
+	m.Add(testUnit("u", GroupALU, 1e-9, 1))
+	m.EndCycle() // idle cycle
+	clock := m.GroupEnergy(GroupClock)
+	if clock <= 0 {
+		t.Error("clock energy should be positive")
+	}
+	wantBase := m.ClockBaseFraction * 1e-9
+	wantAct := m.ClockActivityFraction * IdleFraction * 1e-9
+	if math.Abs(clock-(wantBase+wantAct)) > 1e-15 {
+		t.Errorf("clock energy = %.4g, want %.4g", clock, wantBase+wantAct)
+	}
+}
+
+func TestGroupAndPredictorAggregation(t *testing.T) {
+	m := NewMeter(1e-9)
+	m.ClockBaseFraction, m.ClockActivityFraction = 0, 0
+	bp := m.Add(testUnit("bpred.pht", GroupBpred, 2e-9, 1))
+	bt := m.Add(testUnit("btb", GroupBTB, 3e-9, 1))
+	al := m.Add(testUnit("ialu", GroupALU, 5e-9, 1))
+	bp.Read(1)
+	bt.Read(1)
+	al.Read(1)
+	m.EndCycle()
+	if got := m.PredictorEnergy(); math.Abs(got-5e-9) > 1e-15 {
+		t.Errorf("predictor energy = %.3g, want 5e-9", got)
+	}
+	if got := m.GroupEnergy(GroupALU); math.Abs(got-5e-9) > 1e-15 {
+		t.Errorf("ALU energy = %.3g", got)
+	}
+	if m.TotalEnergy() <= m.PredictorEnergy() {
+		t.Error("total must exceed predictor energy")
+	}
+}
+
+func TestPowerMetrics(t *testing.T) {
+	m := NewMeter(1e-9)
+	m.ClockBaseFraction, m.ClockActivityFraction = 0, 0
+	u := m.Add(testUnit("u", GroupALU, 2e-9, 1))
+	for i := 0; i < 10; i++ {
+		u.Read(1)
+		m.EndCycle()
+	}
+	if m.Cycles() != 10 {
+		t.Errorf("cycles = %d", m.Cycles())
+	}
+	if math.Abs(m.Seconds()-10e-9) > 1e-18 {
+		t.Errorf("seconds = %.3g", m.Seconds())
+	}
+	// 20nJ over 10ns = 2W.
+	if math.Abs(m.AveragePower()-2) > 1e-9 {
+		t.Errorf("average power = %.3g W", m.AveragePower())
+	}
+	wantEDP := 20e-9 * 10e-9
+	if math.Abs(m.EnergyDelay()-wantEDP) > 1e-24 {
+		t.Errorf("EDP = %.3g", m.EnergyDelay())
+	}
+}
+
+func TestBreakdownSumsToTotal(t *testing.T) {
+	m := NewMeter(1e-9)
+	a := m.Add(testUnit("a", GroupFetch, 1e-9, 1))
+	b := m.Add(testUnit("b", GroupDMem, 2e-9, 2))
+	a.Read(1)
+	b.Write(1)
+	m.EndCycle()
+	m.EndCycle()
+	var sum float64
+	for _, e := range m.Breakdown() {
+		sum += e
+	}
+	if math.Abs(sum-m.TotalEnergy()) > 1e-15 {
+		t.Errorf("breakdown sum %.4g != total %.4g", sum, m.TotalEnergy())
+	}
+}
+
+func TestDuplicateUnitPanics(t *testing.T) {
+	m := NewMeter(1e-9)
+	m.Add(testUnit("dup", GroupALU, 1e-9, 1))
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate unit accepted")
+		}
+	}()
+	m.Add(testUnit("dup", GroupALU, 1e-9, 1))
+}
+
+func TestUnitLookupAndSorting(t *testing.T) {
+	m := NewMeter(1e-9)
+	m.Add(testUnit("zeta", GroupALU, 1e-9, 1))
+	m.Add(testUnit("alpha", GroupALU, 1e-9, 1))
+	if m.Unit("zeta") == nil || m.Unit("missing") != nil {
+		t.Error("Unit lookup broken")
+	}
+	us := m.Units()
+	if us[0].Name != "alpha" || us[1].Name != "zeta" {
+		t.Error("Units not sorted")
+	}
+}
+
+func TestArrayUnitEnergies(t *testing.T) {
+	am := array.NewModel()
+	s := array.Spec{Entries: 4096, Width: 2, OutBits: 2}
+	o := array.ChooseClosestSquare(s)
+	u := NewArrayUnit("pht", GroupBpred, am, s, o, 1)
+	if u.ERead != am.ReadEnergy(s, o) || u.EWrite != am.WriteEnergy(s, o) || u.EPartial != am.PartialReadEnergy(s, o) {
+		t.Error("array unit energies do not match model")
+	}
+	if u.ERead <= 0 {
+		t.Error("non-positive read energy")
+	}
+}
+
+func TestGroupString(t *testing.T) {
+	if GroupBpred.String() != "bpred" || GroupClock.String() != "clock" {
+		t.Error("group names wrong")
+	}
+	if Group(99).String() == "" {
+		t.Error("unknown group empty")
+	}
+}
+
+// TestEnergyMonotonicInActivity: more accesses never yield less energy.
+func TestEnergyMonotonicInActivity(t *testing.T) {
+	for n := 0; n < 8; n++ {
+		m := NewMeter(1e-9)
+		m.ClockBaseFraction, m.ClockActivityFraction = 0, 0
+		u := m.Add(testUnit("u", GroupALU, 1e-9, 8))
+		u.Read(n)
+		m.EndCycle()
+		// n=0 gives the idle floor of 0.8nJ; n>=1 gives n nJ.
+		want := float64(n) * 1e-9
+		if n == 0 {
+			want = IdleFraction * 8e-9
+		}
+		if math.Abs(u.Energy()-want) > 1e-15 {
+			t.Errorf("n=%d: energy %.3g, want %.3g", n, u.Energy(), want)
+		}
+	}
+}
+
+func TestGatingStyles(t *testing.T) {
+	run := func(style GatingStyle, reads int) float64 {
+		m := NewMeter(1e-9)
+		m.Style = style
+		m.ClockBaseFraction, m.ClockActivityFraction = 0, 0
+		u := m.Add(testUnit("u", GroupALU, 1e-9, 4))
+		u.Read(reads)
+		m.EndCycle()
+		return u.Energy()
+	}
+	// CC0: always max, active or not.
+	if run(CC0, 0) != 4e-9 || run(CC0, 2) != 4e-9 {
+		t.Error("cc0 should always burn max power")
+	}
+	// CC1: full when active, zero when idle.
+	if run(CC1, 0) != 0 || run(CC1, 1) != 4e-9 {
+		t.Error("cc1 should be all-or-nothing")
+	}
+	// CC2: scaled when active, zero when idle.
+	if run(CC2, 0) != 0 || run(CC2, 2) != 2e-9 {
+		t.Error("cc2 should scale with usage and gate fully")
+	}
+	// CC3: scaled when active, 10% floor when idle (the paper's model).
+	if math.Abs(run(CC3, 0)-IdleFraction*4e-9) > 1e-18 || math.Abs(run(CC3, 2)-2e-9) > 1e-18 {
+		t.Error("cc3 should scale with usage with a 10% idle floor")
+	}
+}
+
+func TestGatingStyleOrdering(t *testing.T) {
+	// For any activity pattern: ideal gating (cc2) lower-bounds both
+	// partial-gating styles, and no gating (cc0) upper-bounds everything.
+	// (cc1 and cc3 are not mutually ordered: cc1 wins when idle, cc3 when
+	// partially active.)
+	for reads := 0; reads <= 4; reads++ {
+		energy := func(style GatingStyle) float64 {
+			m := NewMeter(1e-9)
+			m.Style = style
+			m.ClockBaseFraction, m.ClockActivityFraction = 0, 0
+			u := m.Add(testUnit("u", GroupALU, 1e-9, 4))
+			u.Read(reads)
+			m.EndCycle()
+			return u.Energy()
+		}
+		e0, e1, e2, e3 := energy(CC0), energy(CC1), energy(CC2), energy(CC3)
+		if e2 > e1+1e-18 || e2 > e3+1e-18 {
+			t.Errorf("reads=%d: cc2 not a lower bound: cc2=%v cc1=%v cc3=%v", reads, e2, e1, e3)
+		}
+		if e1 > e0+1e-18 || e3 > e0+1e-18 {
+			t.Errorf("reads=%d: cc0 not an upper bound", reads)
+		}
+	}
+}
+
+func TestGatingStyleNames(t *testing.T) {
+	if CC0.String() != "cc0" || CC3.String() != "cc3" {
+		t.Error("style names wrong")
+	}
+}

@@ -1,0 +1,92 @@
+package ppd
+
+import "testing"
+
+func TestProbeConservativeWhenUnfilled(t *testing.T) {
+	p := New(2048)
+	needDir, needBTB := p.Probe(17)
+	if !needDir || !needBTB {
+		t.Error("unfilled entry must require both lookups")
+	}
+}
+
+func TestFillThenProbe(t *testing.T) {
+	p := New(2048)
+	cases := []struct{ cond, ctl bool }{
+		{false, false},
+		{false, true},
+		{true, true},
+	}
+	for i, c := range cases {
+		p.Fill(i, c.cond, c.ctl)
+		dir, btb := p.Probe(i)
+		if dir != c.cond || btb != c.ctl {
+			t.Errorf("entry %d: probe = (%v,%v), want (%v,%v)", i, dir, btb, c.cond, c.ctl)
+		}
+	}
+}
+
+func TestStatsCountAvoidance(t *testing.T) {
+	p := New(16)
+	p.Fill(0, false, false) // avoids both
+	p.Fill(1, true, true)   // avoids neither
+	p.Fill(2, false, true)  // avoids dirpred only
+	p.Probe(0)
+	p.Probe(1)
+	p.Probe(2)
+	p.Probe(3) // unfilled, avoids nothing
+	probes, dirAvoided, btbAvoided := p.Stats()
+	if probes != 4 || dirAvoided != 2 || btbAvoided != 1 {
+		t.Errorf("stats = %d/%d/%d, want 4/2/1", probes, dirAvoided, btbAvoided)
+	}
+}
+
+func TestRefillOverwrites(t *testing.T) {
+	p := New(8)
+	p.Fill(3, true, true)
+	p.Fill(3, false, false) // the line was replaced by branch-free code
+	dir, btb := p.Probe(3)
+	if dir || btb {
+		t.Error("refill did not overwrite entry")
+	}
+}
+
+func TestBitsAndEntries(t *testing.T) {
+	// The paper's configuration: one entry per I-cache line (64KB / 32B =
+	// 2048 lines), 2 bits each = 4 Kbits.
+	p := New(2048)
+	if p.Entries() != 2048 {
+		t.Errorf("entries = %d", p.Entries())
+	}
+	if p.Bits() != 4096 {
+		t.Errorf("bits = %d, want 4096 (4 Kbits)", p.Bits())
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New(8)
+	p.Fill(1, false, false)
+	p.Probe(1)
+	p.Reset()
+	if n, _, _ := p.Stats(); n != 0 {
+		t.Error("reset left stats")
+	}
+	if dir, btb := p.Probe(1); !dir || !btb {
+		t.Error("reset left valid entries")
+	}
+}
+
+func TestScenarioString(t *testing.T) {
+	if Off.String() != "off" || Scenario1.String() != "scenario1" || Scenario2.String() != "scenario2" {
+		t.Error("scenario names wrong")
+	}
+}
+
+func TestNewPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) accepted")
+		}
+	}()
+	New(0)
+}

@@ -1,0 +1,134 @@
+// Package program models synthetic static program images and the behaviour
+// engine that decides dynamic branch outcomes.
+//
+// The paper drives its simulator with SPECcpu2000 Alpha EIO traces. Those
+// traces are unavailable here, so we substitute synthetic programs whose
+// *static structure* (basic-block lengths, call graph, branch-target shape)
+// and *dynamic branch behaviour* (per-site outcome processes) are calibrated
+// per benchmark to the branch frequencies and predictor accuracies the paper
+// reports in Table 2. A Program is a closed control-flow graph over a flat
+// code image; a Walker executes it architecturally, one instruction at a
+// time, and is the oracle the cycle simulator follows for the correct path.
+//
+// Outcomes are pure functions of (program seed, site, occurrence index,
+// global outcome history), never of simulator timing, so every predictor
+// configuration observes the identical dynamic instruction stream — the
+// property the paper's EIO traces guarantee ("this ensures reproducible
+// results for each benchmark across multiple simulations").
+package program
+
+import (
+	"fmt"
+
+	"bpredpower/internal/xrand"
+)
+
+// BehaviorKind enumerates the outcome processes a branch site can follow.
+type BehaviorKind uint8
+
+const (
+	// BehaviorBiased sites are taken independently with probability PTaken.
+	// They model highly skewed branches (error checks, guard clauses) and are
+	// learned equally well by every predictor.
+	BehaviorBiased BehaviorKind = iota
+	// BehaviorLoop sites are taken TripCount times, then not taken once,
+	// repeating. A two-bit counter mispredicts roughly once per traversal;
+	// a local-history predictor with enough history captures the exit.
+	BehaviorLoop
+	// BehaviorLocalPattern sites repeat a fixed per-site taken/not-taken
+	// pattern. Local-history (PAs) predictors capture them; global predictors
+	// capture them only when the pattern is visible in global history.
+	BehaviorLocalPattern
+	// BehaviorGlobalCorrelated sites compute their outcome from the parity of
+	// recent global branch outcomes selected by HistMask. Global-history
+	// predictors with enough history predict them; bimodal and local-history
+	// predictors see a coin flip.
+	BehaviorGlobalCorrelated
+	// BehaviorRandom sites are unpredictable 50/50 coin flips; no predictor
+	// does better than chance. They model data-dependent branches.
+	BehaviorRandom
+
+	numBehaviorKinds
+)
+
+var behaviorNames = [...]string{
+	BehaviorBiased:           "biased",
+	BehaviorLoop:             "loop",
+	BehaviorLocalPattern:     "local-pattern",
+	BehaviorGlobalCorrelated: "global-correlated",
+	BehaviorRandom:           "random",
+}
+
+// String returns the behaviour kind's name.
+func (k BehaviorKind) String() string {
+	if int(k) < len(behaviorNames) {
+		return behaviorNames[k]
+	}
+	return fmt.Sprintf("behavior(%d)", uint8(k))
+}
+
+// Site is one static conditional branch site together with its outcome
+// process. Sites are identified by their index in Program.Sites.
+type Site struct {
+	// ID is the site's index within its program.
+	ID int32
+	// Kind selects the outcome process.
+	Kind BehaviorKind
+	// PTaken is the taken probability for BehaviorBiased (and the flip
+	// probability base for BehaviorRandom, which always uses 0.5).
+	PTaken float64
+	// TripCount is the number of consecutive taken outcomes per loop
+	// traversal for BehaviorLoop.
+	TripCount uint32
+	// Pattern and PatternLen define the repeating outcome string for
+	// BehaviorLocalPattern; bit i of Pattern is the outcome of occurrence
+	// (occ mod PatternLen) == i.
+	Pattern    uint64
+	PatternLen uint32
+	// HistMask selects the global-history bits whose parity decides a
+	// BehaviorGlobalCorrelated site (bit 0 = most recent outcome).
+	HistMask uint64
+	// Invert flips the correlated parity.
+	Invert bool
+	// Noise is the probability that the modelled outcome is flipped, adding
+	// an irreducible misprediction floor to any behaviour.
+	Noise float64
+}
+
+// Outcome returns the dynamic outcome (true = taken) of the site's occ-th
+// execution given the global outcome history ghist (bit 0 = most recent
+// committed conditional-branch outcome). seed is the program seed. The
+// result is a pure function of its arguments.
+func (s *Site) Outcome(seed uint64, occ uint64, ghist uint64) bool {
+	var out bool
+	switch s.Kind {
+	case BehaviorBiased:
+		out = xrand.HashBool(s.PTaken, seed, uint64(s.ID), occ)
+	case BehaviorLoop:
+		period := uint64(s.TripCount) + 1
+		out = occ%period != uint64(s.TripCount)
+	case BehaviorLocalPattern:
+		out = (s.Pattern>>(occ%uint64(s.PatternLen)))&1 == 1
+	case BehaviorGlobalCorrelated:
+		out = parity(ghist&s.HistMask) != s.Invert
+	case BehaviorRandom:
+		out = xrand.HashBool(0.5, seed, uint64(s.ID), occ)
+	default:
+		panic(fmt.Sprintf("program: unknown behaviour kind %d", s.Kind))
+	}
+	if s.Noise > 0 && xrand.HashBool(s.Noise, seed, ^uint64(s.ID), occ) {
+		out = !out
+	}
+	return out
+}
+
+// parity returns true when x has an odd number of set bits.
+func parity(x uint64) bool {
+	x ^= x >> 32
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return x&1 == 1
+}

@@ -1,0 +1,206 @@
+package program
+
+import (
+	"testing"
+
+	"bpredpower/internal/isa"
+)
+
+func calSpec(seed uint64, mix *MixTargets) Spec {
+	return Spec{
+		Name:         "caltest",
+		Seed:         seed,
+		NumBlocks:    700,
+		NumFuncs:     10,
+		MeanBlockLen: 9,
+		CondFrac:     0.6,
+		JumpFrac:     0.1,
+		CallFrac:     0.05,
+		LoadFrac:     0.2,
+		StoreFrac:    0.08,
+		DepMean:      8,
+		Behaviors: []BehaviorWeight{
+			{Kind: BehaviorBiased, Weight: 0.5, PTaken: 0.995},
+			{Kind: BehaviorLoop, Weight: 0.02, TripMean: 16},
+			{Kind: BehaviorGlobalCorrelated, Weight: 0.2, HistSpan: 6},
+			{Kind: BehaviorLocalPattern, Weight: 0.08, PatternMaxLen: 6},
+			{Kind: BehaviorRandom, Weight: 0.2},
+		},
+		Regions: []MemRegion{{Size: 1 << 16, Stride: 8}},
+		Mix:     mix,
+	}
+}
+
+func measureMix(p *Program, steps int) (map[BehaviorKind]float64, float64) {
+	w := NewWalker(p)
+	var conds uint64
+	mass := map[BehaviorKind]float64{}
+	for i := 0; i < steps; i++ {
+		st := w.Step()
+		if st.SI.Class == isa.ClassBranch {
+			conds++
+			mass[p.Sites[st.SI.Site].Kind]++
+		}
+	}
+	for k := range mass {
+		mass[k] /= float64(conds)
+	}
+	return mass, float64(conds) / float64(steps)
+}
+
+func TestCalibrationHitsLoopTarget(t *testing.T) {
+	mix := &MixTargets{
+		Biased: 0.45, Loop: 0.25, Correlated: 0.08, Pattern: 0.05, Random: 0.17,
+		PTaken: 0.995, Trip: 16, PatternMaxLen: 6,
+	}
+	p := MustGenerate(calSpec(42, mix))
+	got, _ := measureMix(p, 400000)
+	if l := got[BehaviorLoop]; l < mix.Loop-0.10 || l > mix.Loop+0.12 {
+		t.Errorf("loop share %.3f, target %.3f", l, mix.Loop)
+	}
+	// Random + correlated pull accuracy down; make sure they exist at all.
+	if got[BehaviorRandom]+got[BehaviorGlobalCorrelated] < 0.05 {
+		t.Errorf("unpredictable shares vanished: %v", got)
+	}
+}
+
+func TestCalibrationDeterministic(t *testing.T) {
+	mix := &MixTargets{Biased: 0.5, Loop: 0.2, Correlated: 0.06, Pattern: 0.05, Random: 0.19,
+		PTaken: 0.995, Trip: 16}
+	a := MustGenerate(calSpec(7, mix))
+	b := MustGenerate(calSpec(7, mix))
+	for i := range a.Sites {
+		if a.Sites[i] != b.Sites[i] {
+			t.Fatalf("site %d differs across identical generations", i)
+		}
+	}
+}
+
+func TestCalibrationPreservesValidity(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		mix := &MixTargets{Biased: 0.4, Loop: 0.3, Correlated: 0.1, Pattern: 0.05, Random: 0.15,
+			PTaken: 0.995, Trip: 12}
+		p := MustGenerate(calSpec(seed, mix))
+		if err := p.Validate(); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+		// Long walk stays inside the image.
+		w := NewWalker(p)
+		for i := 0; i < 200000; i++ {
+			w.Step()
+		}
+		if w.Restarts() != 0 {
+			t.Errorf("seed %d: %d walker restarts after calibration", seed, w.Restarts())
+		}
+	}
+}
+
+func TestLoopModulesAreSelfTargeting(t *testing.T) {
+	mix := &MixTargets{Biased: 0.4, Loop: 0.3, Correlated: 0.05, Pattern: 0.05, Random: 0.2,
+		PTaken: 0.995, Trip: 12}
+	p := MustGenerate(calSpec(3, mix))
+	loops := 0
+	for i := range p.Code {
+		si := &p.Code[i]
+		if si.Class != isa.ClassBranch {
+			continue
+		}
+		s := &p.Sites[si.Site]
+		if s.Kind == BehaviorLoop {
+			loops++
+			if si.Target > si.PC {
+				t.Errorf("loop site %d at %#x targets forward (%#x)", s.ID, si.PC, si.Target)
+			}
+			// Calibrated (hot) modules carry the mix trip count; cold
+			// modules keep their generation-time trip.
+			if s.TripCount != 12 && s.TripCount != 16 {
+				t.Errorf("loop site %d trip %d, want 12 (calibrated) or 16 (static)", s.ID, s.TripCount)
+			}
+		}
+	}
+	if loops == 0 {
+		t.Error("no active loop modules after calibration")
+	}
+}
+
+func TestDormantModulesAreNearNeverTaken(t *testing.T) {
+	mix := &MixTargets{Biased: 0.6, Loop: 0.05, Correlated: 0.05, Pattern: 0.05, Random: 0.25,
+		PTaken: 0.995, Trip: 12}
+	p := MustGenerate(calSpec(5, mix))
+	dormant := 0
+	for i := range p.Code {
+		si := &p.Code[i]
+		if si.Class != isa.ClassBranch || si.Target > si.PC {
+			continue
+		}
+		s := &p.Sites[si.Site]
+		if s.Kind == BehaviorBiased {
+			dormant++
+			// Backward/self-targeting biased sites must be exit-biased —
+			// a taken-biased one would spin nearly forever.
+			if s.PTaken > 0.5 {
+				t.Errorf("backward biased site %d is taken-biased (PTaken %v)", s.ID, s.PTaken)
+			}
+		}
+	}
+	if dormant == 0 {
+		t.Error("expected some dormant loop modules with a tiny loop target")
+	}
+}
+
+func TestCorrelatedPairsStructure(t *testing.T) {
+	mix := &MixTargets{Biased: 0.4, Loop: 0.1, Correlated: 0.15, Pattern: 0.05, Random: 0.3,
+		PTaken: 0.995, Trip: 12}
+	p := MustGenerate(calSpec(9, mix))
+	repeaters := 0
+	for i := range p.Sites {
+		s := &p.Sites[i]
+		if s.Kind != BehaviorGlobalCorrelated {
+			continue
+		}
+		repeaters++
+		if s.HistMask == 0 {
+			t.Errorf("repeater %d has empty mask", s.ID)
+		}
+		if s.Invert {
+			t.Errorf("repeater %d inverted; repeaters are uniformly non-inverted", s.ID)
+		}
+	}
+	if repeaters == 0 {
+		t.Error("no correlated repeaters generated")
+	}
+}
+
+func TestMixedPolarityBiasedSites(t *testing.T) {
+	p := MustGenerate(calSpec(11, &MixTargets{
+		Biased: 0.7, Loop: 0.05, Correlated: 0.02, Pattern: 0.03, Random: 0.2,
+		PTaken: 0.995, Trip: 12,
+	}))
+	taken, notTaken := 0, 0
+	for i := range p.Sites {
+		s := &p.Sites[i]
+		if s.Kind != BehaviorBiased || s.PTaken == ModuleDormantPTaken {
+			continue
+		}
+		if s.PTaken > 0.5 {
+			taken++
+		} else {
+			notTaken++
+		}
+	}
+	if taken == 0 || notTaken == 0 {
+		t.Errorf("biased polarity not mixed: %d taken-biased, %d not-taken-biased", taken, notTaken)
+	}
+}
+
+func TestBiasedPTakenHelper(t *testing.T) {
+	if biasedPTaken(0, 0.995) != 0.995 {
+		t.Error("even sites should keep p")
+	}
+	if got := biasedPTaken(1, 0.995); got < 0.004 || got > 0.006 {
+		t.Errorf("odd sites should flip polarity, got %v", got)
+	}
+	if biasedPTaken(2, 0) != 0.95 {
+		t.Error("zero p should default")
+	}
+}

@@ -1,0 +1,133 @@
+package program
+
+import (
+	"fmt"
+
+	"bpredpower/internal/isa"
+)
+
+// MemClass identifies one synthetic memory region / reference stream.
+type MemClass uint32
+
+// MemRegion describes one synthetic data region and its access pattern.
+// Loads and stores assigned to the region walk it with the given stride, and
+// a RandomFrac fraction of references jump to a hashed location inside the
+// region instead, defeating spatial locality.
+type MemRegion struct {
+	// Size is the region size in bytes; it bounds the reference footprint and
+	// therefore the cache miss rate.
+	Size uint64
+	// Stride is the byte distance between consecutive sequential references.
+	Stride uint64
+	// RandomFrac is the fraction of references made to hashed addresses.
+	RandomFrac float64
+}
+
+// Program is a synthetic static code image: a closed control-flow graph laid
+// out over a flat array of fixed-width instructions, plus the branch sites'
+// behaviour models and the data regions referenced by memory instructions.
+type Program struct {
+	// Name is a human-readable identifier (the benchmark name).
+	Name string
+	// Seed is the deterministic seed behaviour outcomes are derived from.
+	Seed uint64
+	// Base is the virtual address of Code[0].
+	Base uint64
+	// Code is the flat instruction image; Code[i] is at Base + 4*i.
+	Code []isa.StaticInst
+	// Sites holds the conditional branch sites referenced by Code[i].Site.
+	Sites []Site
+	// Regions are the synthetic data regions; MemBase indexes into it.
+	Regions []MemRegion
+	// Entry is the address execution starts at.
+	Entry uint64
+}
+
+// Len returns the number of static instructions.
+func (p *Program) Len() int { return len(p.Code) }
+
+// CodeBytes returns the size of the code image in bytes.
+func (p *Program) CodeBytes() uint64 { return uint64(len(p.Code)) * isa.InstBytes }
+
+// InstAt returns the static instruction at pc, or nil when pc lies outside
+// the code image or is misaligned.
+func (p *Program) InstAt(pc uint64) *isa.StaticInst {
+	if pc < p.Base || (pc-p.Base)%isa.InstBytes != 0 {
+		return nil
+	}
+	i := (pc - p.Base) / isa.InstBytes
+	if i >= uint64(len(p.Code)) {
+		return nil
+	}
+	return &p.Code[i]
+}
+
+// Contains reports whether pc falls inside the code image.
+func (p *Program) Contains(pc uint64) bool { return p.InstAt(pc) != nil }
+
+// Validate checks structural invariants of the program: every control
+// transfer targets an in-image, aligned address; every conditional branch
+// names a valid site; execution cannot run off either end of the image.
+// Generated programs always validate; the check exists for hand-built
+// programs in tests and examples.
+func (p *Program) Validate() error {
+	if len(p.Code) == 0 {
+		return fmt.Errorf("program %s: empty code image", p.Name)
+	}
+	if !p.Contains(p.Entry) {
+		return fmt.Errorf("program %s: entry %#x outside code image", p.Name, p.Entry)
+	}
+	last := &p.Code[len(p.Code)-1]
+	if !last.Class.IsUncondControl() {
+		return fmt.Errorf("program %s: last instruction %v does not transfer control", p.Name, last)
+	}
+	for i := range p.Code {
+		si := &p.Code[i]
+		want := p.Base + uint64(i)*isa.InstBytes
+		if si.PC != want {
+			return fmt.Errorf("program %s: instruction %d has PC %#x, want %#x", p.Name, i, si.PC, want)
+		}
+		switch si.Class {
+		case isa.ClassBranch:
+			if si.Site < 0 || int(si.Site) >= len(p.Sites) {
+				return fmt.Errorf("program %s: branch at %#x has invalid site %d", p.Name, si.PC, si.Site)
+			}
+			if !p.Contains(si.Target) {
+				return fmt.Errorf("program %s: branch at %#x targets %#x outside image", p.Name, si.PC, si.Target)
+			}
+			if si.Target == si.NextPC() {
+				return fmt.Errorf("program %s: branch at %#x targets its own fall-through", p.Name, si.PC)
+			}
+		case isa.ClassJump, isa.ClassCall:
+			if !p.Contains(si.Target) {
+				return fmt.Errorf("program %s: %s at %#x targets %#x outside image", p.Name, si.Class, si.PC, si.Target)
+			}
+		}
+		if si.Class.IsMem() {
+			if int(si.MemBase) >= len(p.Regions) {
+				return fmt.Errorf("program %s: mem op at %#x names region %d of %d", p.Name, si.PC, si.MemBase, len(p.Regions))
+			}
+		}
+	}
+	for i := range p.Sites {
+		s := &p.Sites[i]
+		if s.ID != int32(i) {
+			return fmt.Errorf("program %s: site %d has ID %d", p.Name, i, s.ID)
+		}
+		switch s.Kind {
+		case BehaviorLoop:
+			if s.TripCount == 0 {
+				return fmt.Errorf("program %s: loop site %d has zero trip count", p.Name, i)
+			}
+		case BehaviorLocalPattern:
+			if s.PatternLen == 0 || s.PatternLen > 64 {
+				return fmt.Errorf("program %s: pattern site %d has bad length %d", p.Name, i, s.PatternLen)
+			}
+		case BehaviorGlobalCorrelated:
+			if s.HistMask == 0 {
+				return fmt.Errorf("program %s: correlated site %d has empty mask", p.Name, i)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package program
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+
+	"bpredpower/internal/isa"
+)
+
+// Binary program-image serialization. This is the repository's analogue of
+// archiving a benchmark binary: a generated (and calibrated) program can be
+// saved and reloaded bit-exactly, so experiments are reproducible even
+// across changes to the generator, just as the paper's EIO traces pin the
+// dynamic stream across simulator versions.
+//
+// Format (all integers little-endian):
+//
+//	magic   [8]byte  "BPPROG01"
+//	name    u16 len + bytes
+//	seed    u64
+//	base    u64
+//	entry   u64
+//	nregion u32, then per region: size u64, stride u64, randomFrac f64
+//	ncode   u32, then per instruction: class u8, dest u8, src1 u8, src2 u8,
+//	        target u64, site i32, memBase u32   (PC is implied by position)
+//	nsite   u32, then per site: kind u8, pTaken f64, trip u32, pattern u64,
+//	        patternLen u32, histMask u64, invert u8, noise f64
+//	crc     u64 (ECMA, over everything after the magic)
+
+var progMagic = [8]byte{'B', 'P', 'P', 'R', 'O', 'G', '0', '1'}
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+type crcWriter struct {
+	w   io.Writer
+	crc uint64
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	cw.crc = crc64.Update(cw.crc, crcTable, p)
+	return cw.w.Write(p)
+}
+
+type crcReader struct {
+	r   io.Reader
+	crc uint64
+}
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.crc = crc64.Update(cr.crc, crcTable, p[:n])
+	return n, err
+}
+
+// Encode writes the program image to w.
+func (p *Program) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(progMagic[:]); err != nil {
+		return fmt.Errorf("program: encode: %w", err)
+	}
+	cw := &crcWriter{w: bw}
+	put := func(v any) {
+		_ = binary.Write(cw, binary.LittleEndian, v)
+	}
+	if len(p.Name) > 0xffff {
+		return fmt.Errorf("program: name too long")
+	}
+	put(uint16(len(p.Name)))
+	put([]byte(p.Name))
+	put(p.Seed)
+	put(p.Base)
+	put(p.Entry)
+
+	put(uint32(len(p.Regions)))
+	for _, r := range p.Regions {
+		put(r.Size)
+		put(r.Stride)
+		put(r.RandomFrac)
+	}
+
+	put(uint32(len(p.Code)))
+	for i := range p.Code {
+		si := &p.Code[i]
+		put(uint8(si.Class))
+		put(si.Dest)
+		put(si.Src1)
+		put(si.Src2)
+		put(si.Target)
+		put(si.Site)
+		put(si.MemBase)
+	}
+
+	put(uint32(len(p.Sites)))
+	for i := range p.Sites {
+		s := &p.Sites[i]
+		put(uint8(s.Kind))
+		put(s.PTaken)
+		put(s.TripCount)
+		put(s.Pattern)
+		put(s.PatternLen)
+		put(s.HistMask)
+		inv := uint8(0)
+		if s.Invert {
+			inv = 1
+		}
+		put(inv)
+		put(s.Noise)
+	}
+
+	crc := cw.crc
+	if err := binary.Write(bw, binary.LittleEndian, crc); err != nil {
+		return fmt.Errorf("program: encode: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Decode reads a program image written by Encode and validates it.
+func Decode(r io.Reader) (*Program, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("program: decode: %w", err)
+	}
+	if magic != progMagic {
+		return nil, fmt.Errorf("program: decode: bad magic %q", magic[:])
+	}
+	cr := &crcReader{r: br}
+	var firstErr error
+	get := func(v any) {
+		if firstErr == nil {
+			firstErr = binary.Read(cr, binary.LittleEndian, v)
+		}
+	}
+
+	p := &Program{}
+	var nameLen uint16
+	get(&nameLen)
+	name := make([]byte, nameLen)
+	get(&name)
+	p.Name = string(name)
+	get(&p.Seed)
+	get(&p.Base)
+	get(&p.Entry)
+
+	var nRegions uint32
+	get(&nRegions)
+	if firstErr == nil && nRegions > 1<<16 {
+		return nil, fmt.Errorf("program: decode: implausible region count %d", nRegions)
+	}
+	p.Regions = make([]MemRegion, nRegions)
+	for i := range p.Regions {
+		get(&p.Regions[i].Size)
+		get(&p.Regions[i].Stride)
+		get(&p.Regions[i].RandomFrac)
+	}
+
+	var nCode uint32
+	get(&nCode)
+	if firstErr == nil && nCode > 1<<26 {
+		return nil, fmt.Errorf("program: decode: implausible code size %d", nCode)
+	}
+	p.Code = make([]isa.StaticInst, nCode)
+	for i := range p.Code {
+		si := &p.Code[i]
+		si.PC = p.Base + uint64(i)*isa.InstBytes
+		var class uint8
+		get(&class)
+		si.Class = isa.Class(class)
+		get(&si.Dest)
+		get(&si.Src1)
+		get(&si.Src2)
+		get(&si.Target)
+		get(&si.Site)
+		get(&si.MemBase)
+	}
+
+	var nSites uint32
+	get(&nSites)
+	if firstErr == nil && nSites > 1<<24 {
+		return nil, fmt.Errorf("program: decode: implausible site count %d", nSites)
+	}
+	p.Sites = make([]Site, nSites)
+	for i := range p.Sites {
+		s := &p.Sites[i]
+		s.ID = int32(i)
+		var kind, inv uint8
+		get(&kind)
+		s.Kind = BehaviorKind(kind)
+		get(&s.PTaken)
+		get(&s.TripCount)
+		get(&s.Pattern)
+		get(&s.PatternLen)
+		get(&s.HistMask)
+		get(&inv)
+		s.Invert = inv == 1
+		get(&s.Noise)
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("program: decode: %w", firstErr)
+	}
+
+	computed := cr.crc
+	var stored uint64
+	if err := binary.Read(br, binary.LittleEndian, &stored); err != nil {
+		return nil, fmt.Errorf("program: decode: reading checksum: %w", err)
+	}
+	if stored != computed {
+		return nil, fmt.Errorf("program: decode: checksum mismatch (stored %x, computed %x)", stored, computed)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("program: decode: %w", err)
+	}
+	return p, nil
+}

@@ -1,0 +1,153 @@
+package program
+
+import (
+	"bytes"
+	"testing"
+
+	"bpredpower/internal/isa"
+)
+
+func TestProgramEncodeDecodeRoundTrip(t *testing.T) {
+	p := MustGenerate(testSpec(17))
+	var buf bytes.Buffer
+	if err := p.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != p.Name || q.Seed != p.Seed || q.Base != p.Base || q.Entry != p.Entry {
+		t.Error("header fields differ")
+	}
+	if len(q.Code) != len(p.Code) {
+		t.Fatalf("code lengths differ: %d vs %d", len(q.Code), len(p.Code))
+	}
+	for i := range p.Code {
+		if p.Code[i] != q.Code[i] {
+			t.Fatalf("instruction %d differs: %v vs %v", i, p.Code[i], q.Code[i])
+		}
+	}
+	if len(q.Sites) != len(p.Sites) {
+		t.Fatalf("site counts differ")
+	}
+	for i := range p.Sites {
+		if p.Sites[i] != q.Sites[i] {
+			t.Fatalf("site %d differs: %+v vs %+v", i, p.Sites[i], q.Sites[i])
+		}
+	}
+	if len(q.Regions) != len(p.Regions) {
+		t.Fatal("region counts differ")
+	}
+	for i := range p.Regions {
+		if p.Regions[i] != q.Regions[i] {
+			t.Fatalf("region %d differs", i)
+		}
+	}
+}
+
+func TestDecodedProgramWalksIdentically(t *testing.T) {
+	p := MustGenerate(testSpec(19))
+	var buf bytes.Buffer
+	if err := p.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp, wq := NewWalker(p), NewWalker(q)
+	for i := 0; i < 150000; i++ {
+		a, b := wp.Step(), wq.Step()
+		if a.SI.PC != b.SI.PC || a.Taken != b.Taken || a.NextPC != b.NextPC || a.MemAddr != b.MemAddr {
+			t.Fatalf("walks diverged at step %d", i)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	p := MustGenerate(testSpec(23))
+	var buf bytes.Buffer
+	if err := p.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Flip a byte in the middle: the checksum must catch it.
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)/2] ^= 0x40
+	if _, err := Decode(bytes.NewReader(corrupt)); err == nil {
+		t.Error("corrupted image accepted")
+	}
+
+	// Truncate: must fail cleanly.
+	if _, err := Decode(bytes.NewReader(data[:len(data)/3])); err == nil {
+		t.Error("truncated image accepted")
+	}
+
+	// Wrong magic.
+	bad := append([]byte("XXXXXXXX"), data[8:]...)
+	if _, err := Decode(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestDecodeRejectsImplausibleSizes(t *testing.T) {
+	// Construct a header claiming an enormous code image.
+	var buf bytes.Buffer
+	p := MustGenerate(testSpec(29))
+	if err := p.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// The name is "test" (4 bytes): nCode lives after
+	// magic(8)+len(2)+name(4)+seed(8)+base(8)+entry(8)+nregion(4)+regions.
+	// Rather than compute the offset, just check Decode's defence by
+	// scanning for the first plausible spot and smashing 4 bytes to 0xFF —
+	// any of the outcomes (size rejection, checksum failure) is acceptable
+	// as long as it does not succeed or panic.
+	for off := 10; off < 40 && off+4 < len(data); off += 4 {
+		corrupt := append([]byte(nil), data...)
+		for i := 0; i < 4; i++ {
+			corrupt[off+i] = 0xff
+		}
+		if _, err := Decode(bytes.NewReader(corrupt)); err == nil {
+			t.Errorf("corruption at offset %d accepted", off)
+		}
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	p := MustGenerate(testSpec(31))
+	var a, b bytes.Buffer
+	if err := p.Encode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("encoding not deterministic")
+	}
+}
+
+func TestDecodeValidates(t *testing.T) {
+	// Hand-build a structurally invalid program, encode, and confirm Decode
+	// rejects it via Validate.
+	p := &Program{
+		Name:  "bad",
+		Base:  0x1000,
+		Entry: 0x1000,
+		Code: []isa.StaticInst{
+			{PC: 0x1000, Class: isa.ClassIntALU, Site: -1},
+			{PC: 0x1004, Class: isa.ClassIntALU, Site: -1}, // last inst is not control
+		},
+	}
+	var buf bytes.Buffer
+	if err := p.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(&buf); err == nil {
+		t.Error("structurally invalid program accepted")
+	}
+}

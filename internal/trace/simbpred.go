@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"bpredpower/internal/bpred"
+	"bpredpower/internal/isa"
+	"bpredpower/internal/program"
+)
+
+// Record walks prog for n instructions and writes its committed-path
+// conditional branch stream to w, returning the number of branches recorded.
+func Record(prog *program.Program, n uint64, w io.Writer) (uint64, error) {
+	tw := NewWriter(w)
+	walker := program.NewWalker(prog)
+	for i := uint64(0); i < n; i++ {
+		st := walker.Step()
+		if st.SI.Class != isa.ClassBranch {
+			continue
+		}
+		if err := tw.Write(Branch{PC: st.SI.PC, Taken: st.Taken}); err != nil {
+			return tw.Count(), err
+		}
+	}
+	return tw.Count(), tw.Flush()
+}
+
+// EvalResult is one predictor's accuracy over a trace — the SimpleScalar
+// sim-bpred methodology (predictor-only, no pipeline timing).
+type EvalResult struct {
+	// Name is the predictor configuration name.
+	Name string
+	// Branches is the number of trace records evaluated.
+	Branches uint64
+	// Correct is the number predicted in the right direction.
+	Correct uint64
+}
+
+// Accuracy returns the direction-prediction rate.
+func (r EvalResult) Accuracy() float64 {
+	if r.Branches == 0 {
+		return 0
+	}
+	return float64(r.Correct) / float64(r.Branches)
+}
+
+// Eval replays a recorded trace through one predictor configuration,
+// training at every branch (immediate update, the sim-bpred idealization:
+// no speculation, so histories are always architectural).
+func Eval(r io.Reader, spec bpred.Spec) (EvalResult, error) {
+	pred := spec.Build()
+	tr := NewReader(r)
+	res := EvalResult{Name: spec.Name}
+	for {
+		b, err := tr.Read()
+		if errors.Is(err, io.EOF) {
+			return res, nil
+		}
+		if err != nil {
+			return res, fmt.Errorf("trace: eval: %w", err)
+		}
+		pr := pred.Lookup(b.PC)
+		if pr.Taken == b.Taken {
+			res.Correct++
+		} else {
+			pred.Redirect(&pr, b.Taken)
+		}
+		pred.Update(&pr, b.Taken)
+		res.Branches++
+	}
+}

@@ -1,0 +1,151 @@
+// Package trace records and replays dynamic conditional-branch streams —
+// the repository's analogue of the paper's EIO traces ("we use Alpha EIO
+// traces ... this ensures reproducible results for each benchmark across
+// multiple simulations").
+//
+// A branch trace is the committed-path sequence of (PC, taken) pairs. It is
+// sufficient to drive predictor-only evaluation (the SimpleScalar sim-bpred
+// methodology) and to compare predictor implementations against archived
+// streams independent of the workload generator's evolution.
+//
+// Format (little-endian): an 8-byte magic, then one record per branch:
+// a varint PC delta from the previous branch PC (zig-zag encoded) shifted
+// left one bit with the taken flag in bit 0. The stream ends at EOF.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+var traceMagic = [8]byte{'B', 'P', 'T', 'R', 'A', 'C', 'E', '1'}
+
+// Branch is one committed conditional branch execution.
+type Branch struct {
+	// PC is the branch instruction's address.
+	PC uint64
+	// Taken is the resolved direction.
+	Taken bool
+}
+
+// Writer streams branch records to an io.Writer.
+type Writer struct {
+	w          *bufio.Writer
+	lastPC     uint64
+	count      uint64
+	headerDone bool
+}
+
+// NewWriter builds a trace writer.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// zigzag encodes a signed delta as unsigned.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// MaxPC bounds recordable addresses: the taken flag shares the varint with
+// the zig-zag PC delta, which leaves 62 usable address bits — far beyond
+// any realistic text segment.
+const MaxPC = 1 << 62
+
+// Write appends one branch record.
+func (w *Writer) Write(b Branch) error {
+	if b.PC >= MaxPC {
+		return fmt.Errorf("trace: PC %#x exceeds the %#x encoding limit", b.PC, uint64(MaxPC))
+	}
+	if !w.headerDone {
+		if _, err := w.w.Write(traceMagic[:]); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		w.headerDone = true
+	}
+	delta := zigzag(int64(b.PC) - int64(w.lastPC))
+	w.lastPC = b.PC
+	word := delta << 1
+	if b.Taken {
+		word |= 1
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], word)
+	if _, err := w.w.Write(buf[:n]); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush commits buffered records to the underlying writer.
+func (w *Writer) Flush() error {
+	if !w.headerDone {
+		// Write the header even for an empty trace so it round-trips.
+		if _, err := w.w.Write(traceMagic[:]); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		w.headerDone = true
+	}
+	return w.w.Flush()
+}
+
+// Reader streams branch records from an io.Reader.
+type Reader struct {
+	r       *bufio.Reader
+	lastPC  uint64
+	started bool
+}
+
+// NewReader builds a trace reader.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Read returns the next branch record; io.EOF signals a clean end.
+func (r *Reader) Read() (Branch, error) {
+	if !r.started {
+		var magic [8]byte
+		if _, err := io.ReadFull(r.r, magic[:]); err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return Branch{}, fmt.Errorf("trace: truncated header")
+			}
+			return Branch{}, err
+		}
+		if magic != traceMagic {
+			return Branch{}, fmt.Errorf("trace: bad magic %q", magic[:])
+		}
+		r.started = true
+	}
+	word, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return Branch{}, io.EOF
+		}
+		return Branch{}, fmt.Errorf("trace: %w", err)
+	}
+	taken := word&1 == 1
+	pc := uint64(int64(r.lastPC) + unzigzag(word>>1))
+	r.lastPC = pc
+	return Branch{PC: pc, Taken: taken}, nil
+}
+
+// ReadAll drains the trace (for tests and small traces).
+func (r *Reader) ReadAll() ([]Branch, error) {
+	var out []Branch
+	for {
+		b, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, b)
+	}
+}

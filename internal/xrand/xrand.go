@@ -1,0 +1,91 @@
+// Package xrand provides the deterministic pseudo-random primitives used
+// throughout the workload generator and behaviour engine.
+//
+// Two facilities are provided:
+//
+//   - SplitMix: a sequential 64-bit generator (splitmix64) used while
+//     *constructing* static program images, where draw order is fixed.
+//   - Hash64 / HashFloat: stateless avalanche hashes used for *dynamic*
+//     branch outcomes, where the value must be a pure function of
+//     (seed, site, occurrence) so that speculative and re-executed queries
+//     always observe the same outcome regardless of simulator timing.
+//
+// Determinism across runs and across predictor configurations is essential:
+// the paper compares 14 predictor organizations on identical dynamic
+// instruction streams, so an outcome must never depend on the order in which
+// the simulator happens to ask for it.
+package xrand
+
+// SplitMix is a splitmix64 sequential generator. The zero value is a valid
+// generator seeded with 0; use NewSplitMix to seed explicitly.
+type SplitMix struct {
+	state uint64
+}
+
+// NewSplitMix returns a generator seeded with seed.
+func NewSplitMix(seed uint64) *SplitMix { return &SplitMix{state: seed} }
+
+// Next returns the next 64-bit value.
+func (s *SplitMix) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n). n must be positive.
+func (s *SplitMix) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(s.Next() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (s *SplitMix) Float64() float64 {
+	return float64(s.Next()>>11) / (1 << 53)
+}
+
+// Geometric returns a draw from a geometric distribution with mean mean
+// (support {1, 2, ...}). It is used for basic-block lengths.
+func (s *SplitMix) Geometric(mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1 / mean
+	n := 1
+	for s.Float64() >= p && n < 1024 {
+		n++
+	}
+	return n
+}
+
+// Hash64 mixes an arbitrary number of 64-bit words into a single
+// well-distributed 64-bit value. It is stateless: equal inputs always give
+// equal outputs.
+func Hash64(words ...uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, w := range words {
+		h ^= w
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+		h *= 0xc4ceb9fe1a85ec53
+		h ^= h >> 29
+	}
+	// Final avalanche.
+	h ^= h >> 32
+	h *= 0xd6e8feb86659fd93
+	h ^= h >> 32
+	return h
+}
+
+// HashFloat maps the hash of words to a float64 in [0, 1).
+func HashFloat(words ...uint64) float64 {
+	return float64(Hash64(words...)>>11) / (1 << 53)
+}
+
+// HashBool returns true with probability p, deterministically in words.
+func HashBool(p float64, words ...uint64) bool {
+	return HashFloat(words...) < p
+}

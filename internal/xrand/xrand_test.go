@@ -1,0 +1,162 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMixDeterminism(t *testing.T) {
+	a := NewSplitMix(42)
+	b := NewSplitMix(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("same-seed generators diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSplitMixSeedsDiffer(t *testing.T) {
+	a := NewSplitMix(1)
+	b := NewSplitMix(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestSplitMixFloat64Range(t *testing.T) {
+	s := NewSplitMix(7)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestSplitMixIntnRange(t *testing.T) {
+	s := NewSplitMix(9)
+	for i := 0; i < 10000; i++ {
+		v := s.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) out of range: %d", v)
+		}
+	}
+}
+
+func TestSplitMixIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewSplitMix(1).Intn(0)
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := NewSplitMix(11)
+	const n = 200000
+	sum := 0
+	for i := 0; i < n; i++ {
+		v := s.Geometric(8)
+		if v < 1 {
+			t.Fatalf("Geometric returned %d < 1", v)
+		}
+		sum += v
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-8) > 0.3 {
+		t.Errorf("Geometric(8) mean = %.3f, want ~8", mean)
+	}
+}
+
+func TestGeometricDegenerate(t *testing.T) {
+	s := NewSplitMix(1)
+	if v := s.Geometric(0.5); v != 1 {
+		t.Errorf("Geometric(0.5) = %d, want 1", v)
+	}
+}
+
+func TestHash64Deterministic(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		return Hash64(a, b, c) == Hash64(a, b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHash64Sensitivity(t *testing.T) {
+	// Flipping any single input bit should change the output (with
+	// overwhelming probability for a good mixer).
+	f := func(a, b uint64, bit uint8) bool {
+		return Hash64(a, b) != Hash64(a, b^(1<<uint(bit%64)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHash64OrderMatters(t *testing.T) {
+	if Hash64(1, 2) == Hash64(2, 1) {
+		t.Error("Hash64 is insensitive to word order")
+	}
+}
+
+func TestHashFloatRange(t *testing.T) {
+	f := func(a, b uint64) bool {
+		v := HashFloat(a, b)
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashBoolProbability(t *testing.T) {
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		hits := 0
+		const n = 100000
+		for i := 0; i < n; i++ {
+			if HashBool(p, 123, uint64(i)) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if math.Abs(got-p) > 0.01 {
+			t.Errorf("HashBool(%v) frequency = %.4f", p, got)
+		}
+	}
+}
+
+func TestHashBoolExtremes(t *testing.T) {
+	for i := uint64(0); i < 1000; i++ {
+		if HashBool(0, i) {
+			t.Fatal("HashBool(0) returned true")
+		}
+		if !HashBool(1, i) {
+			t.Fatal("HashBool(1) returned false")
+		}
+	}
+}
+
+func TestHash64Uniformity(t *testing.T) {
+	// Bucket hashes of consecutive integers; a catastrophically bad mixer
+	// would skew the low bits.
+	var buckets [16]int
+	const n = 160000
+	for i := uint64(0); i < n; i++ {
+		buckets[Hash64(i)&15]++
+	}
+	for b, c := range buckets {
+		if math.Abs(float64(c)-n/16) > n/16*0.1 {
+			t.Errorf("bucket %d has %d entries, want ~%d", b, c, n/16)
+		}
+	}
+}

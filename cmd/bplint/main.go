@@ -1,0 +1,89 @@
+// Command bplint runs the simulator's invariant-checking analyzer suite
+// (internal/analysis: determinism, statsafety, specrepair, unitdiscipline)
+// plus a few standard go vet passes over the module.
+//
+// Usage:
+//
+//	go run ./cmd/bplint ./...         # lint the whole module
+//	go run ./cmd/bplint ./internal/cpu
+//
+// The binary is a go/analysis unitchecker: invoked with package patterns it
+// re-executes itself through "go vet -vettool", which hands it one
+// type-checked package at a time, so the analyzers see exactly what the
+// compiler sees. Individual analyzers can be toggled with the usual vet
+// flags, e.g. -determinism=false.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/atomic"
+	"golang.org/x/tools/go/analysis/passes/bools"
+	"golang.org/x/tools/go/analysis/passes/nilfunc"
+	"golang.org/x/tools/go/analysis/passes/unreachable"
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	bplint "bpredpower/internal/analysis"
+)
+
+// suite is the full analyzer set: the four simulator invariants plus
+// standard vet passes that matter for accounting code (atomic misuse, buggy
+// boolean conditions, always-nil func comparisons, unreachable code).
+func suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		bplint.Determinism,
+		bplint.StatSafety,
+		bplint.SpecRepair,
+		bplint.UnitDiscipline,
+		atomic.Analyzer,
+		bools.Analyzer,
+		nilfunc.Analyzer,
+		unreachable.Analyzer,
+	}
+}
+
+func main() {
+	args := os.Args[1:]
+	if vetProtocol(args) {
+		unitchecker.Main(suite()...) // never returns
+	}
+
+	// Driver mode: re-exec through go vet so the toolchain loads, builds,
+	// and type-checks packages for us (the unitchecker protocol).
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bplint: %v\n", err)
+		os.Exit(1)
+	}
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "bplint: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// vetProtocol reports whether the go command is driving this process as a
+// vet tool: it passes -V=full / -flags probes and then a single *.cfg file
+// per package.
+func vetProtocol(args []string) bool {
+	for _, a := range args {
+		if strings.HasSuffix(a, ".cfg") || a == "-V=full" || a == "-flags" {
+			return true
+		}
+	}
+	return false
+}

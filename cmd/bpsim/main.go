@@ -14,7 +14,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 
 	"bpredpower"
 	"bpredpower/internal/gating"
@@ -113,8 +112,12 @@ func main() {
 	fmt.Printf("branch freq    %.2f%% conditional, %.2f%% unconditional\n",
 		100*st.CondBranchFreq(), 100*st.UncondFreq())
 	fmt.Printf("mispredicts    %d (squash-causing), %d BTB misfetches\n", st.Mispredicts, st.BTBMisfetches)
+	wrongPct := 0.0
+	if st.Fetched != 0 {
+		wrongPct = 100 * float64(st.WrongPathFetched) / float64(st.Fetched)
+	}
 	fmt.Printf("wrong path     %d of %d fetched (%.1f%%)\n",
-		st.WrongPathFetched, st.Fetched, 100*float64(st.WrongPathFetched)/float64(st.Fetched))
+		st.WrongPathFetched, st.Fetched, wrongPct)
 	fmt.Printf("branch dist    %.1f insts between conditionals, %.1f between control flow\n",
 		st.AvgCondDistance(), st.AvgCtlDistance())
 	if probes, dirAvoided, btbAvoided := sim.PPDStats(); probes > 0 {
@@ -127,19 +130,21 @@ func main() {
 	}
 	fmt.Printf("total power    %.2f W   energy %.2f uJ   energy-delay %.3e J*s\n",
 		m.AveragePower(), 1e6*m.TotalEnergy(), m.EnergyDelay())
+	predShare := 0.0
+	if m.AveragePower() != 0 {
+		predShare = 100 * m.PredictorPower() / m.AveragePower()
+	}
 	fmt.Printf("pred power     %.2f W (%.1f%% of chip)\n",
-		m.PredictorPower(), 100*m.PredictorPower()/m.AveragePower())
+		m.PredictorPower(), predShare)
 
 	fmt.Println("power breakdown:")
-	bd := m.Breakdown()
-	groups := make([]string, 0, len(bd))
-	for g := range bd {
-		groups = append(groups, g)
-	}
-	sort.Slice(groups, func(i, j int) bool { return bd[groups[i]] > bd[groups[j]] })
 	secs := m.Seconds()
-	for _, g := range groups {
-		fmt.Printf("  %-10s %7.2f W\n", g, bd[g]/secs)
+	for _, row := range m.BreakdownSorted() {
+		w := 0.0
+		if secs != 0 {
+			w = row.Energy / secs
+		}
+		fmt.Printf("  %-10s %7.2f W\n", row.Name, w)
 	}
 }
 

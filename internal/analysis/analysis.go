@@ -1,0 +1,68 @@
+// Package analysis is the simulator's invariant-checking lint suite: four
+// golang.org/x/tools/go/analysis analyzers enforcing the properties every
+// figure regeneration depends on. Two runs of the same configuration must be
+// bit-for-bit identical, and the power/stat accounting must never silently
+// degrade, so the suite checks:
+//
+//   - determinism: no wall-clock reads, no global math/rand, no map-order
+//     iteration, no unjoined goroutines in simulation code
+//   - statsafety: ratio computations guarded against zero denominators, and
+//     counter fields wide enough not to wrap mid-run
+//   - specrepair: predictor types that speculatively update history must
+//     also implement the matching repair methods (Unwind/Redirect)
+//   - unitdiscipline: assignments must not mix energy-named and power-named
+//     quantities without converting through a time term
+//
+// All four are wired into cmd/bplint, which runs them (plus selected go vet
+// passes) over the whole module; verify.sh makes that a CI gate.
+//
+// A diagnostic that is intentional can be suppressed with a comment on the
+// offending line or the line above:
+//
+//	//bplint:allow <check> -- reason
+//
+// where <check> is the key named in the diagnostic (maprange, goroutine,
+// divzero, counter, specrepair, units). The reason is mandatory by
+// convention: the comment documents why the invariant holds anyway.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// isTestFile reports whether pos is in a _test.go file. The determinism and
+// statsafety contracts bind simulation code; tests may measure wall time or
+// range over maps when the result is order-insensitive.
+func isTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}
+
+// allowed reports whether the line holding pos (or the line above it)
+// carries a "//bplint:allow <key>" suppression comment.
+func allowed(pass *analysis.Pass, file *ast.File, pos token.Pos, key string) bool {
+	line := pass.Fset.Position(pos).Line
+	marker := "bplint:allow " + key
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			cl := pass.Fset.Position(c.Pos()).Line
+			if (cl == line || cl == line-1) && strings.Contains(c.Text, marker) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// enclosingFile returns the *ast.File of pass containing pos.
+func enclosingFile(pass *analysis.Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,28 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	bplint "bpredpower/internal/analysis"
+	"bpredpower/internal/analysis/analyzertest"
+)
+
+// Each analyzer must fire on its seeded testdata violations and stay quiet
+// on the clean counterparts (including the //bplint:allow suppressions).
+
+func TestDeterminism(t *testing.T) {
+	analyzertest.Run(t, bplint.Determinism, filepath.Join("testdata", "src", "determinism"))
+}
+
+func TestStatSafety(t *testing.T) {
+	analyzertest.Run(t, bplint.StatSafety, filepath.Join("testdata", "src", "statsafety"))
+}
+
+func TestSpecRepair(t *testing.T) {
+	analyzertest.Run(t, bplint.SpecRepair, filepath.Join("testdata", "src", "specrepair"))
+}
+
+func TestUnitDiscipline(t *testing.T) {
+	analyzertest.Run(t, bplint.UnitDiscipline, filepath.Join("testdata", "src", "unitdiscipline"))
+}

@@ -1,0 +1,152 @@
+// Package analyzertest is a minimal, dependency-free analogue of
+// golang.org/x/tools/go/analysis/analysistest: it type-checks a testdata
+// package from source, runs one analyzer over it, and compares the
+// diagnostics against the fixture's expectations.
+//
+// Expectations are written analysistest-style, as comments on the line the
+// diagnostic is reported on:
+//
+//	for k := range m { // want `map iteration order`
+//
+// The quoted text (backquotes or double quotes) is a regular expression
+// matched against the diagnostic message. Every expectation must be matched
+// by exactly one diagnostic and vice versa.
+//
+// The full analysistest is not vendorable here (it needs go/packages and a
+// driver toolchain); this harness instead type-checks with the stdlib source
+// importer, which resolves the standard-library imports the fixtures use.
+package analyzertest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// expectation is one // want comment.
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// wantRE extracts the quoted pattern from a // want comment.
+var wantRE = regexp.MustCompile("// want (`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\")")
+
+// Run type-checks the Go package in dir, applies the analyzer, and reports
+// any mismatch between diagnostics and // want expectations as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", e.Name(), err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(files[0].Name.Name, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   map[*analysis.Analyzer]interface{}{},
+		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	expects := collectExpectations(t, fset, files)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		var hit *expectation
+		for _, e := range expects {
+			if !e.matched && e.file == pos.Filename && e.line == pos.Line && e.rx.MatchString(d.Message) {
+				hit = e
+				break
+			}
+		}
+		if hit == nil {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			continue
+		}
+		hit.matched = true
+	}
+	sort.Slice(expects, func(i, j int) bool {
+		return expects[i].file < expects[j].file || expects[i].file == expects[j].file && expects[i].line < expects[j].line
+	})
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.rx)
+		}
+	}
+}
+
+// collectExpectations scans every comment for // want patterns.
+func collectExpectations(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pat := m[2]
+				if pat == "" {
+					pat = m[3]
+				}
+				rx, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", fset.Position(c.Pos()), pat, err)
+				}
+				pos := fset.Position(c.Pos())
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, rx: rx})
+			}
+		}
+	}
+	return out
+}

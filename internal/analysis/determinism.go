@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Determinism enforces the reproducibility contract: the same Options on the
+// same benchmark must produce bit-for-bit identical Stats and Meter totals
+// across runs (the property the EIO-trace methodology of the paper, and
+// every cross-run predictor comparison, relies on). It forbids, outside
+// _test.go files:
+//
+//   - wall-clock reads (time.Now, time.Since, and friends) — simulated time
+//     is the only clock simulation code may consult
+//   - the global math/rand source — all stochastic behavior must flow
+//     through internal/xrand's counter-based hashes so it is a pure function
+//     of the program seed
+//   - ranging over a map — Go randomizes iteration order, so any map walk
+//     that reaches stats, power accounting, or output is a reproducibility
+//     bug; collect and sort keys instead, or suppress with
+//     //bplint:allow maprange when the body is provably order-insensitive
+//   - goroutine spawns in functions with no Wait-style join — unsynchronized
+//     concurrency makes interleaving (and thus accounting order) a race
+var Determinism = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock, global math/rand, map-order iteration, and unjoined goroutines in simulation code",
+	Run:  runDeterminism,
+}
+
+// nondetTimeFuncs are the time package functions that read the wall clock or
+// create wall-clock-driven channels.
+var nondetTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"After": true, "Tick": true, "NewTicker": true, "NewTimer": true, "AfterFunc": true,
+}
+
+func runDeterminism(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		if isTestFile(pass, file.Pos()) {
+			continue
+		}
+		for _, imp := range file.Imports {
+			path := imp.Path.Value
+			if path == `"math/rand"` || path == `"math/rand/v2"` {
+				if !allowed(pass, file, imp.Pos(), "mathrand") {
+					pass.Reportf(imp.Pos(), "determinism: import of %s in simulation code; use internal/xrand's seeded counter-based hashes so results are a pure function of the program seed", path)
+				}
+			}
+		}
+
+		// funcHasJoin marks functions that contain a Wait-style call, the
+		// deterministic-join heuristic for goroutine spawns.
+		funcHasJoin := map[*ast.FuncDecl]bool{}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+						funcHasJoin[fd] = true
+					}
+				}
+				return true
+			})
+		}
+
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					if isPkgFunc(pass, n, "time") && nondetTimeFuncs[n.Sel.Name] {
+						pass.Reportf(n.Pos(), "determinism: time.%s reads the wall clock; simulation code must be a pure function of its inputs (use cycle counts)", n.Sel.Name)
+					}
+				case *ast.RangeStmt:
+					if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+						if _, isMap := t.Underlying().(*types.Map); isMap && !allowed(pass, file, n.Pos(), "maprange") {
+							pass.Reportf(n.Pos(), "determinism: map iteration order is randomized; sort the keys before ranging (or //bplint:allow maprange -- <why order cannot matter>)")
+						}
+					}
+				case *ast.GoStmt:
+					if !funcHasJoin[fd] && !allowed(pass, file, n.Pos(), "goroutine") {
+						pass.Reportf(n.Pos(), "determinism: goroutine spawned with no Wait-style join in %s; unsynchronized concurrency makes accounting order nondeterministic", fd.Name.Name)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// isPkgFunc reports whether sel is a selection off the named imported
+// package (e.g. time.Now with pkgPath "time").
+func isPkgFunc(pass *analysis.Pass, sel *ast.SelectorExpr, pkgPath string) bool {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}

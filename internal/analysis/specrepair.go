@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/types"
+	"regexp"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// SpecRepair enforces the speculative-update/repair pairing on predictor
+// types — the bug class the paper's Section 3 predictors are most prone to.
+// A predictor's Lookup shifts the *predicted* outcome into its history
+// registers; if the type cannot then Unwind squashed branches and Redirect
+// mispredicted ones, wrong-path history silently corrupts every later
+// prediction and the simulator's accuracy numbers drift from run structure
+// rather than predictor quality.
+//
+// Two triggers:
+//
+//   - the repo's Predictor idiom: a type with a Lookup method returning a
+//     Prediction (by value or pointer) and an Update method must also
+//     declare Unwind and Redirect
+//   - name-based: a type with any Spec*/Speculative* update-flavored method
+//     must declare a repair-flavored method (Unwind, Redirect, Repair,
+//     Recover, Rollback, or Restore)
+//
+// Suppress with //bplint:allow specrepair on the type declaration when the
+// type genuinely keeps no speculative state.
+var SpecRepair = &analysis.Analyzer{
+	Name: "specrepair",
+	Doc:  "flag predictor types with speculative-history update methods but no matching repair/recovery method",
+	Run:  runSpecRepair,
+}
+
+var (
+	specMethodRE   = regexp.MustCompile(`^Spec(ulative)?(Update|Push|Shift|History|Advance)`)
+	repairMethodRE = regexp.MustCompile(`^(Unwind|Redirect|Repair|Recover|Rollback|Restore)`)
+)
+
+func runSpecRepair(pass *analysis.Pass) (interface{}, error) {
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+
+		methods := map[string]bool{}
+		var mset *types.MethodSet
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			mset = types.NewMethodSet(named)
+		} else {
+			mset = types.NewMethodSet(types.NewPointer(named))
+		}
+		for i := 0; i < mset.Len(); i++ {
+			methods[mset.At(i).Obj().Name()] = true
+		}
+
+		var missing []string
+		if hasPredictorLookup(named, mset) && methods["Update"] {
+			for _, m := range []string{"Unwind", "Redirect"} {
+				if !methods[m] {
+					missing = append(missing, m)
+				}
+			}
+		}
+		if len(missing) == 0 {
+			hasSpec, hasRepair := false, false
+			for i := 0; i < mset.Len(); i++ {
+				m := mset.At(i).Obj().Name()
+				if specMethodRE.MatchString(m) {
+					hasSpec = true
+				}
+				if repairMethodRE.MatchString(m) {
+					hasRepair = true
+				}
+			}
+			if hasSpec && !hasRepair {
+				missing = append(missing, "a repair method (Repair/Recover/Rollback/Unwind/Restore)")
+			}
+		}
+		if len(missing) == 0 {
+			continue
+		}
+
+		pos := tn.Pos()
+		file := enclosingFile(pass, pos)
+		if file == nil || allowed(pass, file, pos, "specrepair") {
+			continue
+		}
+		pass.Reportf(pos, "specrepair: type %s speculatively updates predictor history but lacks %s; squashed wrong-path history will corrupt later predictions (or //bplint:allow specrepair -- <why stateless>)", name, strings.Join(missing, " and "))
+	}
+	return nil, nil
+}
+
+// hasPredictorLookup reports whether the type's method set has a Lookup
+// method whose results include a type named "Prediction".
+func hasPredictorLookup(named *types.Named, mset *types.MethodSet) bool {
+	sel := mset.Lookup(named.Obj().Pkg(), "Lookup")
+	if sel == nil {
+		return false
+	}
+	sig, ok := sel.Obj().Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		t := res.At(i).Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok && n.Obj().Name() == "Prediction" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// StatSafety guards the statistics and power accounting against silent
+// degradation, outside _test.go files:
+//
+//   - a ratio whose denominator converts an integer counter to float
+//     (float64(st.Cycles), float64(len(rs)), ...) must be preceded in the
+//     same function by a zero test of that same expression, so a measurement
+//     window of zero cycles / zero branches yields 0 rather than NaN —
+//     ResetMeasurement followed by an immediate read must stay finite
+//   - counter fields of Stats/Counter/Meter-style structs must be incremented
+//     on an overflow-safe type (uint64/uint/int64); a 200M-instruction
+//     measurement window wraps 32-bit event counters
+//
+// Suppress with //bplint:allow divzero or //bplint:allow counter when the
+// invariant holds for a reason the analyzer cannot see.
+var StatSafety = &analysis.Analyzer{
+	Name: "statsafety",
+	Doc:  "flag unguarded integer-ratio divisions and narrow counter increments in stats/power accounting",
+	Run:  runStatSafety,
+}
+
+func runStatSafety(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		if isTestFile(pass, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDivisions(pass, file, fd)
+		}
+		checkCounters(pass, file)
+	}
+	return nil, nil
+}
+
+// checkDivisions flags float divisions whose denominator is a float
+// conversion of a non-constant integer expression with no zero test of that
+// expression anywhere in the enclosing function.
+func checkDivisions(pass *analysis.Pass, file *ast.File, fd *ast.FuncDecl) {
+	// guarded collects the printed form of every expression the function
+	// compares against an integer literal (if x == 0, x != 0, x > 0, ...).
+	// Any such test counts as a guard: the heuristic is per-function, not
+	// dominator-accurate, which keeps it precise enough to enforce while
+	// never flagging the idiomatic early-return guard.
+	guarded := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.EQL, token.NEQ, token.GTR, token.LSS, token.GEQ, token.LEQ:
+			if isIntLiteral(be.Y) {
+				guarded[types.ExprString(be.X)] = true
+			}
+			if isIntLiteral(be.X) {
+				guarded[types.ExprString(be.Y)] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op != token.QUO {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(be)
+		if t == nil {
+			return true
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		if !ok || b.Info()&types.IsFloat == 0 {
+			return true
+		}
+		inner := intConversionOperand(pass, be.Y)
+		if inner == nil {
+			return true
+		}
+		// A constant denominator can be checked here and now.
+		if tv, ok := pass.TypesInfo.Types[inner]; ok && tv.Value != nil {
+			if constant.Sign(tv.Value) != 0 {
+				return true
+			}
+		}
+		key := types.ExprString(inner)
+		if guarded[key] || allowed(pass, file, be.Pos(), "divzero") {
+			return true
+		}
+		pass.Reportf(be.Pos(), "statsafety: possible zero denominator %s; guard with a %s == 0 early return so an empty measurement window reads 0, not NaN (or //bplint:allow divzero -- <why nonzero>)", key, key)
+		return true
+	})
+}
+
+// intConversionOperand returns the integer expression x when e has the form
+// float64(x) or float32(x) (modulo parentheses); nil otherwise.
+func intConversionOperand(pass *analysis.Pass, e ast.Expr) ast.Expr {
+	e = ast.Unparen(e)
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsFloat == 0 {
+		return nil
+	}
+	arg := ast.Unparen(call.Args[0])
+	at := pass.TypesInfo.TypeOf(arg)
+	if at == nil {
+		return nil
+	}
+	ab, ok := at.Underlying().(*types.Basic)
+	if !ok || ab.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	return arg
+}
+
+func isIntLiteral(e ast.Expr) bool {
+	bl, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && bl.Kind == token.INT
+}
+
+// counterStructPattern matches struct type names whose integer fields are
+// event counters under the accounting contract.
+func isCounterStruct(name string) bool {
+	return strings.Contains(name, "Stats") || strings.Contains(name, "Counter") || strings.Contains(name, "Meter")
+}
+
+// checkCounters flags ++ and += on fields of counter structs whose type can
+// wrap within a measurement window.
+func checkCounters(pass *analysis.Pass, file *ast.File) {
+	check := func(target ast.Expr, pos token.Pos) {
+		sel, ok := ast.Unparen(target).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		selection, ok := pass.TypesInfo.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return
+		}
+		recv := selection.Recv()
+		if p, ok := recv.Underlying().(*types.Pointer); ok {
+			recv = p.Elem()
+		}
+		named, ok := recv.(*types.Named)
+		if !ok || !isCounterStruct(named.Obj().Name()) {
+			return
+		}
+		ft, ok := selection.Obj().Type().Underlying().(*types.Basic)
+		if !ok || ft.Info()&types.IsInteger == 0 {
+			return
+		}
+		switch ft.Kind() {
+		case types.Uint64, types.Uint, types.Int64, types.Uintptr:
+			return // overflow-safe for any realistic run length
+		}
+		if allowed(pass, file, pos, "counter") {
+			return
+		}
+		pass.Reportf(pos, "statsafety: counter field %s.%s has type %s, which can wrap within a measurement window; use uint64 (or //bplint:allow counter -- <bound>)", named.Obj().Name(), selection.Obj().Name(), ft)
+	}
+
+	ast.Inspect(file, func(n ast.Node) bool {
+		if isTestFile(pass, file.Pos()) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.IncDecStmt:
+			if n.Tok == token.INC {
+				check(n.X, n.Pos())
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+				check(n.Lhs[0], n.Pos())
+			}
+		}
+		return true
+	})
+}

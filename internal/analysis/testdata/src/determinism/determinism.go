@@ -1,0 +1,64 @@
+// Package determinism seeds one violation of each reproducibility rule plus
+// a clean counterpart, for the analyzer's regression test.
+package determinism
+
+import (
+	"math/rand" // want `determinism: import of "math/rand"`
+	"sort"
+	"sync"
+	"time"
+)
+
+var sink uint64
+
+// wallClock reads the host clock twice — both reads are violations.
+func wallClock() time.Duration {
+	start := time.Now() // want `determinism: time\.Now reads the wall clock`
+	sink++
+	return time.Since(start) // want `determinism: time\.Since reads the wall clock`
+}
+
+// globalRand leans on the process-global source (flagged at the import).
+func globalRand() int {
+	return rand.Int()
+}
+
+// unsortedWalk ranges a map straight into an accumulator whose order a
+// caller could observe via floating-point non-associativity.
+func unsortedWalk(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want `determinism: map iteration order is randomized`
+		s += v
+	}
+	return s
+}
+
+// sortedWalk is the approved shape: collect, sort, then range the slice.
+func sortedWalk(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m { //bplint:allow maprange -- keys are sorted before any order-dependent use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var s float64
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}
+
+// spawnAndLeak starts a goroutine with no join in sight.
+func spawnAndLeak() {
+	go func() { sink++ }() // want `determinism: goroutine spawned with no Wait-style join`
+}
+
+// spawnAndJoin has a deterministic join, so the spawn is allowed.
+func spawnAndJoin() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sink++
+	}()
+	wg.Wait()
+}

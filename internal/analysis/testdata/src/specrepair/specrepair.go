@@ -1,0 +1,66 @@
+// Package specrepair seeds predictor types with and without history-repair
+// methods.
+package specrepair
+
+// Prediction mirrors the simulator's per-branch training record.
+type Prediction struct {
+	Taken      bool
+	GHistPrior uint64
+}
+
+// Leaky speculatively shifts history in Lookup but cannot repair it: no
+// Unwind, no Redirect.
+type Leaky struct { // want `specrepair: type Leaky speculatively updates predictor history but lacks Unwind and Redirect`
+	ghist uint64
+}
+
+func (l *Leaky) Lookup(pc uint64) Prediction {
+	p := Prediction{Taken: l.ghist&1 == 1, GHistPrior: l.ghist}
+	l.ghist = l.ghist<<1 | 1
+	return p
+}
+
+func (l *Leaky) Update(p *Prediction, taken bool) {}
+
+// Sound implements the full contract.
+type Sound struct {
+	ghist uint64
+}
+
+func (s *Sound) Lookup(pc uint64) Prediction {
+	p := Prediction{GHistPrior: s.ghist}
+	s.ghist = s.ghist<<1 | 1
+	return p
+}
+
+func (s *Sound) Update(p *Prediction, taken bool)   {}
+func (s *Sound) Unwind(p *Prediction)               { s.ghist = p.GHistPrior }
+func (s *Sound) Redirect(p *Prediction, taken bool) { s.ghist = p.GHistPrior << 1 }
+
+// HalfRepaired has Unwind but not Redirect — a mispredicted branch still
+// cannot re-seed history.
+type HalfRepaired struct { // want `specrepair: type HalfRepaired speculatively updates predictor history but lacks Redirect`
+	ghist uint64
+}
+
+func (h *HalfRepaired) Lookup(pc uint64) Prediction {
+	p := Prediction{GHistPrior: h.ghist}
+	h.ghist <<= 1
+	return p
+}
+
+func (h *HalfRepaired) Update(p *Prediction, taken bool) {}
+func (h *HalfRepaired) Unwind(p *Prediction)             { h.ghist = p.GHistPrior }
+
+// NamedSpec trips the name-based trigger.
+type NamedSpec struct { // want `specrepair: type NamedSpec speculatively updates predictor history but lacks a repair method`
+	hist uint64
+}
+
+func (n *NamedSpec) SpecUpdate(taken bool) { n.hist <<= 1 }
+
+// Stateless targets without speculative state are exempt via suppression.
+type Oracle struct{} //bplint:allow specrepair -- stateless oracle, nothing to repair
+
+func (o Oracle) Lookup(pc uint64) Prediction      { return Prediction{Taken: true} }
+func (o Oracle) Update(p *Prediction, taken bool) {}

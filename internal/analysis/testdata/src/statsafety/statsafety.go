@@ -1,0 +1,61 @@
+// Package statsafety seeds unguarded-ratio and narrow-counter violations
+// plus their guarded/widened counterparts.
+package statsafety
+
+// Stats mimics the simulator's counter structs; the analyzer keys on the
+// type name.
+type Stats struct {
+	Committed, Cycles uint64
+	Retries           uint32
+	Depth             int
+}
+
+// IPC divides by a counter that is zero right after a reset.
+func (s *Stats) IPC() float64 {
+	return float64(s.Committed) / float64(s.Cycles) // want `statsafety: possible zero denominator s\.Cycles`
+}
+
+// SafeIPC carries the idiomatic early-return guard.
+func (s *Stats) SafeIPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// meanOf divides by a guarded length.
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// unguardedMean does not guard the length.
+func unguardedMean(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)) // want `statsafety: possible zero denominator len\(xs\)`
+}
+
+// Bump increments a 32-bit counter that wraps inside a long run, and a
+// 64-bit one that does not.
+func (s *Stats) Bump() {
+	s.Retries++ // want `statsafety: counter field Stats\.Retries has type uint32`
+	s.Committed++
+	s.Depth += 2 // want `statsafety: counter field Stats\.Depth has type int`
+}
+
+// BoundedBump documents why a narrow field cannot wrap.
+func (s *Stats) BoundedBump() {
+	s.Retries++ //bplint:allow counter -- saturates at 3 by the check below
+	if s.Retries > 3 {
+		s.Retries = 3
+	}
+}

@@ -1,0 +1,55 @@
+// Package unitdiscipline seeds energy/power dimension mixing with and
+// without a time conversion.
+package unitdiscipline
+
+type meter struct {
+	totalEnergy  float64
+	avgPower     float64
+	cycleSeconds float64
+}
+
+// badStore assigns watts into a joule-named variable with no time term.
+func badStore(m meter) float64 {
+	var chipEnergy float64
+	chipEnergy = m.avgPower // want `unitdiscipline: energy-named chipEnergy assigned from a power-dimension expression`
+	return chipEnergy
+}
+
+// badDecl does the reverse in a declaration.
+func badDecl(m meter) float64 {
+	bpredW := m.totalEnergy // want `unitdiscipline: power-named bpredW assigned from an energy-dimension expression`
+	return bpredW
+}
+
+// goodStore converts through the cycle time.
+func goodStore(m meter) float64 {
+	chipEnergy := m.avgPower * m.cycleSeconds
+	return chipEnergy
+}
+
+// goodPower divides energy by a time term.
+func goodPower(m meter, seconds float64) float64 {
+	avgPowerW := m.totalEnergy / seconds
+	return avgPowerW
+}
+
+// result carries dimension-named fields; composite literals are checked too.
+type result struct {
+	BpredEnergy float64
+	BpredPower  float64
+}
+
+func badComposite(m meter) result {
+	return result{
+		BpredEnergy: m.totalEnergy,
+		BpredPower:  m.totalEnergy, // want `unitdiscipline: power-named BpredPower assigned from an energy-dimension expression`
+	}
+}
+
+// suppressed documents a legacy name the math is right for.
+func suppressed(m meter) float64 {
+	var legacyEnergy float64
+	//bplint:allow units -- legacy field actually stores watts; renamed in the next PR
+	legacyEnergy = m.avgPower
+	return legacyEnergy
+}

@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// UnitDiscipline enforces the power model's naming conventions as a unit
+// system: identifiers the codebase marks as energies (…Energy…, …Joule…,
+// the eXxx per-operation constants, a J/nJ/uJ/pJ suffix) and identifiers it
+// marks as powers (…Power…, …Watt…, a W suffix) live in different
+// dimensions, related only through time (energy = power × seconds; the
+// per-cycle conversions go through config.CycleSeconds / internal/atime's
+// cycle-time model). An assignment that stores a power-dimension expression
+// into an energy-named variable (or vice versa) with no time-dimension term
+// anywhere on the right-hand side is dimensionally wrong and will silently
+// skew every downstream figure.
+//
+// Names that already contain a time word (EnergyDelay, cycleSeconds, …) are
+// mixed metrics and exempt. Suppress with //bplint:allow units when a name
+// is misleading rather than the math wrong (then rename it).
+var UnitDiscipline = &analysis.Analyzer{
+	Name: "unitdiscipline",
+	Doc:  "flag assignments mixing energy-named and power-named quantities without a time conversion",
+	Run:  runUnitDiscipline,
+}
+
+type dimension uint8
+
+const (
+	dimNone dimension = iota
+	dimEnergy
+	dimPower
+	dimTime
+)
+
+var timeWords = []string{"second", "time", "cycle", "delay", "hz", "clock", "latency", "period", "seconds", "freq", "dur"}
+
+// classifyName maps an identifier to the dimension its name declares.
+func classifyName(name string) dimension {
+	lower := strings.ToLower(name)
+	for _, w := range timeWords {
+		if strings.Contains(lower, w) {
+			return dimTime
+		}
+	}
+	if strings.Contains(lower, "energy") || strings.Contains(lower, "joule") || hasUnitSuffix(name, "J") || isEnergyConst(name) {
+		return dimEnergy
+	}
+	if strings.Contains(lower, "power") || strings.Contains(lower, "watt") || hasUnitSuffix(name, "W") {
+		return dimPower
+	}
+	return dimNone
+}
+
+// hasUnitSuffix reports whether name ends in the given unit letter,
+// optionally SI-prefixed (bpredW, chipEnergyNJ, eReadPJ), with a lowercase
+// letter or digit before the unit so single capitals like "W" alone or
+// "NEW"-style words don't match.
+func hasUnitSuffix(name, unit string) bool {
+	for _, suffix := range []string{unit, "N" + unit, "U" + unit, "P" + unit, "M" + unit, "n" + unit, "u" + unit, "p" + unit, "m" + unit} {
+		rest, ok := strings.CutSuffix(name, suffix)
+		if !ok || rest == "" {
+			continue
+		}
+		last := rest[len(rest)-1]
+		if last >= 'a' && last <= 'z' || last >= '0' && last <= '9' {
+			return true
+		}
+	}
+	return false
+}
+
+// isEnergyConst matches the power model's per-operation energy constants
+// (eRename, eWindowOp, …): a leading lowercase 'e' followed by a capital.
+func isEnergyConst(name string) bool {
+	return len(name) >= 2 && name[0] == 'e' && name[1] >= 'A' && name[1] <= 'Z'
+}
+
+// leafName returns the classifying identifier of an assignable or callable
+// expression: the field for selectors, the method name for calls.
+func leafName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+func runUnitDiscipline(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if i < len(n.Rhs) {
+						checkStore(pass, file, lhs, n.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if i < len(n.Values) {
+						checkStore(pass, file, name, n.Values[i])
+					}
+				}
+			case *ast.KeyValueExpr:
+				if key, ok := n.Key.(*ast.Ident); ok {
+					checkStore(pass, file, key, n.Value)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkStore flags lhs = rhs when the two sides declare opposite
+// energy/power dimensions and rhs carries no time term to convert.
+func checkStore(pass *analysis.Pass, file *ast.File, lhs, rhs ast.Expr) {
+	lhsDim := classifyName(leafName(lhs))
+	if lhsDim != dimEnergy && lhsDim != dimPower {
+		return
+	}
+	var hasOpposite, hasTime bool
+	opposite := dimEnergy
+	if lhsDim == dimEnergy {
+		opposite = dimPower
+	}
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		var name string
+		switch n := n.(type) {
+		case *ast.Ident:
+			// A package qualifier (power.GroupBTB, atime.New) names a
+			// namespace, not a quantity.
+			if _, isPkg := pass.TypesInfo.Uses[n].(*types.PkgName); isPkg {
+				return true
+			}
+			name = n.Name
+		case *ast.SelectorExpr:
+			name = n.Sel.Name
+		}
+		if name == "" {
+			return true
+		}
+		switch classifyName(name) {
+		case opposite:
+			hasOpposite = true
+		case dimTime:
+			hasTime = true
+		}
+		return true
+	})
+	if hasOpposite && !hasTime && !allowed(pass, file, lhs.Pos(), "units") {
+		lhsKind, rhsKind := "power", "an energy"
+		if lhsDim == dimEnergy {
+			lhsKind, rhsKind = "energy", "a power"
+		}
+		pass.Reportf(lhs.Pos(), "unitdiscipline: %s-named %s assigned from %s-dimension expression with no time term; convert through the cycle time (config.CycleSeconds / internal/atime) or rename (or //bplint:allow units -- <reason>)", lhsKind, leafName(lhs), rhsKind)
+	}
+}

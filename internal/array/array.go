@@ -216,6 +216,7 @@ func Organizations(s Spec) []Org {
 
 // log2Ratio returns |log2(a/b)|.
 func log2Ratio(a, b int) float64 {
+	//bplint:allow divzero -- callers pass physical row/column counts >= 1; 0 would rightly score as infinitely skewed anyway
 	return math.Abs(math.Log2(float64(a) / float64(b)))
 }
 

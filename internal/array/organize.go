@@ -21,6 +21,7 @@ func ChooseClosestSquare(s Spec) Org {
 	best := orgs[0]
 	bestSkew := math.Inf(1)
 	for _, o := range orgs {
+		//bplint:allow divzero -- Organizations never emits a zero-column org (Cols >= OutBits >= 1)
 		skew := math.Abs(math.Log2(float64(o.Rows) / float64(o.Cols)))
 		if skew < bestSkew || (skew == bestSkew && o.Rows > best.Rows) {
 			bestSkew = skew

@@ -349,11 +349,11 @@ func TestLinePredictorFrontEnd(t *testing.T) {
 		t.Errorf("line predictor should misfetch at least as often: %d vs %d",
 			lpSim.Stats().BTBMisfetches, btbSim.Stats().BTBMisfetches)
 	}
-	// ...but costs clearly less target-mechanism power.
-	lpW := lpSim.Meter().GroupEnergy(power.GroupBTB)
-	btbW := btbSim.Meter().GroupEnergy(power.GroupBTB)
-	if lpW >= btbW {
-		t.Errorf("line predictor energy %.3g >= BTB %.3g", lpW, btbW)
+	// ...but costs clearly less target-mechanism energy.
+	lpEnergy := lpSim.Meter().GroupEnergy(power.GroupBTB)
+	btbEnergy := btbSim.Meter().GroupEnergy(power.GroupBTB)
+	if lpEnergy >= btbEnergy {
+		t.Errorf("line predictor energy %.3g >= BTB %.3g", lpEnergy, btbEnergy)
 	}
 	// And IPC stays in the same ballpark (within 15%).
 	if lpSim.Stats().IPC() < btbSim.Stats().IPC()*0.85 {

@@ -1,0 +1,64 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+
+	"bpredpower/internal/bpred"
+)
+
+// ratioReads lists every Stats ratio method; all must return a finite 0 on
+// an empty measurement window instead of NaN.
+var ratioReads = []struct {
+	name string
+	read func(*Stats) float64
+}{
+	{"IPC", (*Stats).IPC},
+	{"DirAccuracy", (*Stats).DirAccuracy},
+	{"CondBranchFreq", (*Stats).CondBranchFreq},
+	{"UncondFreq", (*Stats).UncondFreq},
+	{"AvgCondDistance", (*Stats).AvgCondDistance},
+	{"AvgCtlDistance", (*Stats).AvgCtlDistance},
+	{"FracCondDistanceGT10", (*Stats).FracCondDistanceGT10},
+	{"FracCtlDistanceGT10", (*Stats).FracCtlDistanceGT10},
+}
+
+func TestRatiosZeroOnEmptyWindow(t *testing.T) {
+	var st Stats
+	for _, r := range ratioReads {
+		got := r.read(&st)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("zero-value Stats: %s() = %v, want 0", r.name, got)
+		} else if got != 0 {
+			t.Errorf("zero-value Stats: %s() = %v, want 0", r.name, got)
+		}
+	}
+}
+
+func TestRatiosZeroAfterResetMeasurement(t *testing.T) {
+	// A warm simulator whose measurement was just reset has zero cycles and
+	// zero branches on the books; every ratio read must return 0, and the
+	// meter's power readings must stay finite too.
+	s := runSim(t, Options{Predictor: bpred.Hybrid1}, 20000)
+	s.ResetMeasurement()
+	st := s.Stats()
+	for _, r := range ratioReads {
+		if got := r.read(st); got != 0 || math.IsNaN(got) {
+			t.Errorf("after ResetMeasurement: %s() = %v, want 0", r.name, got)
+		}
+	}
+	m := s.Meter()
+	for name, got := range map[string]float64{
+		"AveragePower":   m.AveragePower(),
+		"PredictorPower": m.PredictorPower(),
+		"TotalEnergy":    m.TotalEnergy(),
+		"EnergyDelay":    m.EnergyDelay(),
+	} {
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("after ResetMeasurement: Meter.%s() = %v, want finite", name, got)
+		}
+		if got != 0 {
+			t.Errorf("after ResetMeasurement: Meter.%s() = %v, want 0", name, got)
+		}
+	}
+}

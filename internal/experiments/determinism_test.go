@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"bpredpower/internal/bpred"
+	"bpredpower/internal/cpu"
+	"bpredpower/internal/workload"
+)
+
+// TestBitForBitDeterminism is the regression test behind the determinism
+// lint contract: two fresh simulators given identical Options on the same
+// benchmark must agree bit-for-bit on every statistic and every accumulated
+// energy — including across a mid-run ResetMeasurement, the warm-up discard
+// every experiment performs. Any drift here means figures are no longer
+// comparable across runs.
+func TestBitForBitDeterminism(t *testing.T) {
+	b, err := workload.ByName("164.gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := cpu.Options{Predictor: bpred.Hybrid1, BankedPredictor: true}
+
+	run := func() *cpu.Sim {
+		sim := cpu.MustNew(b.Program(), opt)
+		sim.Run(30000)
+		sim.ResetMeasurement()
+		sim.Run(60000)
+		return sim
+	}
+	s1, s2 := run(), run()
+
+	if !reflect.DeepEqual(*s1.Stats(), *s2.Stats()) {
+		t.Errorf("Stats differ between identical runs:\n  run1: %+v\n  run2: %+v", *s1.Stats(), *s2.Stats())
+	}
+
+	m1, m2 := s1.Meter(), s2.Meter()
+	if m1.Cycles() != m2.Cycles() {
+		t.Errorf("cycle counts differ: %d vs %d", m1.Cycles(), m2.Cycles())
+	}
+	if e1, e2 := m1.TotalEnergy(), m2.TotalEnergy(); e1 != e2 {
+		t.Errorf("total energy differs: %.18g vs %.18g", e1, e2)
+	}
+	if e1, e2 := m1.PredictorEnergy(), m2.PredictorEnergy(); e1 != e2 {
+		t.Errorf("predictor energy differs: %.18g vs %.18g", e1, e2)
+	}
+
+	// Per-unit agreement, in the deterministic name order of Units().
+	u1, u2 := m1.Units(), m2.Units()
+	if len(u1) != len(u2) {
+		t.Fatalf("unit counts differ: %d vs %d", len(u1), len(u2))
+	}
+	for i := range u1 {
+		if u1[i].Name != u2[i].Name {
+			t.Fatalf("unit order differs at %d: %s vs %s", i, u1[i].Name, u2[i].Name)
+		}
+		if u1[i].Energy() != u2[i].Energy() {
+			t.Errorf("unit %s energy differs: %.18g vs %.18g", u1[i].Name, u1[i].Energy(), u2[i].Energy())
+		}
+		r1, w1 := u1[i].Accesses()
+		r2, w2 := u2[i].Accesses()
+		if r1 != r2 || w1 != w2 {
+			t.Errorf("unit %s accesses differ: %d/%d vs %d/%d", u1[i].Name, r1, w1, r2, w2)
+		}
+	}
+
+	// The sorted breakdown (what reports print) must match row for row.
+	if !reflect.DeepEqual(m1.BreakdownSorted(), m2.BreakdownSorted()) {
+		t.Errorf("sorted breakdowns differ:\n  run1: %v\n  run2: %v", m1.BreakdownSorted(), m2.BreakdownSorted())
+	}
+}

@@ -222,3 +222,11 @@ func trunc(s string, n int) string {
 	}
 	return s[:n]
 }
+
+// per1k returns n per thousand d, 0 when d is 0.
+func per1k(n, d uint64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return 1000 * float64(n) / float64(d)
+}

@@ -431,7 +431,7 @@ func ExtensionLinePredictor(h *Harness, w io.Writer) {
 			r := h.Simulate(b, opt)
 			fmt.Fprintf(w, "%-14s %-9s %8.3f %8.4f %10.3f %10.2f %12.2f\n",
 				b.Name, label, r.IPC, r.Accuracy, r.BpredPower, r.TotalPower,
-				1000*float64(r.BTBMisfetches)/float64(r.Committed))
+				per1k(r.BTBMisfetches, r.Committed))
 		}
 	}
 }

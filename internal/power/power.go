@@ -337,11 +337,47 @@ func (m *Meter) Reset() {
 }
 
 // Breakdown returns per-group energies in joules, keyed by group name, with
-// "clock" included.
+// "clock" included. Callers that print or accumulate order-sensitively must
+// use BreakdownSorted instead: map iteration order is randomized.
 func (m *Meter) Breakdown() map[string]float64 {
 	out := map[string]float64{"clock": m.clockEnergy}
 	for _, u := range m.units {
 		out[u.Group.String()] += u.energy
 	}
 	return out
+}
+
+// GroupEnergyRow is one row of a sorted energy breakdown.
+type GroupEnergyRow struct {
+	// Name is the group name ("bpred", "clock", ...).
+	Name string
+	// Energy is the group's accumulated energy in joules.
+	Energy float64
+}
+
+// BreakdownSorted returns the per-group energies of Breakdown as a slice in
+// a deterministic order: descending energy, ties broken by name. Reports
+// built from it are bit-for-bit reproducible across runs.
+func (m *Meter) BreakdownSorted() []GroupEnergyRow {
+	var energies [numGroups]float64
+	var present [numGroups]bool
+	for _, u := range m.units {
+		energies[u.Group] += u.energy
+		present[u.Group] = true
+	}
+	energies[GroupClock] = m.clockEnergy
+	present[GroupClock] = true
+	rows := make([]GroupEnergyRow, 0, numGroups)
+	for g := Group(0); g < numGroups; g++ {
+		if present[g] {
+			rows = append(rows, GroupEnergyRow{Name: g.String(), Energy: energies[g]})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Energy != rows[j].Energy {
+			return rows[i].Energy > rows[j].Energy
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	return rows
 }

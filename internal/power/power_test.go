@@ -127,6 +127,33 @@ func TestBreakdownSumsToTotal(t *testing.T) {
 	}
 }
 
+func TestBreakdownSortedOrderAndTotal(t *testing.T) {
+	m := NewMeter(1e-9)
+	m.ClockBaseFraction, m.ClockActivityFraction = 0, 0
+	a := m.Add(testUnit("a", GroupFetch, 1e-9, 1))
+	b := m.Add(testUnit("b", GroupDMem, 2e-9, 2))
+	c := m.Add(testUnit("c", GroupBpred, 2e-9, 1)) // ties GroupDMem's energy
+	a.Read(1)
+	b.Write(1)
+	c.Read(1)
+	m.EndCycle()
+	rows := m.BreakdownSorted()
+	var sum float64
+	for i, r := range rows {
+		sum += r.Energy
+		if i == 0 {
+			continue
+		}
+		prev := rows[i-1]
+		if r.Energy > prev.Energy || (r.Energy == prev.Energy && r.Name < prev.Name) {
+			t.Errorf("rows out of order at %d: %v before %v", i, prev, r)
+		}
+	}
+	if math.Abs(sum-m.TotalEnergy()) > 1e-15 {
+		t.Errorf("sorted breakdown sum %.4g != total %.4g", sum, m.TotalEnergy())
+	}
+}
+
 func TestDuplicateUnitPanics(t *testing.T) {
 	m := NewMeter(1e-9)
 	m.Add(testUnit("dup", GroupALU, 1e-9, 1))

@@ -2,6 +2,7 @@ package bpredpower
 
 import (
 	"bytes"
+	"flag"
 	"io"
 	"testing"
 
@@ -25,8 +26,15 @@ import (
 // A fresh harness per iteration makes b.N iterations measure full
 // regeneration cost, not cache hits.
 
+// benchParallel sets the figure benchmarks' simulation worker count.
+// (Named -experiments.parallel because go test claims -parallel itself.)
+var benchParallel = flag.Int("experiments.parallel", 0,
+	"figure-benchmark simulation workers (0 = GOMAXPROCS)")
+
 func benchHarness() *experiments.Harness {
-	return experiments.NewHarness(experiments.Quick)
+	h := experiments.NewHarness(experiments.Quick)
+	h.Parallel = *benchParallel
+	return h
 }
 
 func BenchmarkTable1(b *testing.B) {
@@ -137,6 +145,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	p := bench.Program()
 	sim := cpu.MustNew(p, cpu.Options{Predictor: bpred.Hybrid1})
 	sim.Run(20000) // warm
+	b.ReportAllocs()
 	b.ResetTimer()
 	sim.Run(uint64(b.N))
 }
@@ -146,9 +155,10 @@ func BenchmarkPredictorLookup(b *testing.B) {
 	for _, spec := range []bpred.Spec{bpred.Bim4k, bpred.Gsh16k12, bpred.PAs4k16k8, bpred.Hybrid1} {
 		b.Run(spec.Name, func(b *testing.B) {
 			p := spec.Build()
+			var pr bpred.Prediction // hoisted so &pr does not escape per iteration
 			for i := 0; i < b.N; i++ {
 				pc := uint64(i*4) & 0xffff
-				pr := p.Lookup(pc)
+				pr = p.Lookup(pc)
 				p.Update(&pr, i&3 != 0)
 			}
 		})

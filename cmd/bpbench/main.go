@@ -1,0 +1,162 @@
+// Command bpbench records the simulator's performance trajectory: it runs
+// the core throughput and predictor microbenchmarks plus every
+// harness-driven figure (Quick windows) and writes the numbers to
+// BENCH_results.json so later changes can be diffed against them.
+//
+// Usage:
+//
+//	bpbench                      # write BENCH_results.json in the cwd
+//	bpbench -o /tmp/bench.json -parallel 4
+//	bpbench -skip-figures        # microbenchmarks only (seconds, not minutes)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"bpredpower/internal/bpred"
+	"bpredpower/internal/cpu"
+	"bpredpower/internal/experiments"
+	"bpredpower/internal/workload"
+)
+
+// result is one benchmark's measurement, averaged over its iterations.
+type result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Iterations  int     `json:"iterations"`
+}
+
+type report struct {
+	GOMAXPROCS   int               `json:"gomaxprocs"`
+	Parallel     int               `json:"parallel"`
+	WarmupInsts  uint64            `json:"warmup_insts"`
+	MeasureInsts uint64            `json:"measure_insts"`
+	// Throughput is the full-pipeline simulation rate; NsPerOp is ns per
+	// committed instruction and AllocsPerOp must stay 0 in steady state.
+	Throughput      result            `json:"throughput"`
+	PredictorLookup map[string]result `json:"predictor_lookup"`
+	Figures         map[string]result `json:"figures,omitempty"`
+}
+
+// measure runs f under the testing harness (no wall-clock access of our
+// own: the determinism lint bans time.Now outside tests, and
+// testing.Benchmark hands us the elapsed time and allocation counts).
+func measure(f func(b *testing.B)) result {
+	r := testing.Benchmark(f)
+	if r.N == 0 {
+		return result{}
+	}
+	return result{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		WallSeconds: r.T.Seconds(),
+		Iterations:  r.N,
+	}
+}
+
+func main() {
+	out := flag.String("o", "BENCH_results.json", "output file")
+	parallel := flag.Int("parallel", 0, "figure simulation workers (0 = GOMAXPROCS)")
+	skipFigures := flag.Bool("skip-figures", false, "skip the per-figure wall-time runs")
+	warm := flag.Uint64("warmup", experiments.Quick.WarmupInsts, "figure warm-up instructions")
+	meas := flag.Uint64("measure", experiments.Quick.MeasureInsts, "figure measured instructions")
+	flag.Parse()
+
+	rc := experiments.RunConfig{WarmupInsts: *warm, MeasureInsts: *meas}
+	rep := report{
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Parallel:        *parallel,
+		WarmupInsts:     rc.WarmupInsts,
+		MeasureInsts:    rc.MeasureInsts,
+		PredictorLookup: map[string]result{},
+	}
+
+	gzip, err := workload.ByName("164.gzip")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	prog := gzip.Program()
+	rep.Throughput = measure(func(b *testing.B) {
+		sim := cpu.MustNew(prog, cpu.Options{Predictor: bpred.Hybrid1})
+		sim.Run(20000) // warm
+		b.ReportAllocs()
+		b.ResetTimer()
+		sim.Run(uint64(b.N))
+	})
+	fmt.Printf("throughput        %8.1f ns/inst  %d allocs/op\n",
+		rep.Throughput.NsPerOp, rep.Throughput.AllocsPerOp)
+
+	for _, spec := range []bpred.Spec{bpred.Bim4k, bpred.Gsh16k12, bpred.PAs4k16k8, bpred.Hybrid1} {
+		spec := spec
+		r := measure(func(b *testing.B) {
+			p := spec.Build()
+			var pr bpred.Prediction
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pc := uint64(i*4) & 0xffff
+				pr = p.Lookup(pc)
+				p.Update(&pr, i&3 != 0)
+			}
+		})
+		rep.PredictorLookup[spec.Name] = r
+		fmt.Printf("lookup %-11s %8.2f ns/op    %d allocs/op\n", spec.Name, r.NsPerOp, r.AllocsPerOp)
+	}
+
+	if !*skipFigures {
+		rep.Figures = map[string]result{}
+		figures := []struct {
+			name string
+			fn   func(*experiments.Harness, io.Writer)
+		}{
+			{"Table2", experiments.Table2},
+			{"Figure2", experiments.Figure2},
+			{"Figure5", experiments.Figure5},
+			{"Figure6", experiments.Figure6},
+			{"Figure7", experiments.Figure7},
+			{"Figure8", experiments.Figure8},
+			{"Figure9", experiments.Figure9},
+			{"Figure10", experiments.Figure10},
+			{"Figures12And13", experiments.Figures12And13},
+			{"Figure14", experiments.Figure14},
+			{"Figures16And17", experiments.Figures16And17},
+			{"Figure19", experiments.Figure19},
+		}
+		for _, fig := range figures {
+			fig := fig
+			// A fresh harness per iteration measures full regeneration, not
+			// cache hits (matching bench_test.go).
+			r := measure(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					h := experiments.NewHarness(rc)
+					h.Parallel = *parallel
+					fig.fn(h, io.Discard)
+				}
+			})
+			rep.Figures[fig.name] = r
+			fmt.Printf("figure %-14s %8.2f s/run\n", fig.name, r.NsPerOp/1e9)
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

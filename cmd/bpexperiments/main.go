@@ -23,6 +23,7 @@ func main() {
 	quick := flag.Bool("quick", false, "use short simulation windows")
 	warm := flag.Uint64("warmup", 0, "override warm-up instruction count")
 	measure := flag.Uint64("measure", 0, "override measured instruction count")
+	parallel := flag.Int("parallel", 0, "simulation worker count (0 = GOMAXPROCS); output is identical at any value")
 	flag.Parse()
 
 	rc := experiments.Default
@@ -36,6 +37,7 @@ func main() {
 		rc.MeasureInsts = *measure
 	}
 	h := experiments.NewHarness(rc)
+	h.Parallel = *parallel
 	w := os.Stdout
 
 	switch {

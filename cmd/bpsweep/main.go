@@ -15,37 +15,54 @@ package main
 import (
 	"flag"
 	"fmt"
+	"runtime"
 
 	"bpredpower/internal/array"
 	"bpredpower/internal/atime"
+	"bpredpower/internal/experiments"
 )
 
 func main() {
 	entries := flag.Int("entries", 16384, "PHT entries (2-bit counters)")
 	banked := flag.Bool("banked", false, "apply Table 3 banking")
 	sweep := flag.Bool("sweep", false, "sweep the Figure 3/11 size range instead")
+	parallel := flag.Int("parallel", 0, "-sweep worker count (0 = GOMAXPROCS); output is identical at any value")
 	flag.Parse()
 
 	am := array.NewModel()
 	tm := atime.New()
 
 	if *sweep {
+		// Evaluate the rows on a worker pool (the min-EDP search enumerates
+		// every organization per size) and print them in order afterwards.
+		type row struct {
+			n, banks int
+			e, t     float64
+			org      array.Org
+		}
+		sizes := []int{256, 1024, 2048, 4096, 8192, 16384, 32768, 65536}
+		rows := make([]row, 2*len(sizes))
+		workers := *parallel
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		experiments.ForEach(workers, len(rows), func(i int) {
+			n := sizes[i/2]
+			s := array.Spec{Entries: n, Width: 2, OutBits: 2}
+			banks := 1
+			if i%2 == 1 {
+				banks = array.BanksForBits(s.Bits())
+				s.Banks = banks
+			}
+			org := array.ChooseMinEDP(am, s, tm.Delay)
+			rows[i] = row{n: n, banks: banks, org: org,
+				e: am.ReadEnergy(s, org), t: tm.CycleTime(s, org)}
+		})
 		fmt.Printf("%8s %6s %-22s %10s %10s %12s\n",
 			"entries", "banks", "organization", "energy pJ", "cycle ns", "EDP (aJ*s)")
-		for _, n := range []int{256, 1024, 2048, 4096, 8192, 16384, 32768, 65536} {
-			for _, b := range []bool{false, true} {
-				s := array.Spec{Entries: n, Width: 2, OutBits: 2}
-				banks := 1
-				if b {
-					banks = array.BanksForBits(s.Bits())
-					s.Banks = banks
-				}
-				org := array.ChooseMinEDP(am, s, tm.Delay)
-				e := am.ReadEnergy(s, org)
-				t := tm.CycleTime(s, org)
-				fmt.Printf("%8d %6d %-22v %10.1f %10.3f %12.2f\n",
-					n, banks, org, e*1e12, t*1e9, e*t*1e18)
-			}
+		for _, r := range rows {
+			fmt.Printf("%8d %6d %-22v %10.1f %10.3f %12.2f\n",
+				r.n, r.banks, r.org, r.e*1e12, r.t*1e9, r.e*r.t*1e18)
 		}
 		return
 	}

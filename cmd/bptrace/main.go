@@ -13,12 +13,15 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"bpredpower"
 	"bpredpower/internal/bpred"
+	"bpredpower/internal/experiments"
 	"bpredpower/internal/program"
 	"bpredpower/internal/trace"
 )
@@ -32,11 +35,12 @@ func main() {
 	eval := flag.String("eval", "", "evaluate predictors on this recorded trace")
 	predName := flag.String("pred", "", "restrict -eval to one configuration")
 	ext := flag.Bool("ext", false, "include the extension configurations (statics, GAg, gselect, PAg) in -eval")
+	parallel := flag.Int("parallel", 0, "-eval worker count (0 = GOMAXPROCS); output is identical at any value")
 	flag.Parse()
 
 	switch {
 	case *eval != "":
-		evalTrace(*eval, *predName, *ext)
+		evalTrace(*eval, *predName, *ext, *parallel)
 	case *bench != "" || *progPath != "":
 		prog := loadProgram(*bench, *progPath)
 		if *saveProg != "" {
@@ -78,7 +82,7 @@ func loadProgram(bench, path string) *program.Program {
 	return b.Program()
 }
 
-func evalTrace(path, predName string, ext bool) {
+func evalTrace(path, predName string, ext bool, parallel int) {
 	specs := bpred.PaperConfigs
 	if ext {
 		specs = append(append([]bpred.Spec{}, specs...), bpred.ExtensionConfigs...)
@@ -91,13 +95,20 @@ func evalTrace(path, predName string, ext bool) {
 		}
 		specs = []bpred.Spec{s}
 	}
+	// Read the trace once; each worker replays it from its own reader.
+	data, err := os.ReadFile(path)
+	die(err)
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	results := make([]trace.EvalResult, len(specs))
+	errs := make([]error, len(specs))
+	experiments.ForEach(parallel, len(specs), func(i int) {
+		results[i], errs[i] = trace.Eval(bytes.NewReader(data), specs[i])
+	})
 	fmt.Printf("%-14s %10s %12s\n", "predictor", "branches", "accuracy")
-	for _, spec := range specs {
-		f, err := os.Open(path)
-		die(err)
-		res, err := trace.Eval(f, spec)
-		f.Close()
-		die(err)
+	for i, res := range results {
+		die(errs[i])
 		fmt.Printf("%-14s %10d %11.4f%%\n", res.Name, res.Branches, 100*res.Accuracy())
 	}
 }

@@ -139,7 +139,14 @@ type Sim struct {
 	fetchHalted     bool // wrong path ran off the code image
 	fetchStallUntil uint64
 	fetchSeq        uint64
-	fetchQueue      []robEntry
+
+	// Fetch queue as a fixed-capacity ring buffer sized to the front end
+	// (fetch buffer plus the per-stage decode/rename latches), so steady-state
+	// fetch never allocates. fqHead indexes the oldest entry; fqLen counts
+	// occupied slots.
+	fq     []robEntry
+	fqHead int
+	fqLen  int
 
 	// ROB (RUU) as a ring buffer; robID % size is the slot.
 	rob      []robEntry
@@ -210,6 +217,12 @@ func New(prog *program.Program, opt Options) (*Sim, error) {
 	}
 
 	s.buildPowerModel()
+
+	// The front end holds the fetch buffer plus the instructions latched in
+	// the decode and extra rename/enqueue stages (DecodeWidth per stage).
+	// Modelling the capacity without the per-stage latches would let
+	// Little's law cap throughput at FetchBuffer / pipe-depth.
+	s.fq = make([]robEntry, cfg.FetchBuffer+cfg.DecodeWidth*(1+cfg.ExtraStages))
 
 	s.fetchPC = prog.Entry
 	for i := range s.regProd {

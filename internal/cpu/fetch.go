@@ -25,12 +25,8 @@ func (s *Sim) fetch() {
 		s.stats.GatedCycles++
 		return
 	}
-	// The front end holds the fetch buffer plus the instructions latched in
-	// the decode and extra rename/enqueue stages (DecodeWidth per stage).
-	// Modelling the capacity without the per-stage latches would let
-	// Little's law cap throughput at FetchBuffer / pipe-depth.
-	frontEndCap := s.cfg.FetchBuffer + s.cfg.DecodeWidth*(1+s.cfg.ExtraStages)
-	if len(s.fetchQueue) >= frontEndCap {
+	// The fetch-queue ring is sized to the front-end capacity (see New).
+	if s.fqLen >= len(s.fq) {
 		return
 	}
 
@@ -50,9 +46,8 @@ func (s *Sim) fetch() {
 	lineBytes := uint64(s.cfg.IL1.BlockBytes)
 	lineEnd := (s.fetchPC &^ (lineBytes - 1)) + lineBytes
 	budget := s.cfg.FetchWidth
-	frontEndCap = s.cfg.FetchBuffer + s.cfg.DecodeWidth*(1+s.cfg.ExtraStages)
 
-	for budget > 0 && len(s.fetchQueue) < frontEndCap && s.fetchPC < lineEnd {
+	for budget > 0 && s.fqLen < len(s.fq) && s.fetchPC < lineEnd {
 		stop := s.fetchOne()
 		budget--
 		if stop {
@@ -139,7 +134,12 @@ func (s *Sim) fetchOne() (stop bool) {
 		s.onWrongPath = true
 	}
 
-	s.fetchQueue = append(s.fetchQueue, e)
+	i := s.fqHead + s.fqLen
+	if i >= len(s.fq) {
+		i -= len(s.fq)
+	}
+	s.fq[i] = e
+	s.fqLen++
 	s.fetchPC = e.predNext
 	return stopAfter || (e.isCtl && e.predNext != si.NextPC())
 }

@@ -30,8 +30,8 @@ func latency(c isa.Class) uint64 {
 // renaming their register operands.
 func (s *Sim) dispatch() {
 	n := 0
-	for n < s.cfg.DecodeWidth && len(s.fetchQueue) > 0 {
-		e := &s.fetchQueue[0]
+	for n < s.cfg.DecodeWidth && s.fqLen > 0 {
+		e := &s.fq[s.fqHead]
 		if s.cycle < e.readyAt {
 			break
 		}
@@ -41,8 +41,12 @@ func (s *Sim) dispatch() {
 		if e.isMem && s.lsqUsed >= s.cfg.LSQSize {
 			break
 		}
-		ent := s.fetchQueue[0]
-		s.fetchQueue = s.fetchQueue[1:]
+		ent := *e
+		s.fqHead++
+		if s.fqHead == len(s.fq) {
+			s.fqHead = 0
+		}
+		s.fqLen--
 
 		// Rename: record producers of the sources, become producer of dest.
 		ent.state = stDispatched
@@ -242,10 +246,14 @@ func (s *Sim) resolve(id int64, e *robEntry) {
 // history, rename state, LSQ occupancy, and gating counts).
 func (s *Sim) squashAfter(id int64) {
 	// The entire fetch queue is younger than any ROB entry.
-	for i := len(s.fetchQueue) - 1; i >= 0; i-- {
-		s.unfetch(&s.fetchQueue[i])
+	for i := s.fqLen - 1; i >= 0; i-- {
+		j := s.fqHead + i
+		if j >= len(s.fq) {
+			j -= len(s.fq)
+		}
+		s.unfetch(&s.fq[j])
 	}
-	s.fetchQueue = s.fetchQueue[:0]
+	s.fqLen = 0
 
 	for y := s.tailID - 1; y > id; y-- {
 		e := s.slot(y)

@@ -13,9 +13,13 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"bpredpower/internal/bpred"
 	"bpredpower/internal/cpu"
+	"bpredpower/internal/power"
 	"bpredpower/internal/ppd"
 	"bpredpower/internal/program"
 	"bpredpower/internal/workload"
@@ -57,13 +61,28 @@ type Run struct {
 	BTBMisfetches      uint64
 }
 
+// runKey identifies one simulation. cpu.Options contains only comparable
+// value types, so using it verbatim makes the key complete by construction:
+// any Options field that changes simulation behavior — including ones a
+// hand-rolled label could forget, like ClockGating — yields a distinct key.
 type runKey struct {
-	bench, machine string
+	bench string
+	opt   cpu.Options
 }
 
-// Harness memoizes programs and runs.
+// Job names one simulation a figure needs: a benchmark on a machine variant.
+type Job struct {
+	Bench workload.Benchmark
+	Opt   cpu.Options
+}
+
+// Harness memoizes programs and runs. Parallel sets the worker count used by
+// Prefetch (0 means GOMAXPROCS); the memo maps themselves are only ever
+// touched from the caller's goroutine, so a Harness is not safe for
+// concurrent use — parallelism happens inside Prefetch, not across callers.
 type Harness struct {
-	RC RunConfig
+	RC       RunConfig
+	Parallel int
 
 	progs map[string]*program.Program
 	runs  map[runKey]Run
@@ -89,7 +108,117 @@ func (h *Harness) programFor(b workload.Benchmark) *program.Program {
 	return p
 }
 
-// machineLabel canonicalizes a machine variant for memoization.
+// Workers returns the number of goroutines Prefetch and ForEach use.
+func (h *Harness) Workers() int {
+	if h.Parallel > 0 {
+		return h.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Prefetch simulates every not-yet-memoized job on a bounded worker pool so
+// that the Simulate calls a figure subsequently makes are all cache hits.
+// Output determinism is preserved by construction:
+//   - jobs are deduplicated up front (against the memo and within the list),
+//     so each key simulates exactly once — concurrent demand for the same
+//     run never races (singleflight by planning);
+//   - workers write only to disjoint, pre-sized slice slots and read only
+//     immutable inputs (program images are generated in a prior phase and
+//     never mutated during simulation);
+//   - the pool is joined before any result is read, and results are merged
+//     into the memo maps on the caller's goroutine.
+//
+// Printing stays with the caller, in the same order as serial execution, so
+// figure output is byte-identical for any worker count.
+func (h *Harness) Prefetch(jobs []Job) {
+	seen := make(map[runKey]bool, len(jobs))
+	pending := make([]Job, 0, len(jobs))
+	for _, j := range jobs {
+		k := runKey{j.Bench.Name, j.Opt}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if _, ok := h.runs[k]; !ok {
+			pending = append(pending, j)
+		}
+	}
+	if len(pending) == 0 {
+		return
+	}
+
+	// Phase 1: generate missing program images in parallel. Generation is
+	// per-benchmark (independent of Options), so dedupe by name.
+	genSeen := map[string]bool{}
+	var gen []workload.Benchmark
+	for _, j := range pending {
+		if genSeen[j.Bench.Name] {
+			continue
+		}
+		genSeen[j.Bench.Name] = true
+		if _, ok := h.progs[j.Bench.Name]; !ok {
+			gen = append(gen, j.Bench)
+		}
+	}
+	if len(gen) > 0 {
+		ps := make([]*program.Program, len(gen))
+		ForEach(h.Workers(), len(gen), func(i int) {
+			ps[i] = gen[i].Program()
+		})
+		for i, b := range gen {
+			h.progs[b.Name] = ps[i]
+		}
+	}
+
+	// Phase 2: simulate. Snapshot the program pointers before spawning so
+	// workers never touch the shared map.
+	progs := make([]*program.Program, len(pending))
+	for i, j := range pending {
+		progs[i] = h.progs[j.Bench.Name]
+	}
+	results := make([]Run, len(pending))
+	rc := h.RC
+	ForEach(h.Workers(), len(pending), func(i int) {
+		results[i] = simulate(progs[i], pending[i].Bench, pending[i].Opt, rc)
+	})
+	for i, j := range pending {
+		h.runs[runKey{j.Bench.Name, j.Opt}] = results[i]
+	}
+}
+
+// ForEach calls fn(i) for each i in [0,n) on up to workers goroutines and
+// returns after all calls complete. Invocations must be independent; callers
+// keep determinism by writing results into pre-sized slices by index.
+func ForEach(workers, n int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// machineLabel renders a machine variant for display (Run.Machine). It is
+// not the memo key — runKey embeds the full Options for that.
 func machineLabel(opt cpu.Options) string {
 	l := opt.Predictor.Name
 	if opt.BankedPredictor {
@@ -116,25 +245,37 @@ func machineLabel(opt cpu.Options) string {
 	if opt.Gating.Enabled && opt.Gating.Estimator != 0 {
 		l += "+" + opt.Gating.Estimator.String()
 	}
+	if opt.ClockGating != power.CC3 {
+		l += "+" + opt.ClockGating.String()
+	}
 	return l
 }
 
 // Simulate runs one benchmark on one machine variant (memoized).
 func (h *Harness) Simulate(b workload.Benchmark, opt cpu.Options) Run {
-	key := runKey{b.Name, machineLabel(opt)}
+	key := runKey{b.Name, opt}
 	if r, ok := h.runs[key]; ok {
 		return r
 	}
-	sim := cpu.MustNew(h.programFor(b), opt)
-	sim.Run(h.RC.WarmupInsts)
+	r := simulate(h.programFor(b), b, opt, h.RC)
+	h.runs[key] = r
+	return r
+}
+
+// simulate runs one simulation to completion. It is a pure function of its
+// arguments (p is immutable during simulation), which is what makes the
+// Prefetch worker pool safe.
+func simulate(p *program.Program, b workload.Benchmark, opt cpu.Options, rc RunConfig) Run {
+	sim := cpu.MustNew(p, opt)
+	sim.Run(rc.WarmupInsts)
 	sim.ResetMeasurement()
-	sim.Run(h.RC.MeasureInsts)
+	sim.Run(rc.MeasureInsts)
 
 	st := sim.Stats()
 	m := sim.Meter()
-	r := Run{
+	return Run{
 		Benchmark:     b.Name,
-		Machine:       key.machine,
+		Machine:       machineLabel(opt),
 		Accuracy:      st.DirAccuracy(),
 		IPC:           st.IPC(),
 		BpredPower:    m.PredictorPower(),
@@ -153,8 +294,6 @@ func (h *Harness) Simulate(b workload.Benchmark, opt cpu.Options) Run {
 		GatedCycles:   st.GatedCycles,
 		BTBMisfetches: st.BTBMisfetches,
 	}
-	h.runs[key] = r
-	return r
 }
 
 // SimulateAll runs a benchmark list on one machine variant.

@@ -41,6 +41,7 @@ func Table1(w io.Writer) {
 // bimodal-16K / gshare-16K direction rates, with the paper's values beside
 // the measured ones.
 func Table2(h *Harness, w io.Writer) {
+	h.Prefetch(planTable2())
 	fmt.Fprintln(w, "Table 2: benchmark summary (measured | paper)")
 	fmt.Fprintf(w, "%-14s %17s %17s %19s %19s\n",
 		"benchmark", "uncond freq", "cond freq", "rate w/ Bimod 16K", "rate w/ Gshare 16K")
@@ -60,6 +61,7 @@ func Table2(h *Harness, w io.Writer) {
 // decoders, closest-to-square organizations) against the paper's extended
 // model ("new") on SPECint averages for every predictor configuration.
 func Figure2(h *Harness, w io.Writer) {
+	h.Prefetch(planFigure2())
 	bs := workload.SPECint2000()
 	fmt.Fprintln(w, "Figure 2: old vs new array power model (SPECint2000 averages)")
 	fmt.Fprintf(w, "%-14s %11s %11s %11s %11s %11s %11s %12s %12s\n",
@@ -127,6 +129,7 @@ func Figure3(w io.Writer) {
 // Figure5 prints direction accuracy and IPC for SPECint2000 across the 14
 // predictor configurations.
 func Figure5(h *Harness, w io.Writer) {
+	h.Prefetch(planSweepInt())
 	bs := workload.SPECint2000()
 	sweep := h.predictorSweep(bs)
 	matrix(w, "Figure 5a: direction-prediction rate (SPECint2000)", bs, sweep,
@@ -138,6 +141,7 @@ func Figure5(h *Harness, w io.Writer) {
 // Figure6 prints predictor energy, overall energy, and overall energy-delay
 // for SPECint2000.
 func Figure6(h *Harness, w io.Writer) {
+	h.Prefetch(planSweepInt())
 	bs := workload.SPECint2000()
 	sweep := h.predictorSweep(bs)
 	matrix(w, "Figure 6a: branch-predictor energy, J (SPECint2000)", bs, sweep,
@@ -151,6 +155,7 @@ func Figure6(h *Harness, w io.Writer) {
 
 // Figure7 prints predictor power and overall power for SPECint2000.
 func Figure7(h *Harness, w io.Writer) {
+	h.Prefetch(planSweepInt())
 	bs := workload.SPECint2000()
 	sweep := h.predictorSweep(bs)
 	matrix(w, "Figure 7a: branch-predictor power, W (SPECint2000)", bs, sweep,
@@ -161,6 +166,7 @@ func Figure7(h *Harness, w io.Writer) {
 
 // Figure8 prints direction accuracy and IPC for SPECfp2000.
 func Figure8(h *Harness, w io.Writer) {
+	h.Prefetch(planSweepFP())
 	bs := workload.SPECfp2000()
 	sweep := h.predictorSweep(bs)
 	matrix(w, "Figure 8a: direction-prediction rate (SPECfp2000)", bs, sweep,
@@ -171,6 +177,7 @@ func Figure8(h *Harness, w io.Writer) {
 
 // Figure9 prints the SPECfp2000 energy metrics.
 func Figure9(h *Harness, w io.Writer) {
+	h.Prefetch(planSweepFP())
 	bs := workload.SPECfp2000()
 	sweep := h.predictorSweep(bs)
 	matrix(w, "Figure 9a: branch-predictor energy, uJ (SPECfp2000)", bs, sweep,
@@ -183,6 +190,7 @@ func Figure9(h *Harness, w io.Writer) {
 
 // Figure10 prints the SPECfp2000 power metrics.
 func Figure10(h *Harness, w io.Writer) {
+	h.Prefetch(planSweepFP())
 	bs := workload.SPECfp2000()
 	sweep := h.predictorSweep(bs)
 	matrix(w, "Figure 10a: branch-predictor power, W (SPECfp2000)", bs, sweep,
@@ -245,6 +253,7 @@ func Figure11(w io.Writer) {
 // predictor/overall power (Figure 12) and predictor/overall energy and
 // energy-delay (Figure 13), averaged over the seven-benchmark subset.
 func Figures12And13(h *Harness, w io.Writer) {
+	h.Prefetch(planFigures12And13())
 	bs := workload.Subset7()
 	fmt.Fprintln(w, "Figures 12-13: banking — percentage reductions (7-benchmark subset averages)")
 	fmt.Fprintf(w, "%-14s %10s %10s %10s %10s %10s\n",
@@ -273,6 +282,7 @@ func Figures12And13(h *Harness, w io.Writer) {
 // Figure14 prints the average committed-path distances between conditional
 // branches and between control-flow instructions for the subset benchmarks.
 func Figure14(h *Harness, w io.Writer) {
+	h.Prefetch(planFigure14())
 	bs := workload.Subset7()
 	fmt.Fprintln(w, "Figure 14: average inter-branch distances (committed path)")
 	fmt.Fprintf(w, "%-14s %10s %12s %10s %12s\n",
@@ -289,6 +299,7 @@ func Figure14(h *Harness, w io.Writer) {
 // predictor energy, overall energy, and energy-delay (Figure 17), for
 // Scenario 1, banked + Scenario 1, and banked + Scenario 2.
 func Figures16And17(h *Harness, w io.Writer) {
+	h.Prefetch(planFigures16And17())
 	bs := workload.Subset7()
 	spec := bpred.GAs32k8
 	variants := []struct {
@@ -329,6 +340,7 @@ func Figures16And17(h *Harness, w io.Writer) {
 // poor) and hybrid_3 (large), the total energy, instructions entering the
 // pipeline, and IPC at thresholds N=0,1,2, normalized to no gating.
 func Figure19(h *Harness, w io.Writer) {
+	h.Prefetch(planFigure19())
 	bs := workload.Subset7()
 	fmt.Fprintln(w, "Figure 19: pipeline gating, normalized to no gating (7-benchmark subset averages)")
 	fmt.Fprintf(w, "%-10s %4s %14s %14s %10s %12s\n",
@@ -353,6 +365,7 @@ func Figure19(h *Harness, w io.Writer) {
 
 // All runs every table and figure in order.
 func All(h *Harness, w io.Writer) {
+	h.Prefetch(planAll())
 	Table1(w)
 	fmt.Fprintln(w)
 	Table2(h, w)
@@ -390,6 +403,7 @@ func All(h *Harness, w io.Writer) {
 // same N=0 gating experiment with the paper's "both strong" estimator, a
 // JRS resetting-counter estimator, and a perfect (oracle) estimator.
 func ExtensionConfidence(h *Harness, w io.Writer) {
+	h.Prefetch(planExtensionConfidence())
 	bs := workload.Subset7()
 	fmt.Fprintln(w, "Extension: confidence estimators for pipeline gating at N=0 (normalized to no gating)")
 	fmt.Fprintf(w, "%-10s %-12s %14s %14s %10s\n",
@@ -416,6 +430,7 @@ func ExtensionConfidence(h *Harness, w io.Writer) {
 // integrated with the I-cache — which the paper singles out as "the most
 // important difference" between its model and the 21264.
 func ExtensionLinePredictor(h *Harness, w io.Writer) {
+	h.Prefetch(planExtensionLinePredictor())
 	bs := workload.Subset7()
 	fmt.Fprintln(w, "Extension: separate BTB vs 21264-style next-line predictor (7-benchmark subset)")
 	fmt.Fprintf(w, "%-14s %-9s %8s %8s %10s %10s %12s\n",

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"bpredpower/internal/bpred"
+	"bpredpower/internal/cpu"
+	"bpredpower/internal/power"
+	"bpredpower/internal/workload"
+)
+
+// TestParallelMatchesSerial regenerates Figure 5 and Figure 19 with one
+// worker and with eight and requires byte-identical output — the harness's
+// determinism contract, exercised under -race by the ordinary test run.
+func TestParallelMatchesSerial(t *testing.T) {
+	rc := RunConfig{WarmupInsts: 2000, MeasureInsts: 5000}
+	render := func(parallel int) string {
+		h := NewHarness(rc)
+		h.Parallel = parallel
+		var buf bytes.Buffer
+		Figure5(h, &buf)
+		Figure19(h, &buf)
+		return buf.String()
+	}
+	serial := render(1)
+	par := render(8)
+	if serial != par {
+		t.Errorf("parallel output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, par)
+	}
+	if serial == "" {
+		t.Error("empty figure output")
+	}
+}
+
+// TestPrefetchMemoizes checks Prefetch fills the same cache Simulate reads:
+// after prefetching a plan, the figure's Simulate calls must all hit.
+func TestPrefetchMemoizes(t *testing.T) {
+	h := NewHarness(RunConfig{WarmupInsts: 2000, MeasureInsts: 4000})
+	b, _ := workload.ByName("164.gzip")
+	jobs := []Job{
+		{b, cpu.Options{Predictor: bpred.Bim4k}},
+		{b, cpu.Options{Predictor: bpred.Bim4k}}, // duplicate: simulated once
+		{b, cpu.Options{Predictor: bpred.Gsh16k12}},
+	}
+	h.Prefetch(jobs)
+	if len(h.runs) != 2 {
+		t.Errorf("expected 2 cached runs after Prefetch, have %d", len(h.runs))
+	}
+	want := h.runs[runKey{b.Name, cpu.Options{Predictor: bpred.Bim4k}}]
+	if got := h.Simulate(b, cpu.Options{Predictor: bpred.Bim4k}); got != want {
+		t.Error("Simulate after Prefetch did not hit the cache")
+	}
+	// A second Prefetch of the same plan is a no-op.
+	h.Prefetch(jobs)
+	if len(h.runs) != 2 {
+		t.Errorf("re-Prefetch grew the cache to %d runs", len(h.runs))
+	}
+}
+
+// TestClockGatingDistinctKeys is the regression test for the memoization-key
+// bug: two Options differing only in ClockGating must occupy distinct cache
+// slots (the old string label ignored the field and collided).
+func TestClockGatingDistinctKeys(t *testing.T) {
+	h := NewHarness(RunConfig{WarmupInsts: 2000, MeasureInsts: 4000})
+	b, _ := workload.ByName("164.gzip")
+	cc3 := h.Simulate(b, cpu.Options{Predictor: bpred.Bim4k})            // CC3 is the zero value
+	cc0 := h.Simulate(b, cpu.Options{Predictor: bpred.Bim4k, ClockGating: power.CC0})
+	if len(h.runs) != 2 {
+		t.Fatalf("ClockGating variants collided: %d cached runs, want 2", len(h.runs))
+	}
+	if cc0.TotalEnergy <= cc3.TotalEnergy {
+		t.Errorf("CC0 (no clock gating) energy %g should exceed CC3 energy %g",
+			cc0.TotalEnergy, cc3.TotalEnergy)
+	}
+	if cc0.Machine == cc3.Machine {
+		t.Errorf("display labels also collide: %q", cc0.Machine)
+	}
+}
+
+// TestForEach checks the pool helper covers every index exactly once for
+// assorted worker/item ratios, including workers > items and workers <= 1.
+func TestForEach(t *testing.T) {
+	for _, tc := range []struct{ workers, n int }{
+		{1, 5}, {4, 4}, {8, 3}, {3, 17}, {0, 4},
+	} {
+		hits := make([]int, tc.n)
+		ForEach(tc.workers, tc.n, func(i int) { hits[i]++ })
+		for i, c := range hits {
+			if c != 1 {
+				t.Errorf("workers=%d n=%d: index %d visited %d times", tc.workers, tc.n, i, c)
+			}
+		}
+	}
+}

@@ -128,25 +128,89 @@ type Unit struct {
 	// Ports is the number of access ports (the cc3 scaling denominator).
 	Ports int
 
+	// meter and maxE are set by Meter.Add; maxE caches maxCycleEnergy so the
+	// per-cycle fold never recomputes it.
+	meter *Meter
+	maxE  float64
+
 	reads, writes, partials uint64 // activity in the current cycle
+	touched                 bool   // on the meter's active list this cycle
+
+	// energy accumulates active-cycle energy only. Idle-cycle energy (the
+	// cc3 10% floor, or full maximum under cc0) is a per-cycle constant, so
+	// it is applied lazily in Energy() as idleRate * idleCycles instead of
+	// being folded unit-by-unit every cycle.
 	energy                  float64
+	activeCycles            uint64
 	totalReads, totalWrites uint64
 }
 
 // maxCycleEnergy is the energy the unit would burn with all ports active.
 func (u *Unit) maxCycleEnergy() float64 { return float64(u.Ports) * u.ERead }
 
+// touch puts the unit on its meter's active list on the first access of the
+// cycle, so EndCycle folds only the units that actually moved.
+func (u *Unit) touch() {
+	if !u.touched && u.meter != nil {
+		u.touched = true
+		u.meter.active = append(u.meter.active, u)
+	}
+}
+
 // Read records n read accesses this cycle.
-func (u *Unit) Read(n int) { u.reads += uint64(n) }
+func (u *Unit) Read(n int) {
+	if n <= 0 {
+		return
+	}
+	u.touch()
+	u.reads += uint64(n)
+}
 
 // Write records n write accesses this cycle.
-func (u *Unit) Write(n int) { u.writes += uint64(n) }
+func (u *Unit) Write(n int) {
+	if n <= 0 {
+		return
+	}
+	u.touch()
+	u.writes += uint64(n)
+}
 
 // Partial records n cancelled (Scenario 2) accesses this cycle.
-func (u *Unit) Partial(n int) { u.partials += uint64(n) }
+func (u *Unit) Partial(n int) {
+	if n <= 0 {
+		return
+	}
+	u.touch()
+	u.partials += uint64(n)
+}
 
-// Energy returns the unit's accumulated energy in joules.
-func (u *Unit) Energy() float64 { return u.energy }
+// idleRate is the energy the unit burns in a cycle with no accesses, under
+// the owning meter's gating style.
+func (u *Unit) idleRate() float64 {
+	if u.meter == nil {
+		return 0
+	}
+	switch u.meter.Style {
+	case CC0:
+		return u.maxE
+	case CC1, CC2:
+		return 0
+	default: // CC3
+		return IdleFraction * u.maxE
+	}
+}
+
+// Energy returns the unit's accumulated energy in joules, including the
+// lazily-accounted idle-cycle floor.
+func (u *Unit) Energy() float64 {
+	e := u.energy
+	if u.meter != nil {
+		if idle := u.idleRate(); idle != 0 {
+			e += idle * float64(u.meter.cycles-u.activeCycles)
+		}
+	}
+	return e
+}
 
 // Accesses returns lifetime (reads, writes).
 func (u *Unit) Accesses() (reads, writes uint64) { return u.totalReads, u.totalWrites }
@@ -190,6 +254,11 @@ type Meter struct {
 	units  []*Unit
 	byName map[string]*Unit
 
+	// active is the dense list of units accessed in the current cycle, in
+	// first-touch order. EndCycle folds exactly these units; everything else
+	// is covered by the precomputed idle-floor constant.
+	active []*Unit
+
 	cycles      uint64
 	clockEnergy float64
 	maxPerCycle float64 // cached sum of unit max energies
@@ -210,9 +279,11 @@ func (m *Meter) Add(u *Unit) *Unit {
 	if _, dup := m.byName[u.Name]; dup {
 		panic(fmt.Sprintf("power: duplicate unit %q", u.Name))
 	}
+	u.meter = m
+	u.maxE = u.maxCycleEnergy()
 	m.units = append(m.units, u)
 	m.byName[u.Name] = u
-	m.maxPerCycle += u.maxCycleEnergy()
+	m.maxPerCycle += u.maxE
 	return u
 }
 
@@ -226,37 +297,46 @@ func (m *Meter) Units() []*Unit {
 	return us
 }
 
+// idlePerCycle is the energy all units together would burn in a cycle with
+// no accesses at all — a constant per gating style, precomputable from the
+// registered capacity.
+func (m *Meter) idlePerCycle() float64 {
+	switch m.Style {
+	case CC0:
+		return m.maxPerCycle
+	case CC1, CC2:
+		return 0
+	default: // CC3
+		return IdleFraction * m.maxPerCycle
+	}
+}
+
 // EndCycle folds the cycle's activity into accumulated energy and resets the
-// per-cycle counters.
+// per-cycle counters. Only the units actually accessed this cycle (the dense
+// active list built by Read/Write/Partial) are visited; idle units are
+// covered by the precomputed idle-floor constant and accounted lazily in
+// Unit.Energy.
 func (m *Meter) EndCycle() {
-	var switched float64
-	for _, u := range m.units {
+	// Start from the all-idle constant and swap each active unit's idle
+	// share for its real access energy.
+	switched := m.idlePerCycle()
+	for _, u := range m.active {
 		var e float64
-		idle := u.reads == 0 && u.writes == 0 && u.partials == 0
 		switch m.Style {
-		case CC0:
-			e = u.maxCycleEnergy()
-		case CC1:
-			if !idle {
-				e = u.maxCycleEnergy()
-			}
-		case CC2:
-			if !idle {
-				e = float64(u.reads)*u.ERead + float64(u.writes)*u.EWrite + float64(u.partials)*u.EPartial
-			}
-		default: // CC3
-			if idle {
-				e = IdleFraction * u.maxCycleEnergy()
-			} else {
-				e = float64(u.reads)*u.ERead + float64(u.writes)*u.EWrite + float64(u.partials)*u.EPartial
-			}
+		case CC0, CC1:
+			e = u.maxE
+		default: // CC2, CC3
+			e = float64(u.reads)*u.ERead + float64(u.writes)*u.EWrite + float64(u.partials)*u.EPartial
 		}
 		u.energy += e
-		switched += e
+		switched += e - u.idleRate()
+		u.activeCycles++
 		u.totalReads += u.reads
 		u.totalWrites += u.writes
 		u.reads, u.writes, u.partials = 0, 0, 0
+		u.touched = false
 	}
+	m.active = m.active[:0]
 	m.clockEnergy += m.ClockBaseFraction*m.maxPerCycle + m.ClockActivityFraction*switched
 	m.cycles++
 }
@@ -268,7 +348,7 @@ func (m *Meter) Cycles() uint64 { return m.cycles }
 func (m *Meter) TotalEnergy() float64 {
 	e := m.clockEnergy
 	for _, u := range m.units {
-		e += u.energy
+		e += u.Energy()
 	}
 	return e
 }
@@ -282,7 +362,7 @@ func (m *Meter) GroupEnergy(g Group) float64 {
 	var e float64
 	for _, u := range m.units {
 		if u.Group == g {
-			e += u.energy
+			e += u.Energy()
 		}
 	}
 	return e
@@ -295,7 +375,7 @@ func (m *Meter) PredictorEnergy() float64 {
 	var e float64
 	for _, u := range m.units {
 		if PredictorGroups[u.Group] {
-			e += u.energy
+			e += u.Energy()
 		}
 	}
 	return e
@@ -329,9 +409,12 @@ func (m *Meter) EnergyDelay() float64 { return m.TotalEnergy() * m.Seconds() }
 func (m *Meter) Reset() {
 	for _, u := range m.units {
 		u.energy = 0
+		u.activeCycles = 0
 		u.reads, u.writes, u.partials = 0, 0, 0
 		u.totalReads, u.totalWrites = 0, 0
+		u.touched = false
 	}
+	m.active = m.active[:0]
 	m.clockEnergy = 0
 	m.cycles = 0
 }
@@ -342,7 +425,7 @@ func (m *Meter) Reset() {
 func (m *Meter) Breakdown() map[string]float64 {
 	out := map[string]float64{"clock": m.clockEnergy}
 	for _, u := range m.units {
-		out[u.Group.String()] += u.energy
+		out[u.Group.String()] += u.Energy()
 	}
 	return out
 }
@@ -362,7 +445,7 @@ func (m *Meter) BreakdownSorted() []GroupEnergyRow {
 	var energies [numGroups]float64
 	var present [numGroups]bool
 	for _, u := range m.units {
-		energies[u.Group] += u.energy
+		energies[u.Group] += u.Energy()
 		present[u.Group] = true
 	}
 	energies[GroupClock] = m.clockEnergy

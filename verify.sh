@@ -8,3 +8,12 @@ go build ./...
 go vet ./...
 go run ./cmd/bplint ./...
 go test -race ./...
+
+# Determinism smoke: the full quick figure set must be byte-identical no
+# matter how many simulation workers run it.
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+go run ./cmd/bpexperiments -quick -warmup 4000 -measure 8000 -parallel 1 > "$tmp/serial.txt"
+go run ./cmd/bpexperiments -quick -warmup 4000 -measure 8000 -parallel 4 > "$tmp/parallel.txt"
+diff "$tmp/serial.txt" "$tmp/parallel.txt"
+echo "parallel smoke: output identical at -parallel 1 and -parallel 4"

@@ -117,11 +117,18 @@ var (
 
 // PaperConfigs lists the fourteen configurations of Figures 2 and 5-13 in
 // the paper's order.
-func PaperConfigs() []PredictorSpec { return bpred.PaperConfigs }
+func PaperConfigs() []PredictorSpec { return bpred.PaperConfigs() }
 
 // PredictorByName returns a paper configuration by its figure label, e.g.
 // "Gsh_1_16k_12".
 func PredictorByName(name string) (PredictorSpec, bool) { return bpred.ConfigByName(name) }
+
+// PredictorByNameStrict is PredictorByName with a descriptive error listing
+// every registered configuration name.
+func PredictorByNameStrict(name string) (PredictorSpec, error) { return bpred.ByName(name) }
+
+// PredictorNames lists every registered predictor configuration name, sorted.
+func PredictorNames() []string { return bpred.ConfigNames() }
 
 // DefaultProcessor returns the paper's Table 1 machine configuration.
 func DefaultProcessor() Processor { return config.Default() }
@@ -190,4 +197,4 @@ var (
 )
 
 // ExtensionConfigs lists the extra predictor organizations.
-func ExtensionConfigs() []PredictorSpec { return bpred.ExtensionConfigs }
+func ExtensionConfigs() []PredictorSpec { return bpred.ExtensionConfigs() }

@@ -1,0 +1,24 @@
+package bpredpower
+
+import "testing"
+
+// TestCalibrationChipPowerBand is the whole-chip calibration regression: the
+// Table 1 machine with the Alpha 21264 hybrid predictor must land in the
+// paper's chip-power band at 1.2GHz (Figure 7b reports 164.gzip in the
+// high-30s W; the SPECint average sits in the low 30s). A failure here means
+// the fixed-energy calibration table or the array model drifted.
+func TestCalibrationChipPowerBand(t *testing.T) {
+	b, err := BenchmarkByName("164.gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulator(b, Options{Predictor: Hybrid1})
+	sim.Run(QuickRuns.WarmupInsts)
+	sim.ResetMeasurement()
+	sim.Run(QuickRuns.MeasureInsts)
+
+	w := sim.Meter().AveragePower()
+	if w < 30 || w > 45 {
+		t.Errorf("chip power = %.2f W, want within the paper's band [30, 45] W", w)
+	}
+}

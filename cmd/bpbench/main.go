@@ -35,10 +35,10 @@ type result struct {
 }
 
 type report struct {
-	GOMAXPROCS   int               `json:"gomaxprocs"`
-	Parallel     int               `json:"parallel"`
-	WarmupInsts  uint64            `json:"warmup_insts"`
-	MeasureInsts uint64            `json:"measure_insts"`
+	GOMAXPROCS   int    `json:"gomaxprocs"`
+	Parallel     int    `json:"parallel"`
+	WarmupInsts  uint64 `json:"warmup_insts"`
+	MeasureInsts uint64 `json:"measure_insts"`
 	// Throughput is the full-pipeline simulation rate; NsPerOp is ns per
 	// committed instruction and AllocsPerOp must stay 0 in steady state.
 	Throughput      result            `json:"throughput"`

@@ -57,9 +57,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	spec, ok := bpredpower.PredictorByName(*pred)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown predictor %q (try -list)\n", *pred)
+	spec, err := bpredpower.PredictorByNameStrict(*pred)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	opt := bpredpower.Options{Predictor: spec, BankedPredictor: *banked, LinePredictor: *linepred}

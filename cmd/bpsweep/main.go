@@ -5,32 +5,70 @@
 // min-EDP squarification would choose. With -banked it applies the Table 3
 // bank count first.
 //
+// With -pred it resolves a named predictor configuration from the registry
+// and reports, through the frontend layer, the organization, energy, and
+// access time chosen for each of the predictor's tables.
+//
 // Usage:
 //
 //	bpsweep -entries 16384
 //	bpsweep -entries 32768 -banked
 //	bpsweep -sweep          # the Figure 3 / Figure 11 size sweep
+//	bpsweep -pred Hybrid_1  # per-table report for one configuration
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"runtime"
 
 	"bpredpower/internal/array"
 	"bpredpower/internal/atime"
+	"bpredpower/internal/bpred"
+	"bpredpower/internal/config"
 	"bpredpower/internal/experiments"
+	"bpredpower/internal/frontend"
+	"bpredpower/internal/power"
 )
 
 func main() {
 	entries := flag.Int("entries", 16384, "PHT entries (2-bit counters)")
 	banked := flag.Bool("banked", false, "apply Table 3 banking")
 	sweep := flag.Bool("sweep", false, "sweep the Figure 3/11 size range instead")
+	predName := flag.String("pred", "", "report a named predictor configuration's tables instead")
 	parallel := flag.Int("parallel", 0, "-sweep worker count (0 = GOMAXPROCS); output is identical at any value")
 	flag.Parse()
 
 	am := array.NewModel()
 	tm := atime.New()
+
+	if *predName != "" {
+		spec, err := bpred.ByName(*predName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		p := spec.Build()
+		m := power.NewMeter(config.Default().CycleSeconds())
+		built, err := frontend.NewRegistry().Build(frontend.Spec{
+			Structures: []frontend.Structure{frontend.Predictor{Tables: p.Tables()}},
+			Transforms: frontend.Transforms{BankedPredictor: *banked},
+		}, m)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("%s (%d Kbits)\n", spec.Name, p.TotalBits()/1024)
+		fmt.Printf("%-16s %8s %6s %6s %-22s %10s %10s\n",
+			"table", "entries", "width", "banks", "organization", "energy pJ", "access ns")
+		for _, ba := range built.Arrays() {
+			fmt.Printf("%-16s %8d %6d %6d %-22v %10.1f %10.3f\n",
+				ba.Array.Name, ba.Array.Spec.Entries, ba.Array.Spec.Width,
+				max(1, ba.Array.Spec.Banks), ba.Org, ba.Unit.ERead*1e12, ba.AccessTime*1e9)
+		}
+		return
+	}
 
 	if *sweep {
 		// Evaluate the rows on a worker pool (the min-EDP search enumerates

@@ -83,9 +83,9 @@ func loadProgram(bench, path string) *program.Program {
 }
 
 func evalTrace(path, predName string, ext bool, parallel int) {
-	specs := bpred.PaperConfigs
+	specs := bpred.PaperConfigs()
 	if ext {
-		specs = append(append([]bpred.Spec{}, specs...), bpred.ExtensionConfigs...)
+		specs = append(append([]bpred.Spec{}, specs...), bpred.ExtensionConfigs()...)
 	}
 	if predName != "" {
 		s, ok := bpred.ConfigByName(predName)

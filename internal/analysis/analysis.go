@@ -1,4 +1,4 @@
-// Package analysis is the simulator's invariant-checking lint suite: four
+// Package analysis is the simulator's invariant-checking lint suite: five
 // golang.org/x/tools/go/analysis analyzers enforcing the properties every
 // figure regeneration depends on. Two runs of the same configuration must be
 // bit-for-bit identical, and the power/stat accounting must never silently
@@ -12,8 +12,11 @@
 //     also implement the matching repair methods (Unwind/Redirect)
 //   - unitdiscipline: assignments must not mix energy-named and power-named
 //     quantities without converting through a time term
+//   - unitsource: power.Unit construction stays behind the frontend layer —
+//     raw NewArrayUnit/NewFixedUnit calls are allowed only in the frontend
+//     and power packages, so no hand-wired unit escapes the registry
 //
-// All four are wired into cmd/bplint, which runs them (plus selected go vet
+// All five are wired into cmd/bplint, which runs them (plus selected go vet
 // passes) over the whole module; verify.sh makes that a CI gate.
 //
 // A diagnostic that is intentional can be suppressed with a comment on the
@@ -22,7 +25,7 @@
 //	//bplint:allow <check> -- reason
 //
 // where <check> is the key named in the diagnostic (maprange, goroutine,
-// divzero, counter, specrepair, units). The reason is mandatory by
+// divzero, counter, specrepair, units, unitsource). The reason is mandatory by
 // convention: the comment documents why the invariant holds anyway.
 package analysis
 

@@ -26,3 +26,11 @@ func TestSpecRepair(t *testing.T) {
 func TestUnitDiscipline(t *testing.T) {
 	analyzertest.Run(t, bplint.UnitDiscipline, filepath.Join("testdata", "src", "unitdiscipline"))
 }
+
+func TestUnitSource(t *testing.T) {
+	analyzertest.Run(t, bplint.UnitSource, filepath.Join("testdata", "src", "unitsource"))
+}
+
+func TestUnitSourceAllowedPackage(t *testing.T) {
+	analyzertest.Run(t, bplint.UnitSource, filepath.Join("testdata", "src", "unitsource_frontend"))
+}

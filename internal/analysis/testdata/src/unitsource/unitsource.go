@@ -1,0 +1,27 @@
+// Package unitsource seeds unitsource violations: raw power.Unit
+// constructor calls outside the frontend/power packages. The local stand-ins
+// mirror the real constructors' names; the analyzer matches by callee name.
+package unitsource
+
+type unit struct{ name string }
+
+func NewArrayUnit(name string, ports int) *unit { return &unit{name: name} }
+func NewFixedUnit(name string, e float64) *unit { return &unit{name: name} }
+
+func handWired() []*unit {
+	u1 := NewArrayUnit("bpred.pht", 1)  // want `raw NewArrayUnit call outside the frontend layer`
+	u2 := NewFixedUnit("ialu", 0.28e-9) // want `raw NewFixedUnit call outside the frontend layer`
+	return []*unit{u1, u2}
+}
+
+func suppressed() *unit {
+	//bplint:allow unitsource -- exercising the raw constructor deliberately
+	return NewArrayUnit("scratch", 1)
+}
+
+// unrelated constructors with similar shapes must not fire.
+func NewArrayList(n int) []int { return make([]int, n) }
+
+func clean() []int {
+	return NewArrayList(4)
+}

@@ -1,0 +1,16 @@
+// Package frontend is the allowed-package fixture: the unitsource check
+// must stay quiet on raw constructor calls inside a package named frontend
+// (the registry is built on them).
+package frontend
+
+type unit struct{ name string }
+
+func NewArrayUnit(name string, ports int) *unit { return &unit{name: name} }
+func NewFixedUnit(name string, e float64) *unit { return &unit{name: name} }
+
+func build() []*unit {
+	return []*unit{
+		NewArrayUnit("bpred.pht", 1),
+		NewFixedUnit("ialu", 0.28e-9),
+	}
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// UnitSource enforces the front-end layer's construction discipline: every
+// power.Unit must come from a frontend structure declaration or from the
+// named calibration table, so the full unit inventory is visible in one
+// declarative spec and transforms (banking, array-model selection,
+// squarification, counter cells) are applied uniformly. Direct calls to the
+// raw constructors power.NewArrayUnit / power.NewFixedUnit are therefore
+// allowed only inside the frontend and power packages themselves; a call
+// anywhere else is a hand-wired unit the registry cannot see — exactly the
+// scattered construction the layer exists to remove.
+//
+// Tests may construct units directly (fixtures need raw access), and an
+// intentional exception can be suppressed with //bplint:allow unitsource.
+var UnitSource = &analysis.Analyzer{
+	Name: "unitsource",
+	Doc:  "forbid raw power.Unit construction outside the frontend layer and the power package",
+	Run:  runUnitSource,
+}
+
+// rawUnitConstructors are the power package's raw constructors that must stay
+// behind the frontend registry.
+var rawUnitConstructors = map[string]bool{
+	"NewArrayUnit": true,
+	"NewFixedUnit": true,
+}
+
+// unitSourcePackages are the packages allowed to call the raw constructors:
+// power defines them, frontend is the registry built on them.
+var unitSourcePackages = map[string]bool{
+	"power":    true,
+	"frontend": true,
+}
+
+func runUnitSource(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg != nil && unitSourcePackages[pass.Pkg.Name()] {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if isTestFile(pass, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := leafName(call.Fun)
+			if !rawUnitConstructors[name] {
+				return true
+			}
+			if !allowed(pass, file, call.Pos(), "unitsource") {
+				pass.Reportf(call.Pos(), "unitsource: raw %s call outside the frontend layer; declare the unit as a frontend.Structure (arrays) or a calibration-table entry (fixed energies) so registry transforms apply to it (or //bplint:allow unitsource -- <reason>)", name)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

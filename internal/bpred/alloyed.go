@@ -19,6 +19,10 @@ type Alloyed struct {
 	ghist   uint64
 }
 
+func init() {
+	RegisterKind(KindAlloyed, func(s Spec) Predictor { return NewAlloyed(s.Name, s.BHTEntries, s.BHTWidth, s.HistBits, s.Entries) })
+}
+
 // NewAlloyed builds an alloyed predictor: phtEntries counters indexed by
 // gBits of global history, lBits of local history (from a bhtEntries-entry
 // BHT), and address bits filling the remainder.

@@ -12,6 +12,10 @@ type Bimodal struct {
 	mask uint64
 }
 
+func init() {
+	RegisterKind(KindBimodal, func(s Spec) Predictor { return NewBimodal(s.Name, s.Entries) })
+}
+
 // NewBimodal builds a bimodal predictor with the given PHT entry count,
 // which must be a power of two.
 func NewBimodal(name string, entries int) *Bimodal {

@@ -362,7 +362,7 @@ func TestPaperConfigSizes(t *testing.T) {
 }
 
 func TestPaperConfigsBuild(t *testing.T) {
-	for _, s := range append(append([]Spec{}, PaperConfigs...), Hybrid0) {
+	for _, s := range append(append([]Spec{}, PaperConfigs()...), Hybrid0) {
 		p := s.Build()
 		if p.Name() != s.Name {
 			t.Errorf("built predictor name %q != spec name %q", p.Name(), s.Name)

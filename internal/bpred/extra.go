@@ -9,6 +9,14 @@ import "fmt"
 // baselines and for taxonomy sweeps, and they exercise the same Predictor
 // interface, so every harness and tool accepts them.
 
+func init() {
+	RegisterKind(KindStaticTaken, func(Spec) Predictor { return NewStaticTaken() })
+	RegisterKind(KindStaticNotTaken, func(Spec) Predictor { return NewStaticNotTaken() })
+	RegisterKind(KindGAg, func(s Spec) Predictor { return NewGAg(s.Name, s.HistBits) })
+	RegisterKind(KindGselect, func(s Spec) Predictor { return NewGselect(s.Name, s.Entries, s.HistBits) })
+	RegisterKind(KindPAg, func(s Spec) Predictor { return NewPAg(s.Name, s.BHTEntries, s.HistBits) })
+}
+
 // Static is a fixed-direction predictor (always-taken or always-not-taken),
 // the baseline dynamic predictors are measured against.
 type Static struct {

@@ -161,7 +161,7 @@ func TestExtraPredictorSizes(t *testing.T) {
 }
 
 func TestExtensionConfigsBuildAndResolve(t *testing.T) {
-	for _, s := range ExtensionConfigs {
+	for _, s := range ExtensionConfigs() {
 		p := s.Build()
 		if p.Name() != s.Name {
 			t.Errorf("built name %q != spec %q", p.Name(), s.Name)

@@ -61,6 +61,10 @@ type Hybrid struct {
 	bim counters
 }
 
+func init() {
+	RegisterKind(KindHybrid, func(s Spec) Predictor { return NewHybrid(s.Name, s.Hybrid) })
+}
+
 // NewHybrid builds a hybrid predictor from its geometry.
 func NewHybrid(name string, geo HybridGeometry) *Hybrid {
 	if !isPow2(geo.SelEntries) || !isPow2(geo.GlobalEntries) {

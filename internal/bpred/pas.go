@@ -21,6 +21,10 @@ type PAs struct {
 	phtBits  uint
 }
 
+func init() {
+	RegisterKind(KindPAs, func(s Spec) Predictor { return NewPAs(s.Name, s.BHTEntries, s.BHTWidth, s.Entries) })
+}
+
 // NewPAs builds a PAs predictor with bhtEntries history registers of
 // bhtWidth bits and a phtEntries-counter PHT. Entry counts must be powers of
 // two and bhtWidth must not exceed the PHT index width.

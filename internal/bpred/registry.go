@@ -1,0 +1,133 @@
+package bpred
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file is the predictor registry: the single place predictor families
+// (Kind constructors) and named configurations are registered, so every
+// consumer — the cpu simulator, the experiment plans, the facade, and the
+// command-line tools — builds predictors by name instead of switching on
+// kinds or hard-coding configuration lists. Adding a predictor family is one
+// RegisterKind call plus RegisterConfig calls for its named points; see
+// DESIGN.md §3a for the end-to-end recipe.
+
+// Constructor builds a predictor family member from its spec.
+type Constructor func(Spec) Predictor
+
+// kindConstructors maps each registered Kind to its constructor. Families
+// register themselves from init functions in their own files, so the
+// registry never needs editing when a family is added.
+var kindConstructors = map[Kind]Constructor{}
+
+// RegisterKind registers the constructor of a predictor family. It panics on
+// duplicate registration: each Kind has exactly one constructor.
+func RegisterKind(k Kind, c Constructor) {
+	if c == nil {
+		panic(fmt.Sprintf("bpred: nil constructor for kind %v", k))
+	}
+	if _, dup := kindConstructors[k]; dup {
+		panic(fmt.Sprintf("bpred: duplicate constructor for kind %v", k))
+	}
+	kindConstructors[k] = c
+}
+
+// Class says where a registered configuration appears in the paper's
+// evaluation.
+type Class uint8
+
+const (
+	// ClassPaper marks the fourteen configurations of Figures 2 and 5-13.
+	ClassPaper Class = iota
+	// ClassSpecial marks configurations used only by specific studies
+	// (Hybrid_0, the deliberately poor gating-study hybrid).
+	ClassSpecial
+	// ClassExtension marks configurations beyond the paper's figures.
+	ClassExtension
+)
+
+// configEntry is one registered named configuration.
+type configEntry struct {
+	spec  Spec
+	class Class
+}
+
+var (
+	configs     []configEntry
+	configIndex = map[string]int{}
+)
+
+// RegisterConfig registers a named configuration under a class. Names must
+// be unique and non-empty; registration order fixes the order PaperConfigs
+// and ExtensionConfigs report, which the figures' X axes depend on.
+func RegisterConfig(class Class, s Spec) {
+	if s.Name == "" {
+		panic("bpred: cannot register a nameless configuration")
+	}
+	if _, dup := configIndex[s.Name]; dup {
+		panic(fmt.Sprintf("bpred: duplicate configuration %q", s.Name))
+	}
+	configIndex[s.Name] = len(configs)
+	configs = append(configs, configEntry{spec: s, class: class})
+}
+
+// configsOf returns the registered specs of one class, in registration
+// order.
+func configsOf(class Class) []Spec {
+	var out []Spec
+	for _, e := range configs {
+		if e.class == class {
+			out = append(out, e.spec)
+		}
+	}
+	return out
+}
+
+// PaperConfigs lists the fourteen predictor organizations of Figures 2 and
+// 5-13, in the paper's X-axis order.
+func PaperConfigs() []Spec { return configsOf(ClassPaper) }
+
+// ExtensionConfigs lists the extra organizations (not part of the paper's
+// figures).
+func ExtensionConfigs() []Spec { return configsOf(ClassExtension) }
+
+// AllConfigs lists every registered configuration in registration order.
+func AllConfigs() []Spec {
+	out := make([]Spec, len(configs))
+	for i, e := range configs {
+		out[i] = e.spec
+	}
+	return out
+}
+
+// ConfigNames returns every registered configuration name, sorted.
+func ConfigNames() []string {
+	names := make([]string, 0, len(configs))
+	for _, e := range configs {
+		names = append(names, e.spec.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ConfigByName returns the named registered configuration.
+func ConfigByName(name string) (Spec, bool) {
+	i, ok := configIndex[name]
+	if !ok {
+		return Spec{}, false
+	}
+	return configs[i].spec, true
+}
+
+// ByName returns the named registered configuration, or an error listing the
+// valid names.
+func ByName(name string) (Spec, error) {
+	s, ok := ConfigByName(name)
+	if !ok {
+		return Spec{}, fmt.Errorf("bpred: unknown predictor configuration %q (have: %s)",
+			name, strings.Join(ConfigNames(), ", "))
+	}
+	return s, nil
+}

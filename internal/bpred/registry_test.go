@@ -1,0 +1,151 @@
+package bpred
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestRegistryRoundTrip verifies every registered configuration — the
+// fourteen paper points, Hybrid_0, and the extensions — resolves by name,
+// builds through the registered kind constructor, and reports exactly the
+// table geometry of building the exported Spec variable directly.
+func TestRegistryRoundTrip(t *testing.T) {
+	direct := map[string]Spec{}
+	for _, s := range []Spec{
+		Bim128, Bim4k, Bim8k, Bim16k, GAs4k5, GAs32k8, Gsh16k12, Gsh32k12,
+		Hybrid0, Hybrid1, Hybrid2, Hybrid3, Hybrid4, PAs1k2k4, PAs4k16k8,
+		StaticNotTaken, StaticTaken, GAg14, Gsel16k6, PAg4k12, Alloyed16k,
+	} {
+		direct[s.Name] = s
+	}
+
+	all := AllConfigs()
+	if len(all) != len(direct) {
+		t.Fatalf("registry has %d configurations, want %d", len(all), len(direct))
+	}
+	for _, reg := range all {
+		want, ok := direct[reg.Name]
+		if !ok {
+			t.Errorf("registry holds unexpected configuration %q", reg.Name)
+			continue
+		}
+		got, err := ByName(reg.Name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", reg.Name, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ByName(%q) = %+v, want the exported spec %+v", reg.Name, got, want)
+		}
+		rp, dp := got.Build(), want.Build()
+		if rp.Name() != reg.Name {
+			t.Errorf("built predictor name = %q, want %q", rp.Name(), reg.Name)
+		}
+		if !reflect.DeepEqual(rp.Tables(), dp.Tables()) {
+			t.Errorf("%s: registry Tables() = %v, direct build = %v", reg.Name, rp.Tables(), dp.Tables())
+		}
+		if rp.TotalBits() != dp.TotalBits() {
+			t.Errorf("%s: registry TotalBits() = %d, direct build = %d", reg.Name, rp.TotalBits(), dp.TotalBits())
+		}
+	}
+}
+
+// TestRegistryGeometryGolden pins the storage geometry of the paper's
+// fourteen configurations: sizes are the X axis of every figure, so a
+// geometry change silently shifts all results.
+func TestRegistryGeometryGolden(t *testing.T) {
+	wantBits := map[string]int{
+		"Bim_128":      256,
+		"Bim_4k":       8192,
+		"Bim_8k":       16384,
+		"Bim_16k":      32768,
+		"GAs_1_4k_5":   8192,
+		"GAs_1_32k_8":  65536,
+		"Gsh_1_16k_12": 32768,
+		"Gsh_1_32k_12": 65536,
+		"Hybrid_2":     8192,
+		"Hybrid_1":     28672,
+		"Hybrid_3":     65536,
+		"Hybrid_4":     65536,
+		"PAs_1k_2k_4":  8192,
+		"PAs_4k_16k_8": 65536,
+	}
+	paper := PaperConfigs()
+	if len(paper) != len(wantBits) {
+		t.Fatalf("PaperConfigs has %d entries, want %d", len(paper), len(wantBits))
+	}
+	for _, s := range paper {
+		want, ok := wantBits[s.Name]
+		if !ok {
+			t.Errorf("unexpected paper configuration %q", s.Name)
+			continue
+		}
+		if got := s.Build().TotalBits(); got != want {
+			t.Errorf("%s: TotalBits = %d, want %d", s.Name, got, want)
+		}
+	}
+}
+
+// TestPaperConfigOrder pins the figures' X-axis order.
+func TestPaperConfigOrder(t *testing.T) {
+	want := []string{
+		"Bim_128", "Bim_4k", "Bim_8k", "Bim_16k",
+		"GAs_1_4k_5", "GAs_1_32k_8", "Gsh_1_16k_12", "Gsh_1_32k_12",
+		"Hybrid_2", "Hybrid_1", "Hybrid_3", "Hybrid_4",
+		"PAs_1k_2k_4", "PAs_4k_16k_8",
+	}
+	got := PaperConfigs()
+	for i, s := range got {
+		if i >= len(want) || s.Name != want[i] {
+			t.Fatalf("PaperConfigs order = %v, want %v", names(got), want)
+		}
+	}
+}
+
+func names(specs []Spec) []string {
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// TestByNameUnknownListsValid verifies the lookup error is actionable: it
+// names the request and lists every registered configuration.
+func TestByNameUnknownListsValid(t *testing.T) {
+	_, err := ByName("perceptron")
+	if err == nil {
+		t.Fatal("ByName(perceptron) succeeded, want error")
+	}
+	if !strings.Contains(err.Error(), `"perceptron"`) {
+		t.Errorf("error %q does not echo the requested name", err)
+	}
+	for _, n := range ConfigNames() {
+		if !strings.Contains(err.Error(), n) {
+			t.Errorf("error does not list valid name %q", n)
+		}
+	}
+}
+
+// TestRegisterKindDuplicatePanics verifies a second constructor for a
+// registered kind is rejected.
+func TestRegisterKindDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate RegisterKind did not panic")
+		}
+	}()
+	RegisterKind(KindBimodal, func(s Spec) Predictor { return NewBimodal(s.Name, s.Entries) })
+}
+
+// TestRegisterConfigDuplicatePanics verifies name collisions are rejected at
+// registration.
+func TestRegisterConfigDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate RegisterConfig did not panic")
+		}
+	}()
+	RegisterConfig(ClassExtension, Bim128)
+}

@@ -71,34 +71,14 @@ type Spec struct {
 	Hybrid HybridGeometry
 }
 
-// Build constructs the predictor the spec describes.
+// Build constructs the predictor the spec describes, through the family
+// constructor its Kind registered (see registry.go).
 func (s Spec) Build() Predictor {
-	switch s.Kind {
-	case KindBimodal:
-		return NewBimodal(s.Name, s.Entries)
-	case KindGAs:
-		return NewTwoLevelGlobal(s.Name, s.Entries, s.HistBits, false)
-	case KindGshare:
-		return NewTwoLevelGlobal(s.Name, s.Entries, s.HistBits, true)
-	case KindPAs:
-		return NewPAs(s.Name, s.BHTEntries, s.BHTWidth, s.Entries)
-	case KindHybrid:
-		return NewHybrid(s.Name, s.Hybrid)
-	case KindGAg:
-		return NewGAg(s.Name, s.HistBits)
-	case KindGselect:
-		return NewGselect(s.Name, s.Entries, s.HistBits)
-	case KindPAg:
-		return NewPAg(s.Name, s.BHTEntries, s.HistBits)
-	case KindStaticTaken:
-		return NewStaticTaken()
-	case KindStaticNotTaken:
-		return NewStaticNotTaken()
-	case KindAlloyed:
-		return NewAlloyed(s.Name, s.BHTEntries, s.BHTWidth, s.HistBits, s.Entries)
-	default:
-		panic(fmt.Sprintf("bpred: unknown kind %v", s.Kind))
+	c, ok := kindConstructors[s.Kind]
+	if !ok {
+		panic(fmt.Sprintf("bpred: no constructor registered for kind %v (call RegisterKind from the family's init)", s.Kind))
 	}
+	return c(s)
 }
 
 // TotalBits returns the storage the configuration requires.
@@ -186,34 +166,21 @@ var (
 		BHTEntries: 1024, BHTWidth: 4, HistBits: 5, Entries: 16384}
 )
 
-// ExtensionConfigs lists the extra organizations (not part of the paper's
-// figures).
-var ExtensionConfigs = []Spec{StaticNotTaken, StaticTaken, GAg14, Gsel16k6, PAg4k12, Alloyed16k}
-
-// PaperConfigs lists the fourteen predictor organizations of Figures 2 and
-// 5-13, in the paper's X-axis order.
-var PaperConfigs = []Spec{
-	Bim128, Bim4k, Bim8k, Bim16k,
-	GAs4k5, GAs32k8,
-	Gsh16k12, Gsh32k12,
-	Hybrid2, Hybrid1, Hybrid3, Hybrid4,
-	PAs1k2k4, PAs4k16k8,
-}
-
-// ConfigByName returns the named paper configuration (including Hybrid_0).
-func ConfigByName(name string) (Spec, bool) {
-	for _, s := range PaperConfigs {
-		if s.Name == name {
-			return s, true
-		}
+// init registers every named configuration with the registry. The paper
+// class is registered in the figures' X-axis order, which PaperConfigs
+// preserves.
+func init() {
+	for _, s := range []Spec{
+		Bim128, Bim4k, Bim8k, Bim16k,
+		GAs4k5, GAs32k8,
+		Gsh16k12, Gsh32k12,
+		Hybrid2, Hybrid1, Hybrid3, Hybrid4,
+		PAs1k2k4, PAs4k16k8,
+	} {
+		RegisterConfig(ClassPaper, s)
 	}
-	if name == Hybrid0.Name {
-		return Hybrid0, true
+	RegisterConfig(ClassSpecial, Hybrid0)
+	for _, s := range []Spec{StaticNotTaken, StaticTaken, GAg14, Gsel16k6, PAg4k12, Alloyed16k} {
+		RegisterConfig(ClassExtension, s)
 	}
-	for _, s := range ExtensionConfigs {
-		if s.Name == name {
-			return s, true
-		}
-	}
-	return Spec{}, false
 }

@@ -18,6 +18,11 @@ type TwoLevelGlobal struct {
 	ghist    uint64
 }
 
+func init() {
+	RegisterKind(KindGAs, func(s Spec) Predictor { return NewTwoLevelGlobal(s.Name, s.Entries, s.HistBits, false) })
+	RegisterKind(KindGshare, func(s Spec) Predictor { return NewTwoLevelGlobal(s.Name, s.Entries, s.HistBits, true) })
+}
+
 // NewTwoLevelGlobal builds a GAs (xor=false) or gshare (xor=true) predictor.
 // entries must be a power of two; histBits must fit in the index.
 func NewTwoLevelGlobal(name string, entries, histBits int, xor bool) *TwoLevelGlobal {

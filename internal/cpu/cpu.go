@@ -216,7 +216,9 @@ func New(prog *program.Program, opt Options) (*Sim, error) {
 		}
 	}
 
-	s.buildPowerModel()
+	if err := s.buildPowerModel(); err != nil {
+		return nil, err
+	}
 
 	// The front end holds the fetch buffer plus the instructions latched in
 	// the decode and extra rename/enqueue stages (DecodeWidth per stage).

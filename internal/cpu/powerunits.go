@@ -1,10 +1,9 @@
 package cpu
 
 import (
-	"bpredpower/internal/array"
-	"bpredpower/internal/atime"
-	"bpredpower/internal/btb"
-	"bpredpower/internal/cache"
+	"fmt"
+
+	"bpredpower/internal/frontend"
 	"bpredpower/internal/power"
 )
 
@@ -36,146 +35,95 @@ type powerUnits struct {
 	resultBus   *power.Unit
 }
 
-// Fixed per-operation energies for non-array structures, calibrated so the
-// whole chip lands in the paper's mid-30s-W band at 1.2GHz (see
-// EXPERIMENTS.md for the calibration record).
-const (
-	eRename    = 0.10e-9
-	eWindowOp  = 0.30e-9 // 80-entry RUU CAM wakeup/select per operation
-	eLSQOp     = 0.18e-9
-	eRegfileOp = 0.15e-9
-	eIntALU    = 0.28e-9
-	eIntMult   = 0.45e-9
-	eFPALU     = 0.55e-9
-	eFPMult    = 0.70e-9
-	eResultBus = 0.15e-9
-)
-
-// buildPowerModel constructs the Meter and all units from the simulated
-// structures' geometries.
-func (s *Sim) buildPowerModel() {
-	am := array.NewModel()
-	if s.opt.OldArrayModel {
-		am = array.OldModel()
+// frontendSpec declares the simulated machine's structures in meter
+// registration order. All geometry and transform handling lives in package
+// frontend; this is the only place the cpu package says *what* exists, never
+// *how* it is costed.
+func (s *Sim) frontendSpec() frontend.Spec {
+	structures := []frontend.Structure{
+		frontend.Predictor{Tables: s.pred.Tables()},
 	}
-	tm := atime.New()
-	organize := func(sp array.Spec) array.Org {
-		if s.opt.SquarifyClosest {
-			return array.ChooseClosestSquare(sp)
-		}
-		return array.ChooseMinEDP(am, sp, tm.Delay)
+	if s.opt.LinePredictor {
+		structures = append(structures, frontend.LinePredictor{Lines: s.il1.NumLines()})
+	} else {
+		structures = append(structures, frontend.BTB{
+			Sets:    s.cfg.BTBEntries / s.cfg.BTBWays,
+			Ways:    s.cfg.BTBWays,
+			TagBits: s.btb.TagBits(s.cfg.VAddrBits),
+		})
 	}
+	structures = append(structures,
+		frontend.RAS{Entries: s.cfg.RASEntries},
+		frontend.PPD{Entries: s.il1.NumLines()},
+	)
+	if j := s.gate.JRSTable(); j != nil {
+		structures = append(structures, frontend.JRS{Entries: j.Entries()})
+	}
+	structures = append(structures,
+		frontend.Cache{Label: "il1", Group: power.GroupFetch, Config: s.cfg.IL1, VAddrBits: s.cfg.VAddrBits, Ports: 1},
+		frontend.Cache{Label: "dl1", Group: power.GroupDMem, Config: s.cfg.DL1, VAddrBits: s.cfg.VAddrBits, Ports: s.cfg.MemPorts},
+		frontend.Cache{Label: "ul2", Group: power.GroupL2, Config: s.cfg.L2, VAddrBits: s.cfg.VAddrBits, Ports: 1},
+		frontend.TLB{Label: "itlb", Group: power.GroupFetch, Entries: s.cfg.TLBEntries, Ports: 1},
+		frontend.TLB{Label: "dtlb", Group: power.GroupDMem, Entries: s.cfg.TLBEntries, Ports: s.cfg.MemPorts},
+		frontend.Execution{Units: []frontend.Fixed{
+			{Name: "rename", Ports: s.cfg.DecodeWidth},
+			{Name: "window", Ports: 3 * s.cfg.IssueWidth},
+			{Name: "lsq", Ports: 2 * s.cfg.MemPorts},
+			{Name: "regfile", Ports: 3 * s.cfg.IssueWidth},
+			{Name: "ialu", Ports: s.cfg.IntALU},
+			{Name: "imult", Ports: s.cfg.IntMultDiv},
+			{Name: "falu", Ports: s.cfg.FPALU},
+			{Name: "fmult", Ports: s.cfg.FPMultDiv},
+			{Name: "resultbus", Ports: s.cfg.IssueWidth},
+		}},
+	)
+	return frontend.Spec{
+		Structures: structures,
+		Transforms: frontend.Transforms{
+			OldArrayModel:   s.opt.OldArrayModel,
+			SquarifyClosest: s.opt.SquarifyClosest,
+			BankedPredictor: s.opt.BankedPredictor,
+			PPD:             s.opt.PPD,
+		},
+	}
+}
 
+// buildPowerModel constructs the Meter and all units through the frontend
+// registry, then binds the per-cycle charge handles by unit name.
+func (s *Sim) buildPowerModel() error {
 	m := power.NewMeter(s.cfg.CycleSeconds())
 	m.Style = s.opt.ClockGating
 	s.meter = m
 
-	// Direction-predictor tables, optionally banked per Table 3 by each
-	// table's capacity. Counter arrays use small cells on segmented
-	// bitlines, so their effective bitline capacitance is half the
-	// cache-cell value — this matches the paper's observed local-energy
-	// spread across predictor sizes (hybrid_4 costs ~13%% more predictor
-	// energy than bimodal-4K, not ~50%%).
-	dirModel := am
-	dirModel.Tech.CBitCell *= 0.5
-	for _, t := range s.pred.Tables() {
-		sp := array.Spec{Entries: t.Entries, Width: t.Width, OutBits: t.Width}
-		if s.opt.BankedPredictor {
-			sp.Banks = array.BanksForBits(sp.Bits())
-		}
-		u := power.NewArrayUnit("bpred."+t.Name, power.GroupBpred, dirModel, sp, organize(sp), 1)
-		s.pw.predTables = append(s.pw.predTables, m.Add(u))
+	built, err := frontend.NewRegistry().Build(s.frontendSpec(), m)
+	if err != nil {
+		return fmt.Errorf("cpu: building power model: %w", err)
 	}
 
-	// Branch-target mechanism: either the Table 1 BTB (separate tag and
-	// data arrays, associative tag match) or the 21264-style next-line
-	// predictor (one untagged 32-bit entry per I-cache line — no
-	// comparators, no tag array: the power advantage of integration the
-	// paper alludes to).
+	s.pw.predTables = built.StructureUnits("bpred")
 	if s.opt.LinePredictor {
-		lpSpec := array.Spec{Entries: s.il1.NumLines(), Width: 32, OutBits: 32}
-		s.pw.targetUnits = []*power.Unit{
-			m.Add(power.NewArrayUnit("linepred", power.GroupBTB, am, lpSpec, organize(lpSpec), 1)),
-		}
+		s.pw.targetUnits = built.StructureUnits("linepred")
 	} else {
-		sets := s.cfg.BTBEntries / s.cfg.BTBWays
-		tagBits := s.btb.TagBits(s.cfg.VAddrBits)
-		btbTagSpec := array.Spec{
-			Entries: sets, Width: tagBits * s.cfg.BTBWays, OutBits: tagBits * s.cfg.BTBWays,
-			TagBits: tagBits, Assoc: s.cfg.BTBWays,
-		}
-		btbDataSpec := array.Spec{
-			Entries: sets, Width: btb.TargetBits * s.cfg.BTBWays, OutBits: btb.TargetBits * s.cfg.BTBWays,
-		}
-		s.pw.targetUnits = []*power.Unit{
-			m.Add(power.NewArrayUnit("btb.tag", power.GroupBTB, am, btbTagSpec, organize(btbTagSpec), 1)),
-			m.Add(power.NewArrayUnit("btb.data", power.GroupBTB, am, btbDataSpec, organize(btbDataSpec), 1)),
-		}
+		s.pw.targetUnits = built.StructureUnits("btb")
 	}
+	s.pw.rasUnit = built.Unit("ras")
+	s.pw.ppdUnit = built.Unit("ppd")
+	s.pw.jrsUnit = built.Unit("jrs")
 
-	// RAS: a tiny 32 x 32-bit array.
-	rasSpec := array.Spec{Entries: s.cfg.RASEntries, Width: 32, OutBits: 32}
-	s.pw.rasUnit = m.Add(power.NewArrayUnit("ras", power.GroupRAS, am, rasSpec, organize(rasSpec), 1))
+	s.pw.il1Data, s.pw.il1Tag = built.Unit("il1.data"), built.Unit("il1.tag")
+	s.pw.dl1Data, s.pw.dl1Tag = built.Unit("dl1.data"), built.Unit("dl1.tag")
+	s.pw.l2Data, s.pw.l2Tag = built.Unit("ul2.data"), built.Unit("ul2.tag")
+	s.pw.itlbUnit = built.Unit("itlb")
+	s.pw.dtlbUnit = built.Unit("dtlb")
 
-	// PPD: one 2-bit entry per I-cache line (4 Kbits for Table 1).
-	if s.ppd != nil {
-		ppdSpec := array.Spec{Entries: s.ppd.Entries(), Width: 2, OutBits: 2}
-		s.pw.ppdUnit = m.Add(power.NewArrayUnit("ppd", power.GroupPPD, am, ppdSpec, organize(ppdSpec), 1))
-	}
-
-	// JRS confidence table, when the gating estimator needs one. It is part
-	// of the speculation-control hardware, not the predictor, so it is
-	// grouped with the window/speculation machinery.
-	if j := s.gate.JRSTable(); j != nil {
-		jrsSpec := array.Spec{Entries: j.Entries(), Width: 4, OutBits: 4}
-		s.pw.jrsUnit = m.Add(power.NewArrayUnit("jrs", power.GroupWindow, am, jrsSpec, organize(jrsSpec), 1))
-	}
-
-	s.pw.il1Data, s.pw.il1Tag = s.cacheUnits(m, am, organize, "il1", power.GroupFetch, s.cfg.IL1, 1)
-	s.pw.dl1Data, s.pw.dl1Tag = s.cacheUnits(m, am, organize, "dl1", power.GroupDMem, s.cfg.DL1, s.cfg.MemPorts)
-	s.pw.l2Data, s.pw.l2Tag = s.cacheUnits(m, am, organize, "ul2", power.GroupL2, s.cfg.L2, 1)
-
-	tlbSpec := array.Spec{Entries: s.cfg.TLBEntries, Width: 64, OutBits: 64, TagBits: 30, Assoc: 2}
-	s.pw.itlbUnit = m.Add(power.NewArrayUnit("itlb", power.GroupFetch, am, tlbSpec, organize(tlbSpec), 1))
-	s.pw.dtlbUnit = m.Add(power.NewArrayUnit("dtlb", power.GroupDMem, am, tlbSpec, organize(tlbSpec), s.cfg.MemPorts))
-
-	s.pw.renameUnit = m.Add(power.NewFixedUnit("rename", power.GroupDispatch, eRename, s.cfg.DecodeWidth))
-	s.pw.windowUnit = m.Add(power.NewFixedUnit("window", power.GroupWindow, eWindowOp, 3*s.cfg.IssueWidth))
-	s.pw.lsqUnit = m.Add(power.NewFixedUnit("lsq", power.GroupWindow, eLSQOp, 2*s.cfg.MemPorts))
-	s.pw.regfileUnit = m.Add(power.NewFixedUnit("regfile", power.GroupRegfile, eRegfileOp, 3*s.cfg.IssueWidth))
-	s.pw.ialuUnit = m.Add(power.NewFixedUnit("ialu", power.GroupALU, eIntALU, s.cfg.IntALU))
-	s.pw.imultUnit = m.Add(power.NewFixedUnit("imult", power.GroupALU, eIntMult, s.cfg.IntMultDiv))
-	s.pw.faluUnit = m.Add(power.NewFixedUnit("falu", power.GroupALU, eFPALU, s.cfg.FPALU))
-	s.pw.fmultUnit = m.Add(power.NewFixedUnit("fmult", power.GroupALU, eFPMult, s.cfg.FPMultDiv))
-	s.pw.resultBus = m.Add(power.NewFixedUnit("resultbus", power.GroupALU, eResultBus, s.cfg.IssueWidth))
-}
-
-// cacheUnits builds the data and tag array units for one cache level.
-func (s *Sim) cacheUnits(m *power.Meter, am array.Model, organize func(array.Spec) array.Org,
-	name string, g power.Group, cc cache.Config, ports int) (data, tag *power.Unit) {
-	sets := cc.Sets()
-	lineBits := cc.BlockBytes * 8
-	tagBits := s.cfg.VAddrBits - 2 - intLog2(sets)
-	if tagBits < 1 {
-		tagBits = 1
-	}
-	dataSpec := array.Spec{
-		Entries: sets, Width: cc.Ways * lineBits, OutBits: lineBits,
-	}
-	tagSpec := array.Spec{
-		Entries: sets, Width: cc.Ways * tagBits, OutBits: cc.Ways * tagBits,
-		TagBits: tagBits, Assoc: cc.Ways,
-	}
-	data = m.Add(power.NewArrayUnit(name+".data", g, am, dataSpec, organize(dataSpec), ports))
-	tag = m.Add(power.NewArrayUnit(name+".tag", g, am, tagSpec, organize(tagSpec), ports))
-	return data, tag
-}
-
-func intLog2(n int) int {
-	l := 0
-	for n > 1 {
-		n >>= 1
-		l++
-	}
-	return l
+	s.pw.renameUnit = built.Unit("rename")
+	s.pw.windowUnit = built.Unit("window")
+	s.pw.lsqUnit = built.Unit("lsq")
+	s.pw.regfileUnit = built.Unit("regfile")
+	s.pw.ialuUnit = built.Unit("ialu")
+	s.pw.imultUnit = built.Unit("imult")
+	s.pw.faluUnit = built.Unit("falu")
+	s.pw.fmultUnit = built.Unit("fmult")
+	s.pw.resultBus = built.Unit("resultbus")
+	return nil
 }

@@ -330,8 +330,8 @@ func shortName(b string) string {
 // predictorSweep simulates every paper predictor configuration over the
 // given suite and returns runs[configIdx][benchIdx].
 func (h *Harness) predictorSweep(bs []workload.Benchmark) [][]Run {
-	out := make([][]Run, len(bpred.PaperConfigs))
-	for i, spec := range bpred.PaperConfigs {
+	out := make([][]Run, len(bpred.PaperConfigs()))
+	for i, spec := range bpred.PaperConfigs() {
 		out[i] = h.SimulateAll(bs, cpu.Options{Predictor: spec})
 	}
 	return out
@@ -346,7 +346,7 @@ func matrix(w io.Writer, title string, bs []workload.Benchmark, sweep [][]Run, f
 		fmt.Fprintf(w, " %9s", trunc(shortName(b.Name), 9))
 	}
 	fmt.Fprintf(w, " %9s\n", "Average")
-	for i, spec := range bpred.PaperConfigs {
+	for i, spec := range bpred.PaperConfigs() {
 		fmt.Fprintf(w, "%-14s", spec.Name)
 		for _, r := range sweep[i] {
 			fmt.Fprintf(w, " "+format, f(r))

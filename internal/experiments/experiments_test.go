@@ -218,7 +218,7 @@ func TestAllFiguresSmoke(t *testing.T) {
 		}
 	}
 	// Every paper configuration appears in the sweep matrices.
-	for _, spec := range bpred.PaperConfigs {
+	for _, spec := range bpred.PaperConfigs() {
 		if !strings.Contains(out, spec.Name) {
 			t.Errorf("output missing configuration %s", spec.Name)
 		}

@@ -67,7 +67,7 @@ func Figure2(h *Harness, w io.Writer) {
 	fmt.Fprintf(w, "%-14s %11s %11s %11s %11s %11s %11s %12s %12s\n",
 		"predictor", "bpredW.old", "bpredW.new", "totalW.old", "totalW.new",
 		"bpredJ.old", "bpredJ.new", "EDP.old", "EDP.new")
-	for _, spec := range bpred.PaperConfigs {
+	for _, spec := range bpred.PaperConfigs() {
 		oldRuns := h.SimulateAll(bs, cpu.Options{Predictor: spec, OldArrayModel: true, SquarifyClosest: true})
 		newRuns := h.SimulateAll(bs, cpu.Options{Predictor: spec})
 		fmt.Fprintf(w, "%-14s %11.3f %11.3f %11.2f %11.2f %11.2e %11.2e %12.3e %12.3e\n",
@@ -258,7 +258,7 @@ func Figures12And13(h *Harness, w io.Writer) {
 	fmt.Fprintln(w, "Figures 12-13: banking — percentage reductions (7-benchmark subset averages)")
 	fmt.Fprintf(w, "%-14s %10s %10s %10s %10s %10s\n",
 		"predictor", "bpredW%", "totalW%", "bpredJ%", "totalJ%", "EDP%")
-	for _, spec := range bpred.PaperConfigs {
+	for _, spec := range bpred.PaperConfigs() {
 		base := h.SimulateAll(bs, cpu.Options{Predictor: spec})
 		bank := h.SimulateAll(bs, cpu.Options{Predictor: spec, BankedPredictor: true})
 		pct := func(f func(Run) float64) float64 {

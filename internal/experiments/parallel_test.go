@@ -64,7 +64,7 @@ func TestPrefetchMemoizes(t *testing.T) {
 func TestClockGatingDistinctKeys(t *testing.T) {
 	h := NewHarness(RunConfig{WarmupInsts: 2000, MeasureInsts: 4000})
 	b, _ := workload.ByName("164.gzip")
-	cc3 := h.Simulate(b, cpu.Options{Predictor: bpred.Bim4k})            // CC3 is the zero value
+	cc3 := h.Simulate(b, cpu.Options{Predictor: bpred.Bim4k}) // CC3 is the zero value
 	cc0 := h.Simulate(b, cpu.Options{Predictor: bpred.Bim4k, ClockGating: power.CC0})
 	if len(h.runs) != 2 {
 		t.Fatalf("ClockGating variants collided: %d cached runs, want 2", len(h.runs))

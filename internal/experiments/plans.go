@@ -29,8 +29,8 @@ func cross(bs []workload.Benchmark, opts ...cpu.Options) []Job {
 
 // sweepOpts is the 14-configuration machine list of Figures 5-10.
 func sweepOpts() []cpu.Options {
-	opts := make([]cpu.Options, len(bpred.PaperConfigs))
-	for i, spec := range bpred.PaperConfigs {
+	opts := make([]cpu.Options, len(bpred.PaperConfigs()))
+	for i, spec := range bpred.PaperConfigs() {
 		opts[i] = cpu.Options{Predictor: spec}
 	}
 	return opts
@@ -44,7 +44,7 @@ func planTable2() []Job {
 
 func planFigure2() []Job {
 	var opts []cpu.Options
-	for _, spec := range bpred.PaperConfigs {
+	for _, spec := range bpred.PaperConfigs() {
 		opts = append(opts,
 			cpu.Options{Predictor: spec, OldArrayModel: true, SquarifyClosest: true},
 			cpu.Options{Predictor: spec})
@@ -60,7 +60,7 @@ func planSweepFP() []Job { return cross(workload.SPECfp2000(), sweepOpts()...) }
 
 func planFigures12And13() []Job {
 	var opts []cpu.Options
-	for _, spec := range bpred.PaperConfigs {
+	for _, spec := range bpred.PaperConfigs() {
 		opts = append(opts,
 			cpu.Options{Predictor: spec},
 			cpu.Options{Predictor: spec, BankedPredictor: true})

@@ -1,0 +1,347 @@
+// Package frontend is the declarative layer between the simulated machine's
+// structures and the power/timing models. Every SRAM-backed structure the
+// paper studies — direction-predictor tables, BTB tag/data, the next-line
+// predictor, RAS, PPD, JRS confidence table, caches, and TLBs — describes
+// itself as a Structure: a name plus logical array geometries, port counts,
+// and access kinds. Non-array units (rename, window, ALUs, result bus) ride
+// the same path as Fixed entries drawing their per-operation energies from
+// power.Calibration.
+//
+// A Registry turns a Spec (structure list + the paper's transforms: old/new
+// array model, squarification policy, Table 3 banking, PPD scenario) into
+// the full set of power.Units and atime access delays in one generic pass,
+// so adding a structure or an array transform is one declaration, not edits
+// across the cpu, power, and array packages. The cpu simulator builds its
+// whole power model this way (see cpu.buildPowerModel); the bplint
+// unitsource check keeps hand-wired power.Unit construction from reappearing
+// elsewhere.
+package frontend
+
+import (
+	"bpredpower/internal/array"
+	"bpredpower/internal/bpred"
+	"bpredpower/internal/btb"
+	"bpredpower/internal/cache"
+	"bpredpower/internal/power"
+)
+
+// CounterCellBitlineFactor is the effective bitline-capacitance scale of
+// counter arrays: direction-predictor tables use small cells on segmented
+// bitlines, so their effective bitline capacitance is half the cache-cell
+// value. This matches the paper's observed local-energy spread across
+// predictor sizes (hybrid_4 costs ~13% more predictor energy than
+// bimodal-4K, not ~50%).
+const CounterCellBitlineFactor = 0.5
+
+// Array is one SRAM array inside a structure, in logical geometry plus the
+// access kinds the transforms act on.
+type Array struct {
+	// Name is the power.Unit name ("bpred.pht", "btb.tag", "il1.data", ...).
+	Name string
+	// Group classifies the unit for the paper's reporting.
+	Group power.Group
+	// Spec is the logical geometry the physical organization is chosen from.
+	Spec array.Spec
+	// Ports is the access port count (the cc3 scaling denominator).
+	Ports int
+	// CounterCells marks small-cell counter arrays whose bitline capacitance
+	// is scaled by CounterCellBitlineFactor.
+	CounterCells bool
+	// Bankable marks arrays that Table 3 banking applies to when the
+	// BankedPredictor transform is on.
+	Bankable bool
+}
+
+// Fixed is one non-array unit whose per-operation energy comes from the
+// registry's named calibration table (power.Calibration).
+type Fixed struct {
+	// Name is both the power.Unit name and the calibration-table key.
+	Name string
+	// Ports is the access port count.
+	Ports int
+}
+
+// Structure is one fetch-engine or memory-system structure described in
+// logical geometry, independent of physical organization. A structure is
+// made of SRAM arrays, fixed-energy units, or both; the Registry realizes
+// all of them in one generic pass.
+type Structure interface {
+	// Name identifies the structure ("bpred", "btb", "il1", ...). Units built
+	// from the structure are retrievable from the build Result under it.
+	Name() string
+	// Arrays returns the structure's SRAM arrays (nil for fixed-energy-only
+	// structures).
+	Arrays() []Array
+	// Fixed returns the structure's fixed-energy units (nil for pure array
+	// structures).
+	Fixed() []Fixed
+}
+
+// Predictor is the direction predictor's table set: every storage structure
+// the predictor reports (PHTs, BHTs, selector), as counter arrays eligible
+// for Table 3 banking.
+type Predictor struct {
+	// Tables is the predictor's storage, from bpred.Predictor.Tables.
+	Tables []bpred.TableSpec
+}
+
+// Name implements Structure.
+func (Predictor) Name() string { return "bpred" }
+
+// Arrays implements Structure: one counter array per predictor table.
+func (p Predictor) Arrays() []Array {
+	out := make([]Array, len(p.Tables))
+	for i, t := range p.Tables {
+		out[i] = Array{
+			Name:         "bpred." + t.Name,
+			Group:        power.GroupBpred,
+			Spec:         array.Spec{Entries: t.Entries, Width: t.Width, OutBits: t.Width},
+			Ports:        1,
+			CounterCells: true,
+			Bankable:     true,
+		}
+	}
+	return out
+}
+
+// Fixed implements Structure.
+func (Predictor) Fixed() []Fixed { return nil }
+
+// BTB is the Table 1 branch target buffer: separate tag and data arrays with
+// an associative tag match.
+type BTB struct {
+	// Sets and Ways are the BTB geometry (entries = Sets * Ways).
+	Sets, Ways int
+	// TagBits is the stored tag width (btb.BTB.TagBits).
+	TagBits int
+}
+
+// Name implements Structure.
+func (BTB) Name() string { return "btb" }
+
+// Arrays implements Structure: the associative tag array then the target
+// data array.
+func (b BTB) Arrays() []Array {
+	return []Array{
+		{
+			Name:  "btb.tag",
+			Group: power.GroupBTB,
+			Spec: array.Spec{
+				Entries: b.Sets, Width: b.TagBits * b.Ways, OutBits: b.TagBits * b.Ways,
+				TagBits: b.TagBits, Assoc: b.Ways,
+			},
+			Ports: 1,
+		},
+		{
+			Name:  "btb.data",
+			Group: power.GroupBTB,
+			Spec: array.Spec{
+				Entries: b.Sets, Width: btb.TargetBits * b.Ways, OutBits: btb.TargetBits * b.Ways,
+			},
+			Ports: 1,
+		},
+	}
+}
+
+// Fixed implements Structure.
+func (BTB) Fixed() []Fixed { return nil }
+
+// LinePredictor is the 21264-style next-line predictor used instead of the
+// BTB: one untagged 32-bit entry per I-cache line — no comparators, no tag
+// array: the power advantage of integration the paper alludes to.
+type LinePredictor struct {
+	// Lines is the I-cache line count.
+	Lines int
+}
+
+// Name implements Structure.
+func (LinePredictor) Name() string { return "linepred" }
+
+// Arrays implements Structure.
+func (l LinePredictor) Arrays() []Array {
+	return []Array{{
+		Name:  "linepred",
+		Group: power.GroupBTB,
+		Spec:  array.Spec{Entries: l.Lines, Width: 32, OutBits: 32},
+		Ports: 1,
+	}}
+}
+
+// Fixed implements Structure.
+func (LinePredictor) Fixed() []Fixed { return nil }
+
+// RAS is the return-address stack: a tiny array of 32-bit return addresses.
+type RAS struct {
+	// Entries is the stack depth.
+	Entries int
+}
+
+// Name implements Structure.
+func (RAS) Name() string { return "ras" }
+
+// Arrays implements Structure.
+func (r RAS) Arrays() []Array {
+	return []Array{{
+		Name:  "ras",
+		Group: power.GroupRAS,
+		Spec:  array.Spec{Entries: r.Entries, Width: 32, OutBits: 32},
+		Ports: 1,
+	}}
+}
+
+// Fixed implements Structure.
+func (RAS) Fixed() []Fixed { return nil }
+
+// PPD is the prediction probe detector: one 2-bit entry per I-cache line
+// (4 Kbits for Table 1). The Registry realizes it only when the PPD
+// transform enables a scenario.
+type PPD struct {
+	// Entries is the I-cache line count.
+	Entries int
+}
+
+// Name implements Structure.
+func (PPD) Name() string { return "ppd" }
+
+// Arrays implements Structure.
+func (p PPD) Arrays() []Array {
+	return []Array{{
+		Name:  "ppd",
+		Group: power.GroupPPD,
+		Spec:  array.Spec{Entries: p.Entries, Width: 2, OutBits: 2},
+		Ports: 1,
+	}}
+}
+
+// Fixed implements Structure.
+func (PPD) Fixed() []Fixed { return nil }
+
+// JRS is the gating estimator's confidence table of 4-bit resetting
+// counters. It is part of the speculation-control hardware, not the
+// predictor, so it is grouped with the window/speculation machinery.
+type JRS struct {
+	// Entries is the confidence-table entry count.
+	Entries int
+}
+
+// Name implements Structure.
+func (JRS) Name() string { return "jrs" }
+
+// Arrays implements Structure.
+func (j JRS) Arrays() []Array {
+	return []Array{{
+		Name:  "jrs",
+		Group: power.GroupWindow,
+		Spec:  array.Spec{Entries: j.Entries, Width: 4, OutBits: 4},
+		Ports: 1,
+	}}
+}
+
+// Fixed implements Structure.
+func (JRS) Fixed() []Fixed { return nil }
+
+// Cache is one cache level: a data array delivering one block-sized access
+// and an associative tag array.
+type Cache struct {
+	// Label prefixes the unit names ("il1" -> "il1.data", "il1.tag").
+	Label string
+	// Group classifies both arrays.
+	Group power.Group
+	// Config is the cache geometry.
+	Config cache.Config
+	// VAddrBits sizes the tag (vaddr minus byte offset minus index bits).
+	VAddrBits int
+	// Ports is the access port count of both arrays.
+	Ports int
+}
+
+// Name implements Structure.
+func (c Cache) Name() string { return c.Label }
+
+// Arrays implements Structure: the data array then the tag array.
+func (c Cache) Arrays() []Array {
+	sets := c.Config.Sets()
+	lineBits := c.Config.BlockBytes * 8
+	tagBits := c.VAddrBits - 2 - intLog2(sets)
+	if tagBits < 1 {
+		tagBits = 1
+	}
+	return []Array{
+		{
+			Name:  c.Label + ".data",
+			Group: c.Group,
+			Spec: array.Spec{
+				Entries: sets, Width: c.Config.Ways * lineBits, OutBits: lineBits,
+			},
+			Ports: c.Ports,
+		},
+		{
+			Name:  c.Label + ".tag",
+			Group: c.Group,
+			Spec: array.Spec{
+				Entries: sets, Width: c.Config.Ways * tagBits, OutBits: c.Config.Ways * tagBits,
+				TagBits: tagBits, Assoc: c.Config.Ways,
+			},
+			Ports: c.Ports,
+		},
+	}
+}
+
+// Fixed implements Structure.
+func (Cache) Fixed() []Fixed { return nil }
+
+// TLB is one translation lookaside buffer.
+type TLB struct {
+	// Label is the unit name ("itlb", "dtlb").
+	Label string
+	// Group classifies the unit.
+	Group power.Group
+	// Entries is the TLB entry count.
+	Entries int
+	// Ports is the access port count.
+	Ports int
+}
+
+// Name implements Structure.
+func (t TLB) Name() string { return t.Label }
+
+// Arrays implements Structure.
+func (t TLB) Arrays() []Array {
+	return []Array{{
+		Name:  t.Label,
+		Group: t.Group,
+		Spec:  array.Spec{Entries: t.Entries, Width: 64, OutBits: 64, TagBits: 30, Assoc: 2},
+		Ports: t.Ports,
+	}}
+}
+
+// Fixed implements Structure.
+func (TLB) Fixed() []Fixed { return nil }
+
+// Execution is the non-array execution machinery: rename, window
+// wakeup/select, LSQ, register file, functional units, and the result bus,
+// all drawing calibrated per-operation energies from the registry's
+// calibration table.
+type Execution struct {
+	// Units names the calibration entries to realize, with port counts.
+	Units []Fixed
+}
+
+// Name implements Structure.
+func (Execution) Name() string { return "execution" }
+
+// Arrays implements Structure.
+func (Execution) Arrays() []Array { return nil }
+
+// Fixed implements Structure.
+func (e Execution) Fixed() []Fixed { return e.Units }
+
+// intLog2 returns floor(log2(n)) for n >= 1.
+func intLog2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}

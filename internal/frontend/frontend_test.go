@@ -1,0 +1,136 @@
+package frontend
+
+import (
+	"strings"
+	"testing"
+
+	"bpredpower/internal/array"
+	"bpredpower/internal/atime"
+	"bpredpower/internal/bpred"
+	"bpredpower/internal/power"
+	"bpredpower/internal/ppd"
+)
+
+func buildPredictor(t *testing.T, tr Transforms) (*Result, *power.Meter) {
+	t.Helper()
+	p := bpred.Gsh16k12.Build()
+	m := power.NewMeter(1.0 / 1.2e9)
+	res, err := NewRegistry().Build(Spec{
+		Structures: []Structure{Predictor{Tables: p.Tables()}},
+		Transforms: tr,
+	}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, m
+}
+
+// TestCounterCellProperty verifies the counter-cell bitline treatment is a
+// named property of counter arrays, applied whether or not the banking
+// transform reshapes them: both the banked and unbanked PHT must be costed
+// with CBitCell scaled by CounterCellBitlineFactor, while the organization is
+// still chosen with the unscaled model.
+func TestCounterCellProperty(t *testing.T) {
+	for _, banked := range []bool{false, true} {
+		res, _ := buildPredictor(t, Transforms{BankedPredictor: banked})
+		arrays := res.Arrays()
+		if len(arrays) != 1 {
+			t.Fatalf("banked=%v: %d arrays, want 1", banked, len(arrays))
+		}
+		ba := arrays[0]
+		if !ba.Array.CounterCells {
+			t.Fatalf("banked=%v: predictor array not marked CounterCells", banked)
+		}
+		if banked && ba.Array.Spec.Banks < 2 {
+			t.Errorf("banked build kept Banks = %d, want Table 3 banking", ba.Array.Spec.Banks)
+		}
+
+		am := array.NewModel()
+		halved := am
+		halved.Tech.CBitCell *= CounterCellBitlineFactor
+		org := array.ChooseMinEDP(am, ba.Array.Spec, atime.New().Delay)
+		if org != ba.Org {
+			t.Errorf("banked=%v: org = %v, want the unscaled-model choice %v", banked, ba.Org, org)
+		}
+		if want := halved.ReadEnergy(ba.Array.Spec, org); ba.Unit.ERead != want {
+			t.Errorf("banked=%v: ERead = %g, want counter-cell energy %g", banked, ba.Unit.ERead, want)
+		}
+		if full := am.ReadEnergy(ba.Array.Spec, org); ba.Unit.ERead >= full {
+			t.Errorf("banked=%v: counter-cell energy %g not below cache-cell energy %g",
+				banked, ba.Unit.ERead, full)
+		}
+	}
+}
+
+// TestPPDScenarioTransform verifies the PPD structure is realized only when
+// the transform enables a scenario.
+func TestPPDScenarioTransform(t *testing.T) {
+	for _, tc := range []struct {
+		scenario ppd.Scenario
+		want     bool
+	}{{ppd.Off, false}, {ppd.Scenario1, true}, {ppd.Scenario2, true}} {
+		m := power.NewMeter(1.0 / 1.2e9)
+		res, err := NewRegistry().Build(Spec{
+			Structures: []Structure{PPD{Entries: 512}},
+			Transforms: Transforms{PPD: tc.scenario},
+		}, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Unit("ppd") != nil; got != tc.want {
+			t.Errorf("scenario %d: ppd unit present = %v, want %v", tc.scenario, got, tc.want)
+		}
+	}
+}
+
+// TestBuildUnknownFixedName verifies a Fixed unit outside the calibration
+// table fails with an error naming the structure and listing valid entries.
+func TestBuildUnknownFixedName(t *testing.T) {
+	m := power.NewMeter(1.0 / 1.2e9)
+	_, err := NewRegistry().Build(Spec{
+		Structures: []Structure{Execution{Units: []Fixed{{Name: "warp-core", Ports: 1}}}},
+	}, m)
+	if err == nil {
+		t.Fatal("build with unknown calibration name succeeded, want error")
+	}
+	for _, frag := range []string{"execution", "warp-core", "rename", "resultbus"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error %q missing %q", err, frag)
+		}
+	}
+}
+
+// TestResultAddressing verifies units are reachable both by unit name and by
+// owning structure, in construction order.
+func TestResultAddressing(t *testing.T) {
+	p := bpred.Hybrid1.Build()
+	m := power.NewMeter(1.0 / 1.2e9)
+	res, err := NewRegistry().Build(Spec{
+		Structures: []Structure{
+			Predictor{Tables: p.Tables()},
+			RAS{Entries: 32},
+			Execution{Units: []Fixed{{Name: "ialu", Ports: 4}}},
+		},
+	}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units := res.StructureUnits("bpred")
+	if len(units) != len(p.Tables()) {
+		t.Fatalf("bpred structure has %d units, want %d", len(units), len(p.Tables()))
+	}
+	for i, tb := range p.Tables() {
+		if units[i].Name != "bpred."+tb.Name {
+			t.Errorf("bpred unit %d = %q, want %q", i, units[i].Name, "bpred."+tb.Name)
+		}
+		if res.Unit(units[i].Name) != units[i] {
+			t.Errorf("Unit(%q) does not resolve to the structure's unit", units[i].Name)
+		}
+	}
+	if res.Unit("ras") == nil || res.Unit("ialu") == nil {
+		t.Error("ras/ialu units not addressable by name")
+	}
+	if res.Unit("nonesuch") != nil {
+		t.Error("Unit(nonesuch) is non-nil")
+	}
+}

@@ -1,0 +1,154 @@
+package frontend
+
+import (
+	"fmt"
+
+	"bpredpower/internal/array"
+	"bpredpower/internal/atime"
+	"bpredpower/internal/power"
+	"bpredpower/internal/ppd"
+)
+
+// Transforms are the paper's whole-front-end knobs, applied uniformly to
+// every structure during Build rather than hand-threaded through individual
+// unit constructors.
+type Transforms struct {
+	// OldArrayModel selects the pre-rework SRAM energy model (Figure 4's
+	// "old model" comparison).
+	OldArrayModel bool
+	// SquarifyClosest picks the closest-to-square organization instead of
+	// minimizing energy-delay product.
+	SquarifyClosest bool
+	// BankedPredictor applies Table 3 banking to every Bankable array, by
+	// each array's own capacity.
+	BankedPredictor bool
+	// PPD is the prediction-probe-detector scenario; ppd.Off elides PPD
+	// structures entirely (no array is built, matching a chip without one).
+	PPD ppd.Scenario
+}
+
+// Spec is a declarative front-end description: the structure list in meter
+// registration order, plus the transforms to apply.
+type Spec struct {
+	// Structures are realized in order; per-cycle and total energy sums fold
+	// units in this order, so it is part of reproducibility.
+	Structures []Structure
+	// Transforms are the whole-front-end knobs.
+	Transforms Transforms
+}
+
+// BuiltArray records one realized SRAM array: its declaration, the chosen
+// physical organization, the modeled access time, and the power unit.
+type BuiltArray struct {
+	// Structure is the owning structure's name.
+	Structure string
+	// Array is the declaration, with any banking transform applied to
+	// Array.Spec.
+	Array Array
+	// Org is the chosen physical organization.
+	Org array.Org
+	// AccessTime is the modeled access time in seconds.
+	AccessTime float64
+	// Unit is the registered power unit.
+	Unit *power.Unit
+}
+
+// Result is the outcome of a Build: every constructed unit, addressable by
+// unit name or by owning structure.
+type Result struct {
+	units       map[string]*power.Unit
+	byStructure map[string][]*power.Unit
+	arrays      []BuiltArray
+}
+
+// Unit returns the named unit, or nil.
+func (r *Result) Unit(name string) *power.Unit { return r.units[name] }
+
+// StructureUnits returns the named structure's units in construction order,
+// or nil.
+func (r *Result) StructureUnits(structure string) []*power.Unit {
+	return r.byStructure[structure]
+}
+
+// Arrays returns every realized SRAM array in construction order.
+func (r *Result) Arrays() []BuiltArray { return r.arrays }
+
+func (r *Result) record(structure string, u *power.Unit) {
+	r.units[u.Name] = u
+	r.byStructure[structure] = append(r.byStructure[structure], u)
+}
+
+// Registry turns declarative front-end specs into power units and access
+// times: the array energy/timing models for SRAM structures and the named
+// calibration table for fixed-energy units.
+type Registry struct {
+	// Calibration supplies per-operation energies for Fixed units.
+	Calibration power.Calibration
+	// Time is the access-time model used for squarification and reported
+	// array delays.
+	Time atime.Model
+}
+
+// NewRegistry returns a registry with the default calibration table and
+// timing model.
+func NewRegistry() Registry {
+	return Registry{Calibration: power.DefaultCalibration(), Time: atime.New()}
+}
+
+// Build realizes every structure of sp into units registered on m, in
+// declaration order. Organizations are chosen with the base array model;
+// counter-cell arrays are then costed with the bitline capacitance scaled by
+// CounterCellBitlineFactor. Banking (when the transform is on) reshapes a
+// Bankable array's spec before the organization is chosen.
+func (r Registry) Build(sp Spec, m *power.Meter) (*Result, error) {
+	am := array.NewModel()
+	if sp.Transforms.OldArrayModel {
+		am = array.OldModel()
+	}
+	counterModel := am
+	counterModel.Tech.CBitCell *= CounterCellBitlineFactor
+	organize := func(s array.Spec) array.Org {
+		if sp.Transforms.SquarifyClosest {
+			return array.ChooseClosestSquare(s)
+		}
+		return array.ChooseMinEDP(am, s, r.Time.Delay)
+	}
+
+	res := &Result{
+		units:       map[string]*power.Unit{},
+		byStructure: map[string][]*power.Unit{},
+	}
+	for _, st := range sp.Structures {
+		if _, isPPD := st.(PPD); isPPD && sp.Transforms.PPD == ppd.Off {
+			continue
+		}
+		for _, a := range st.Arrays() {
+			if a.Bankable && sp.Transforms.BankedPredictor {
+				a.Spec.Banks = array.BanksForBits(a.Spec.Bits())
+			}
+			model := am
+			if a.CounterCells {
+				model = counterModel
+			}
+			org := organize(a.Spec)
+			u := m.Add(power.NewArrayUnit(a.Name, a.Group, model, a.Spec, org, a.Ports))
+			res.record(st.Name(), u)
+			res.arrays = append(res.arrays, BuiltArray{
+				Structure:  st.Name(),
+				Array:      a,
+				Org:        org,
+				AccessTime: r.Time.AccessTime(a.Spec, org),
+				Unit:       u,
+			})
+		}
+		for _, f := range st.Fixed() {
+			u, err := r.Calibration.NewUnit(f.Name, f.Ports)
+			if err != nil {
+				return nil, fmt.Errorf("frontend: structure %q: %w", st.Name(), err)
+			}
+			m.Add(u)
+			res.record(st.Name(), u)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,93 @@
+package power
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FixedEnergy is one named entry of the fixed-energy calibration table: a
+// non-array unit (functional unit, queue, bus) whose per-operation energy is
+// a calibrated constant rather than a function of SRAM geometry.
+type FixedEnergy struct {
+	// Name is the unit name ("rename", "ialu", ...).
+	Name string
+	// Group classifies the unit for reporting.
+	Group Group
+	// PerOpJ is the energy of one operation, in joules.
+	PerOpJ float64
+}
+
+// Calibration is a named table of fixed per-operation energies. It is the
+// single home of the hand-calibrated constants that used to be scattered as
+// eRename...eResultBus in the cpu package, so non-array units are constructed
+// through the same declarative path as SRAM arrays and a retune is one table
+// edit covered by the chip-power regression test.
+type Calibration struct {
+	entries []FixedEnergy
+	byName  map[string]int
+}
+
+// NewCalibration builds a table from entries. Names must be unique.
+func NewCalibration(entries ...FixedEnergy) Calibration {
+	c := Calibration{entries: entries, byName: make(map[string]int, len(entries))}
+	for i, e := range entries {
+		if _, dup := c.byName[e.Name]; dup {
+			panic(fmt.Sprintf("power: duplicate calibration entry %q", e.Name))
+		}
+		c.byName[e.Name] = i
+	}
+	return c
+}
+
+// DefaultCalibration returns the per-operation energies of the non-array
+// units, calibrated so the whole chip lands in the paper's mid-30s-W band at
+// 1.2GHz (see EXPERIMENTS.md for the calibration record and
+// TestCalibrationChipPowerBand for the regression pin).
+func DefaultCalibration() Calibration {
+	return NewCalibration(
+		FixedEnergy{Name: "rename", Group: GroupDispatch, PerOpJ: 0.10e-9},
+		// 80-entry RUU CAM wakeup/select per operation.
+		FixedEnergy{Name: "window", Group: GroupWindow, PerOpJ: 0.30e-9},
+		FixedEnergy{Name: "lsq", Group: GroupWindow, PerOpJ: 0.18e-9},
+		FixedEnergy{Name: "regfile", Group: GroupRegfile, PerOpJ: 0.15e-9},
+		FixedEnergy{Name: "ialu", Group: GroupALU, PerOpJ: 0.28e-9},
+		FixedEnergy{Name: "imult", Group: GroupALU, PerOpJ: 0.45e-9},
+		FixedEnergy{Name: "falu", Group: GroupALU, PerOpJ: 0.55e-9},
+		FixedEnergy{Name: "fmult", Group: GroupALU, PerOpJ: 0.70e-9},
+		FixedEnergy{Name: "resultbus", Group: GroupALU, PerOpJ: 0.15e-9},
+	)
+}
+
+// Lookup returns the named entry.
+func (c Calibration) Lookup(name string) (FixedEnergy, bool) {
+	i, ok := c.byName[name]
+	if !ok {
+		return FixedEnergy{}, false
+	}
+	return c.entries[i], true
+}
+
+// Entries returns the table in registration order.
+func (c Calibration) Entries() []FixedEnergy {
+	return append([]FixedEnergy(nil), c.entries...)
+}
+
+// Names returns the entry names in registration order.
+func (c Calibration) Names() []string {
+	names := make([]string, len(c.entries))
+	for i, e := range c.entries {
+		names[i] = e.Name
+	}
+	return names
+}
+
+// NewUnit builds the named unit with the given port count, or an error
+// listing the valid names.
+func (c Calibration) NewUnit(name string, ports int) (*Unit, error) {
+	e, ok := c.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("power: no calibration entry %q (have: %s)",
+			name, strings.Join(c.Names(), ", "))
+	}
+	return NewFixedUnit(e.Name, e.Group, e.PerOpJ, ports), nil
+}

@@ -1,0 +1,68 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestDefaultCalibrationPins pins every entry of the default calibration
+// table exactly. These constants place the whole simulated chip in the
+// paper's mid-30s-W band at 1.2GHz (see EXPERIMENTS.md); moving any of them
+// is a recalibration and must be deliberate.
+func TestDefaultCalibrationPins(t *testing.T) {
+	want := []FixedEnergy{
+		{Name: "rename", Group: GroupDispatch, PerOpJ: 0.10e-9},
+		{Name: "window", Group: GroupWindow, PerOpJ: 0.30e-9},
+		{Name: "lsq", Group: GroupWindow, PerOpJ: 0.18e-9},
+		{Name: "regfile", Group: GroupRegfile, PerOpJ: 0.15e-9},
+		{Name: "ialu", Group: GroupALU, PerOpJ: 0.28e-9},
+		{Name: "imult", Group: GroupALU, PerOpJ: 0.45e-9},
+		{Name: "falu", Group: GroupALU, PerOpJ: 0.55e-9},
+		{Name: "fmult", Group: GroupALU, PerOpJ: 0.70e-9},
+		{Name: "resultbus", Group: GroupALU, PerOpJ: 0.15e-9},
+	}
+	got := DefaultCalibration().Entries()
+	if len(got) != len(want) {
+		t.Fatalf("DefaultCalibration has %d entries, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.Name != w.Name || g.Group != w.Group || g.PerOpJ != w.PerOpJ {
+			t.Errorf("entry %d = %+v, want %+v", i, g, w)
+		}
+	}
+}
+
+func TestCalibrationNewUnit(t *testing.T) {
+	c := DefaultCalibration()
+	u, err := c.NewUnit("ialu", 4)
+	if err != nil {
+		t.Fatalf("NewUnit(ialu): %v", err)
+	}
+	if u.Name != "ialu" || u.Group != GroupALU || u.Ports != 4 {
+		t.Errorf("unit = %q group %v ports %d", u.Name, u.Group, u.Ports)
+	}
+	if math.Abs(u.ERead-0.28e-9) > 1e-21 || u.ERead != u.EWrite {
+		t.Errorf("ERead = %g EWrite = %g, want both 0.28e-9", u.ERead, u.EWrite)
+	}
+
+	_, err = c.NewUnit("flux-capacitor", 1)
+	if err == nil {
+		t.Fatal("NewUnit(flux-capacitor) succeeded, want error")
+	}
+	for _, name := range c.Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list valid name %q", err, name)
+		}
+	}
+}
+
+func TestCalibrationDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate calibration entry did not panic")
+		}
+	}()
+	NewCalibration(FixedEnergy{Name: "x"}, FixedEnergy{Name: "x"})
+}

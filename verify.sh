@@ -4,10 +4,23 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+gofmt_out="$(gofmt -l . 2>&1)"
+if [ -n "$gofmt_out" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$gofmt_out" >&2
+    exit 1
+fi
+
 go build ./...
 go vet ./...
 go run ./cmd/bplint ./...
 go test -race ./...
+
+# Every example program must run end to end.
+for ex in examples/*/; do
+    echo "example smoke: $ex"
+    go run "./$ex" > /dev/null
+done
 
 # Determinism smoke: the full quick figure set must be byte-identical no
 # matter how many simulation workers run it.

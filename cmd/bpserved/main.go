@@ -1,0 +1,73 @@
+// Command bpserved serves predictor simulations over HTTP/JSON: the
+// experiment harness behind a batched, cached, cancellable service API.
+//
+//	bpserved -addr 127.0.0.1:8149
+//
+//	GET  /v1/predictors            registered predictor configurations
+//	GET  /v1/workloads             benchmarks and suite names
+//	POST /v1/simulate              {"predictor":"Hybrid_1","workload":"SPECint2000","fidelity":"quick"}
+//	GET  /v1/figures/{n}           a paper figure, rendered by the CLI code path
+//	GET  /metrics                  Prometheus text format
+//	GET  /debug/pprof/             live profiles
+//	GET  /healthz                  readiness
+//
+// Identical requests return byte-identical JSON at any -parallel value, the
+// same determinism contract the CLI keeps. Client disconnects and deadlines
+// cancel the underlying simulations; SIGINT/SIGTERM drains inflight requests
+// before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bpredpower/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8149", "listen address")
+	parallel := flag.Int("parallel", 0, "per-request simulation workers (0 = GOMAXPROCS); responses are identical at any value")
+	maxConcurrent := flag.Int("max-concurrent", 0, "total simulations executing at once across requests (0 = GOMAXPROCS)")
+	cacheEntries := flag.Int("cache-entries", 4096, "run-cache LRU bound (negative = unbounded)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "server-side deadline per /v1 request")
+	drain := flag.Duration("drain", 15*time.Second, "inflight-request drain budget on shutdown")
+	flag.Parse()
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	srv := service.New(service.Config{
+		Parallel:       *parallel,
+		MaxConcurrent:  *maxConcurrent,
+		CacheEntries:   *cacheEntries,
+		RequestTimeout: *timeout,
+		Logger:         logger,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan struct{})
+	go func() { //bplint:allow goroutine -- shutdown watcher; joined via the done channel before exit
+		<-ctx.Done()
+		logger.Info("shutting down", slog.Duration("drain", *drain))
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			logger.Error("shutdown", slog.String("error", err.Error()))
+		}
+		close(done)
+	}()
+
+	logger.Info("bpserved listening", slog.String("addr", *addr))
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("serve", slog.String("error", err.Error()))
+		os.Exit(1)
+	}
+	<-done
+}

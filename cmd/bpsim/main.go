@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"bpredpower"
@@ -36,19 +37,7 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		fmt.Println("benchmarks:")
-		for _, b := range bpredpower.AllBenchmarks() {
-			fmt.Printf("  %-14s (%v)\n", b.Name, b.Suite)
-		}
-		fmt.Println("predictors:")
-		for _, s := range bpredpower.PaperConfigs() {
-			fmt.Printf("  %-14s (%d Kbits)\n", s.Name, s.TotalBits()/1024)
-		}
-		fmt.Printf("  %-14s (%d Kbits, gating study only)\n", "Hybrid_0", bpredpower.Hybrid0.TotalBits()/1024)
-		fmt.Println("extension predictors:")
-		for _, s := range bpredpower.ExtensionConfigs() {
-			fmt.Printf("  %-16s (%d Kbits)\n", s.Name, s.TotalBits()/1024)
-		}
+		printList(os.Stdout)
 		return
 	}
 
@@ -145,6 +134,24 @@ func main() {
 			w = row.Energy / secs
 		}
 		fmt.Printf("  %-10s %7.2f W\n", row.Name, w)
+	}
+}
+
+// printList writes the -list report: every benchmark and registered
+// predictor configuration with its size.
+func printList(w io.Writer) {
+	fmt.Fprintln(w, "benchmarks:")
+	for _, b := range bpredpower.AllBenchmarks() {
+		fmt.Fprintf(w, "  %-14s (%v)\n", b.Name, b.Suite)
+	}
+	fmt.Fprintln(w, "predictors:")
+	for _, s := range bpredpower.PaperConfigs() {
+		fmt.Fprintf(w, "  %-14s (%d Kbits)\n", s.Name, s.TotalBits()/1024)
+	}
+	fmt.Fprintf(w, "  %-14s (%d Kbits, gating study only)\n", "Hybrid_0", bpredpower.Hybrid0.TotalBits()/1024)
+	fmt.Fprintln(w, "extension predictors:")
+	for _, s := range bpredpower.ExtensionConfigs() {
+		fmt.Fprintf(w, "  %-16s (%d Kbits)\n", s.Name, s.TotalBits()/1024)
 	}
 }
 

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestListGolden pins the -list report: the benchmark table and the
+// registered predictor configurations with their sizes. A diff here means
+// the registry contents or the report format changed; pass -update to
+// accept the new output deliberately.
+func TestListGolden(t *testing.T) {
+	var buf bytes.Buffer
+	printList(&buf)
+	compareGolden(t, filepath.Join("testdata", "list.golden"), buf.Bytes())
+}
+
+// compareGolden diffs got against the named golden file, rewriting the file
+// instead when -update is set.
+func compareGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run `go test -run %s -update` to create it): %v", t.Name(), err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (rerun with -update to accept):\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+}

@@ -20,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 
@@ -44,28 +45,9 @@ func main() {
 	tm := atime.New()
 
 	if *predName != "" {
-		spec, err := bpred.ByName(*predName)
-		if err != nil {
+		if err := predReport(os.Stdout, *predName, *banked); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
-		}
-		p := spec.Build()
-		m := power.NewMeter(config.Default().CycleSeconds())
-		built, err := frontend.NewRegistry().Build(frontend.Spec{
-			Structures: []frontend.Structure{frontend.Predictor{Tables: p.Tables()}},
-			Transforms: frontend.Transforms{BankedPredictor: *banked},
-		}, m)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		fmt.Printf("%s (%d Kbits)\n", spec.Name, p.TotalBits()/1024)
-		fmt.Printf("%-16s %8s %6s %6s %-22s %10s %10s\n",
-			"table", "entries", "width", "banks", "organization", "energy pJ", "access ns")
-		for _, ba := range built.Arrays() {
-			fmt.Printf("%-16s %8d %6d %6d %-22v %10.1f %10.3f\n",
-				ba.Array.Name, ba.Array.Spec.Entries, ba.Array.Spec.Width,
-				max(1, ba.Array.Spec.Banks), ba.Org, ba.Unit.ERead*1e12, ba.AccessTime*1e9)
 		}
 		return
 	}
@@ -128,6 +110,35 @@ func main() {
 		fmt.Printf("%-22v %10.1f %10.3f %10.3f %12.2f%s\n",
 			org, e*1e12, at*1e9, ct*1e9, e*at*1e18, tag)
 	}
+}
+
+// predReport resolves a named predictor configuration from the registry and
+// writes the per-table organization report the -pred flag prints: for each
+// of the predictor's tables, the physical organization, read energy, and
+// access time the frontend layer chose.
+func predReport(w io.Writer, name string, banked bool) error {
+	spec, err := bpred.ByName(name)
+	if err != nil {
+		return err
+	}
+	p := spec.Build()
+	m := power.NewMeter(config.Default().CycleSeconds())
+	built, err := frontend.NewRegistry().Build(frontend.Spec{
+		Structures: []frontend.Structure{frontend.Predictor{Tables: p.Tables()}},
+		Transforms: frontend.Transforms{BankedPredictor: banked},
+	}, m)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s (%d Kbits)\n", spec.Name, p.TotalBits()/1024)
+	fmt.Fprintf(w, "%-16s %8s %6s %6s %-22s %10s %10s\n",
+		"table", "entries", "width", "banks", "organization", "energy pJ", "access ns")
+	for _, ba := range built.Arrays() {
+		fmt.Fprintf(w, "%-16s %8d %6d %6d %-22v %10.1f %10.3f\n",
+			ba.Array.Name, ba.Array.Spec.Entries, ba.Array.Spec.Width,
+			max(1, ba.Array.Spec.Banks), ba.Org, ba.Unit.ERead*1e12, ba.AccessTime*1e9)
+	}
+	return nil
 }
 
 func max(a, b int) int {

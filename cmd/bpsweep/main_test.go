@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestPredReportGolden pins the -pred per-table report for representative
+// configurations: the organization, read energy, and access time the
+// frontend layer chooses for each predictor table, flat and banked. A diff
+// here means the array model, squarification rule, or banking transform
+// changed; pass -update to accept the new numbers deliberately.
+func TestPredReportGolden(t *testing.T) {
+	cases := []struct {
+		name   string
+		pred   string
+		banked bool
+	}{
+		{name: "hybrid1", pred: "Hybrid_1", banked: false},
+		{name: "hybrid1_banked", pred: "Hybrid_1", banked: true},
+		{name: "gshare", pred: "Gsh_1_16k_12", banked: false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := predReport(&buf, tc.pred, tc.banked); err != nil {
+				t.Fatal(err)
+			}
+			compareGolden(t, filepath.Join("testdata", "pred_"+tc.name+".golden"), buf.Bytes())
+		})
+	}
+}
+
+// TestPredReportUnknown checks the registry error carries the valid names,
+// so a typo on the command line is self-correcting.
+func TestPredReportUnknown(t *testing.T) {
+	err := predReport(&bytes.Buffer{}, "NoSuchPredictor", false)
+	if err == nil {
+		t.Fatal("expected an error for an unknown predictor name")
+	}
+	if !strings.Contains(err.Error(), "Hybrid_1") {
+		t.Errorf("error should list registered names, got: %v", err)
+	}
+}
+
+func compareGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run `go test -run %s -update` to create it): %v", t.Name(), err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (rerun with -update to accept):\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+}

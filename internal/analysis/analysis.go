@@ -24,9 +24,10 @@
 //
 //	//bplint:allow <check> -- reason
 //
-// where <check> is the key named in the diagnostic (maprange, goroutine,
-// divzero, counter, specrepair, units, unitsource). The reason is mandatory by
-// convention: the comment documents why the invariant holds anyway.
+// where <check> is the key named in the diagnostic (wallclock, maprange,
+// goroutine, divzero, counter, specrepair, units, unitsource). The reason is
+// mandatory by convention: the comment documents why the invariant holds
+// anyway.
 package analysis
 
 import (

@@ -18,6 +18,12 @@ func wallClock() time.Duration {
 	return time.Since(start) // want `determinism: time\.Since reads the wall clock`
 }
 
+// observedClock is the approved shape for observability code: the read is
+// suppressed, documented, and its value never reaches simulation state.
+func observedClock() time.Time {
+	return time.Now() //bplint:allow wallclock -- request latency is observability, not simulation state
+}
+
 // globalRand leans on the process-global source (flagged at the import).
 func globalRand() int {
 	return rand.Int()

@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"unsafe"
+
+	"bpredpower/internal/cpu"
+	"bpredpower/internal/program"
+	"bpredpower/internal/workload"
+)
+
+// RunCache is a concurrency-safe, bounded memo of simulation results shared
+// across harnesses. It is the serving layer's answer to the Harness memo
+// maps, which are deliberately single-goroutine: a server builds one
+// RunCache at startup, hands it to a fresh Harness per request, and gets
+//
+//   - singleflight: concurrent demand for the same (benchmark, options,
+//     run-config) key runs exactly one simulation — later arrivals block on
+//     the leader's completion (or their own context) and share its result;
+//   - a bounded LRU: completed entries beyond MaxEntries are evicted least
+//     recently used first, with approximate byte accounting exposed through
+//     Stats for the /metrics endpoint;
+//   - cancellation hygiene: a compute that returns an error (in practice
+//     ctx.Err()) is removed rather than cached, so the cache never holds a
+//     half-written or canceled entry and the next request simply retries.
+//
+// Program images are memoized separately (Program) because they are shared
+// across every options variant of a benchmark and are never evicted — there
+// are at most len(workload.All()) of them.
+type RunCache struct {
+	// Gate, when non-nil, is a counting semaphore bounding how many
+	// simulations may run concurrently across every harness sharing the
+	// cache (capacity = cap(Gate)). Acquisition respects the caller's
+	// context, so a canceled request stops waiting for a slot.
+	Gate chan struct{}
+	// Hooks observe compute lifecycle; see RunCacheHooks.
+	Hooks RunCacheHooks
+
+	mu         sync.Mutex
+	maxEntries int
+	entries    map[cacheKey]*cacheEntry
+	lru        *list.List // of *cacheEntry; front = most recently used
+	hits       uint64
+	misses     uint64
+	evictions  uint64
+	bytes      int64
+
+	progMu sync.Mutex
+	progs  map[string]*progEntry
+}
+
+// RunCacheHooks are optional instrumentation points. BeforeRun runs on the
+// computing goroutine immediately before a cache-miss simulation starts
+// (after the Gate slot is held) with that simulation's context; AfterRun
+// runs when it finishes, successfully or not. The service layer uses them
+// for worker-occupancy and throughput metrics; tests use them to observe
+// cancellation and count singleflight computes.
+type RunCacheHooks struct {
+	BeforeRun func(ctx context.Context)
+	AfterRun  func(r Run, err error)
+}
+
+// cacheKey identifies one simulation across harnesses. Unlike runKey it
+// includes the RunConfig: a quick and a full run of the same machine point
+// are different results.
+type cacheKey struct {
+	bench string
+	opt   cpu.Options
+	rc    RunConfig
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	done chan struct{} // closed when run/err are final
+	run  Run
+	err  error
+	size int64
+	elem *list.Element // nil while inflight or after eviction
+}
+
+type progEntry struct {
+	done chan struct{}
+	p    *program.Program
+}
+
+// CacheStats is a point-in-time snapshot of cache occupancy and traffic.
+type CacheStats struct {
+	Hits, Misses, Evictions uint64
+	Entries                 int   // completed, resident entries
+	Inflight                int   // computes in progress
+	Bytes                   int64 // approximate resident result bytes
+	Programs                int   // memoized program images
+}
+
+// NewRunCache builds a cache bounded to maxEntries completed results
+// (maxEntries <= 0 means unbounded).
+func NewRunCache(maxEntries int) *RunCache {
+	return &RunCache{
+		maxEntries: maxEntries,
+		entries:    map[cacheKey]*cacheEntry{},
+		lru:        list.New(),
+		progs:      map[string]*progEntry{},
+	}
+}
+
+// Do returns the memoized Run for (bench, opt, rc), computing it via compute
+// on a miss. Concurrent calls for the same key share one compute; callers
+// whose ctx ends while waiting get ctx.Err(). A compute error is returned to
+// the leader and every waiter, and the entry is dropped so a later call
+// retries.
+func (c *RunCache) Do(ctx context.Context, bench string, opt cpu.Options, rc RunConfig, compute func(context.Context) (Run, error)) (Run, error) {
+	key := cacheKey{bench, opt, rc}
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		select {
+		case <-e.done:
+			// Completed entries in the map never hold errors (errored ones
+			// are deleted before done closes), so this is a hit.
+			c.hits++
+			c.lru.MoveToFront(e.elem)
+			r := e.run
+			c.mu.Unlock()
+			return r, nil
+		default:
+		}
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+			if e.err != nil {
+				return Run{}, e.err
+			}
+			c.mu.Lock()
+			c.hits++
+			if e.elem != nil {
+				c.lru.MoveToFront(e.elem)
+			}
+			c.mu.Unlock()
+			return e.run, nil
+		case <-ctx.Done():
+			return Run{}, ctx.Err()
+		}
+	}
+	e := &cacheEntry{key: key, done: make(chan struct{})}
+	c.entries[key] = e
+	c.misses++
+	c.mu.Unlock()
+
+	run, err := c.compute(ctx, compute)
+
+	c.mu.Lock()
+	e.run, e.err = run, err
+	if err != nil {
+		delete(c.entries, key)
+	} else {
+		e.size = runBytes(run)
+		c.bytes += e.size
+		e.elem = c.lru.PushFront(e)
+		c.evictLocked()
+	}
+	c.mu.Unlock()
+	close(e.done)
+	return run, err
+}
+
+// compute runs one cache-miss simulation: acquire a Gate slot (bounded
+// concurrency), fire the hooks, call through.
+func (c *RunCache) compute(ctx context.Context, fn func(context.Context) (Run, error)) (Run, error) {
+	if c.Gate != nil {
+		select {
+		case c.Gate <- struct{}{}:
+			defer func() { <-c.Gate }()
+		case <-ctx.Done():
+			return Run{}, ctx.Err()
+		}
+	}
+	if h := c.Hooks.BeforeRun; h != nil {
+		h(ctx)
+	}
+	r, err := fn(ctx)
+	if h := c.Hooks.AfterRun; h != nil {
+		h(r, err)
+	}
+	return r, err
+}
+
+// evictLocked drops least-recently-used completed entries until the bound
+// holds. Inflight entries are not on the LRU list and are never evicted.
+func (c *RunCache) evictLocked() {
+	if c.maxEntries <= 0 {
+		return
+	}
+	for c.lru.Len() > c.maxEntries {
+		back := c.lru.Back()
+		e := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		e.elem = nil
+		delete(c.entries, e.key)
+		c.bytes -= e.size
+		c.evictions++
+	}
+}
+
+// Program returns the (memoized, singleflighted) program image of a
+// benchmark. Generation is deterministic and immutable, so every harness can
+// share one image.
+func (c *RunCache) Program(b workload.Benchmark) *program.Program {
+	c.progMu.Lock()
+	if e, ok := c.progs[b.Name]; ok {
+		c.progMu.Unlock()
+		<-e.done
+		return e.p
+	}
+	e := &progEntry{done: make(chan struct{})}
+	c.progs[b.Name] = e
+	c.progMu.Unlock()
+	e.p = b.Program()
+	close(e.done)
+	return e.p
+}
+
+// Stats snapshots cache counters for observability.
+func (c *RunCache) Stats() CacheStats {
+	c.mu.Lock()
+	s := CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.lru.Len(),
+		Inflight:  len(c.entries) - c.lru.Len(),
+		Bytes:     c.bytes,
+	}
+	c.mu.Unlock()
+	c.progMu.Lock()
+	s.Programs = len(c.progs)
+	c.progMu.Unlock()
+	return s
+}
+
+// runBytes approximates the resident size of one cached result: the struct
+// itself plus its two string payloads and the key's benchmark name.
+func runBytes(r Run) int64 {
+	return int64(unsafe.Sizeof(r)) + int64(unsafe.Sizeof(cacheKey{})) +
+		int64(2*len(r.Benchmark)+len(r.Machine))
+}

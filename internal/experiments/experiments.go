@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -80,10 +81,26 @@ type Job struct {
 // Prefetch (0 means GOMAXPROCS); the memo maps themselves are only ever
 // touched from the caller's goroutine, so a Harness is not safe for
 // concurrent use — parallelism happens inside Prefetch, not across callers.
+//
+// Ctx, when set, is consulted between simulations (and between the warm-up
+// and measurement phases of each one): once it is canceled the harness stops
+// starting work, records the context error (Err), and returns zero Runs for
+// anything it did not finish. Nothing partial is ever memoized, so a harness
+// that was canceled can simply be retried. A nil Ctx means Background, i.e.
+// the pre-cancellation behavior — the CLI path takes exactly the code path
+// it always has.
+//
+// Cache, when set, replaces the private run memo with a shared, bounded,
+// concurrency-safe cache (see RunCache): several harnesses — one per server
+// request, say — then deduplicate identical simulations across goroutines
+// via its singleflight and share one LRU budget.
 type Harness struct {
 	RC       RunConfig
 	Parallel int
+	Ctx      context.Context
+	Cache    *RunCache
 
+	err   error
 	progs map[string]*program.Program
 	runs  map[runKey]Run
 }
@@ -97,9 +114,31 @@ func NewHarness(rc RunConfig) *Harness {
 	}
 }
 
+// ctx returns the harness context, Background when none was set.
+func (h *Harness) ctx() context.Context {
+	if h.Ctx != nil {
+		return h.Ctx
+	}
+	return context.Background()
+}
+
+// Err returns the first context error a Prefetch or Simulate call observed,
+// nil if every requested simulation completed. Callers that buffer figure
+// output check it before trusting the buffer.
+func (h *Harness) Err() error { return h.err }
+
+func (h *Harness) noteErr(err error) {
+	if h.err == nil && err != nil {
+		h.err = err
+	}
+}
+
 // programFor returns the (memoized) program image of a benchmark.
 // Programs are immutable during simulation, so sharing is safe.
 func (h *Harness) programFor(b workload.Benchmark) *program.Program {
+	if h.Cache != nil {
+		return h.Cache.Program(b)
+	}
 	if p, ok := h.progs[b.Name]; ok {
 		return p
 	}
@@ -131,6 +170,15 @@ func (h *Harness) Workers() int {
 // Printing stays with the caller, in the same order as serial execution, so
 // figure output is byte-identical for any worker count.
 func (h *Harness) Prefetch(jobs []Job) {
+	h.noteErr(h.PrefetchCtx(h.ctx(), jobs))
+}
+
+// PrefetchCtx is Prefetch under an explicit context. Once ctx is canceled,
+// no new simulation starts (in-flight ones finish: cancellation latency is
+// bounded by one job) and the first context error is returned. Only fully
+// completed runs are merged into the memo, so a canceled prefetch leaves the
+// cache consistent — retrying with a live context finishes the remainder.
+func (h *Harness) PrefetchCtx(ctx context.Context, jobs []Job) error {
 	seen := make(map[runKey]bool, len(jobs))
 	pending := make([]Job, 0, len(jobs))
 	for _, j := range jobs {
@@ -144,11 +192,13 @@ func (h *Harness) Prefetch(jobs []Job) {
 		}
 	}
 	if len(pending) == 0 {
-		return
+		return ctx.Err()
 	}
 
 	// Phase 1: generate missing program images in parallel. Generation is
-	// per-benchmark (independent of Options), so dedupe by name.
+	// per-benchmark (independent of Options), so dedupe by name. With a
+	// shared cache the cache's own singleflight memoizes; otherwise workers
+	// write disjoint slots and the results merge on the caller's goroutine.
 	genSeen := map[string]bool{}
 	var gen []workload.Benchmark
 	for _, j := range pending {
@@ -156,48 +206,98 @@ func (h *Harness) Prefetch(jobs []Job) {
 			continue
 		}
 		genSeen[j.Bench.Name] = true
-		if _, ok := h.progs[j.Bench.Name]; !ok {
+		if h.Cache == nil {
+			if _, ok := h.progs[j.Bench.Name]; !ok {
+				gen = append(gen, j.Bench)
+			}
+		} else {
 			gen = append(gen, j.Bench)
 		}
 	}
 	if len(gen) > 0 {
 		ps := make([]*program.Program, len(gen))
-		ForEach(h.Workers(), len(gen), func(i int) {
-			ps[i] = gen[i].Program()
-		})
-		for i, b := range gen {
-			h.progs[b.Name] = ps[i]
+		if err := ForEachCtx(ctx, h.Workers(), len(gen), func(i int) {
+			ps[i] = h.programImage(gen[i])
+		}); err != nil {
+			return err
+		}
+		if h.Cache == nil {
+			for i, b := range gen {
+				h.progs[b.Name] = ps[i]
+			}
 		}
 	}
 
 	// Phase 2: simulate. Snapshot the program pointers before spawning so
-	// workers never touch the shared map.
+	// workers never touch the shared map. done marks slots whose simulation
+	// ran to completion; under cancellation the others are never merged.
 	progs := make([]*program.Program, len(pending))
 	for i, j := range pending {
-		progs[i] = h.progs[j.Bench.Name]
+		progs[i] = h.programFor(j.Bench)
 	}
 	results := make([]Run, len(pending))
+	errs := make([]error, len(pending))
+	done := make([]bool, len(pending))
 	rc := h.RC
-	ForEach(h.Workers(), len(pending), func(i int) {
-		results[i] = simulate(progs[i], pending[i].Bench, pending[i].Opt, rc)
+	ferr := ForEachCtx(ctx, h.Workers(), len(pending), func(i int) {
+		if h.Cache != nil {
+			results[i], errs[i] = h.Cache.Do(ctx, pending[i].Bench.Name, pending[i].Opt, rc,
+				func(cctx context.Context) (Run, error) {
+					return simulateCtx(cctx, progs[i], pending[i].Bench, pending[i].Opt, rc)
+				})
+		} else {
+			results[i], errs[i] = simulateCtx(ctx, progs[i], pending[i].Bench, pending[i].Opt, rc)
+		}
+		done[i] = true
 	})
 	for i, j := range pending {
-		h.runs[runKey{j.Bench.Name, j.Opt}] = results[i]
+		if done[i] && errs[i] == nil {
+			h.runs[runKey{j.Bench.Name, j.Opt}] = results[i]
+		}
 	}
+	if ferr != nil {
+		return ferr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// programImage resolves a program through the shared cache when one is set,
+// through plain generation otherwise (the caller memoizes).
+func (h *Harness) programImage(b workload.Benchmark) *program.Program {
+	if h.Cache != nil {
+		return h.Cache.Program(b)
+	}
+	return b.Program()
 }
 
 // ForEach calls fn(i) for each i in [0,n) on up to workers goroutines and
 // returns after all calls complete. Invocations must be independent; callers
 // keep determinism by writing results into pre-sized slices by index.
 func ForEach(workers, n int, fn func(int)) {
+	_ = ForEachCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachCtx is ForEach under a context: workers stop claiming new indices
+// once ctx is canceled, so at most the in-flight calls (one per worker)
+// still complete — cancellation latency is bounded by one job. It returns
+// ctx.Err() as observed after the join (nil when every index ran).
+func ForEachCtx(ctx context.Context, workers, n int, fn func(int)) error {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return ctx.Err()
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -206,6 +306,9 @@ func ForEach(workers, n int, fn func(int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -215,6 +318,7 @@ func ForEach(workers, n int, fn func(int)) {
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // machineLabel renders a machine variant for display (Run.Machine). It is
@@ -251,23 +355,46 @@ func machineLabel(opt cpu.Options) string {
 	return l
 }
 
-// Simulate runs one benchmark on one machine variant (memoized).
+// Simulate runs one benchmark on one machine variant (memoized). When the
+// harness context is canceled it records the error (see Err) and returns a
+// zero Run without memoizing it — the miss stays a miss.
 func (h *Harness) Simulate(b workload.Benchmark, opt cpu.Options) Run {
 	key := runKey{b.Name, opt}
 	if r, ok := h.runs[key]; ok {
 		return r
 	}
-	r := simulate(h.programFor(b), b, opt, h.RC)
+	ctx := h.ctx()
+	var r Run
+	var err error
+	if h.Cache != nil {
+		r, err = h.Cache.Do(ctx, b.Name, opt, h.RC, func(cctx context.Context) (Run, error) {
+			return simulateCtx(cctx, h.programFor(b), b, opt, h.RC)
+		})
+	} else {
+		r, err = simulateCtx(ctx, h.programFor(b), b, opt, h.RC)
+	}
+	if err != nil {
+		h.noteErr(err)
+		return Run{}
+	}
 	h.runs[key] = r
 	return r
 }
 
-// simulate runs one simulation to completion. It is a pure function of its
-// arguments (p is immutable during simulation), which is what makes the
-// Prefetch worker pool safe.
-func simulate(p *program.Program, b workload.Benchmark, opt cpu.Options, rc RunConfig) Run {
+// simulateCtx runs one simulation to completion. It is a pure function of
+// its arguments (p is immutable during simulation), which is what makes the
+// Prefetch worker pool safe. The context is consulted only at phase
+// boundaries — before the warm-up and between warm-up and measurement — so a
+// run that finishes is bit-identical to one executed with no context at all.
+func simulateCtx(ctx context.Context, p *program.Program, b workload.Benchmark, opt cpu.Options, rc RunConfig) (Run, error) {
+	if err := ctx.Err(); err != nil {
+		return Run{}, err
+	}
 	sim := cpu.MustNew(p, opt)
 	sim.Run(rc.WarmupInsts)
+	if err := ctx.Err(); err != nil {
+		return Run{}, err
+	}
 	sim.ResetMeasurement()
 	sim.Run(rc.MeasureInsts)
 
@@ -293,7 +420,7 @@ func simulate(p *program.Program, b workload.Benchmark, opt cpu.Options, rc RunC
 		Committed:     st.Committed,
 		GatedCycles:   st.GatedCycles,
 		BTBMisfetches: st.BTBMisfetches,
-	}
+	}, nil
 }
 
 // SimulateAll runs a benchmark list on one machine variant.

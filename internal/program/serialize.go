@@ -145,16 +145,26 @@ func Decode(r io.Reader) (*Program, error) {
 	get(&p.Base)
 	get(&p.Entry)
 
+	// The element loops below grow their slices incrementally (with a capped
+	// initial capacity) instead of trusting the declared counts: a truncated
+	// or hostile header claiming 2^26 instructions must fail at the first
+	// short read, not commit gigabytes of allocation up front. The
+	// implausibility bounds still reject headers no generated program can
+	// produce, even when the payload is actually present.
 	var nRegions uint32
 	get(&nRegions)
 	if firstErr == nil && nRegions > 1<<16 {
 		return nil, fmt.Errorf("program: decode: implausible region count %d", nRegions)
 	}
-	p.Regions = make([]MemRegion, nRegions)
-	for i := range p.Regions {
-		get(&p.Regions[i].Size)
-		get(&p.Regions[i].Stride)
-		get(&p.Regions[i].RandomFrac)
+	p.Regions = make([]MemRegion, 0, min(int(nRegions), 1024))
+	for i := uint32(0); i < nRegions && firstErr == nil; i++ {
+		var r MemRegion
+		get(&r.Size)
+		get(&r.Stride)
+		get(&r.RandomFrac)
+		if firstErr == nil {
+			p.Regions = append(p.Regions, r)
+		}
 	}
 
 	var nCode uint32
@@ -162,9 +172,9 @@ func Decode(r io.Reader) (*Program, error) {
 	if firstErr == nil && nCode > 1<<26 {
 		return nil, fmt.Errorf("program: decode: implausible code size %d", nCode)
 	}
-	p.Code = make([]isa.StaticInst, nCode)
-	for i := range p.Code {
-		si := &p.Code[i]
+	p.Code = make([]isa.StaticInst, 0, min(int(nCode), 4096))
+	for i := uint32(0); i < nCode && firstErr == nil; i++ {
+		var si isa.StaticInst
 		si.PC = p.Base + uint64(i)*isa.InstBytes
 		var class uint8
 		get(&class)
@@ -175,6 +185,9 @@ func Decode(r io.Reader) (*Program, error) {
 		get(&si.Target)
 		get(&si.Site)
 		get(&si.MemBase)
+		if firstErr == nil {
+			p.Code = append(p.Code, si)
+		}
 	}
 
 	var nSites uint32
@@ -182,9 +195,9 @@ func Decode(r io.Reader) (*Program, error) {
 	if firstErr == nil && nSites > 1<<24 {
 		return nil, fmt.Errorf("program: decode: implausible site count %d", nSites)
 	}
-	p.Sites = make([]Site, nSites)
-	for i := range p.Sites {
-		s := &p.Sites[i]
+	p.Sites = make([]Site, 0, min(int(nSites), 4096))
+	for i := uint32(0); i < nSites && firstErr == nil; i++ {
+		var s Site
 		s.ID = int32(i)
 		var kind, inv uint8
 		get(&kind)
@@ -197,6 +210,9 @@ func Decode(r io.Reader) (*Program, error) {
 		get(&inv)
 		s.Invert = inv == 1
 		get(&s.Noise)
+		if firstErr == nil {
+			p.Sites = append(p.Sites, s)
+		}
 	}
 	if firstErr != nil {
 		return nil, fmt.Errorf("program: decode: %w", firstErr)

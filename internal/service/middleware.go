@@ -1,0 +1,105 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// statusClientClosedRequest is the de-facto (nginx) status for a request
+// whose client went away before the response was written. The client never
+// sees it; logs and metrics do.
+const statusClientClosedRequest = 499
+
+// statusRecorder captures the response code for logs and metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// instrument wraps a handler with the service middleware stack: stable
+// request IDs (inbound X-Request-ID is honored, otherwise a process-unique
+// sequence number is minted), the server-side request deadline, status
+// capture, structured logging, and per-route metrics.
+func (s *Server) instrument(route string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now() //bplint:allow wallclock -- request latency is observability, not simulation state
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = fmt.Sprintf("bp-%08d", s.reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-ID", id)
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+
+		s.metrics.RequestStarted()
+		defer s.metrics.RequestDone()
+
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		if rec.code == 0 {
+			rec.code = http.StatusOK
+		}
+
+		elapsed := time.Since(start) //bplint:allow wallclock -- request latency is observability, not simulation state
+		s.metrics.Observe(route, rec.code, elapsed.Seconds())
+		s.log.LogAttrs(context.Background(), levelFor(rec.code), "request",
+			slog.String("request_id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.RequestURI()),
+			slog.Int("status", rec.code),
+			slog.Int64("bytes", rec.bytes),
+			slog.Float64("duration_ms", float64(elapsed.Microseconds())/1000),
+			slog.String("remote", r.RemoteAddr),
+		)
+	})
+}
+
+// levelFor grades the log level by response class: server-side failures are
+// errors, everything else (including 4xx client mistakes) is informational.
+func levelFor(code int) slog.Level {
+	if code >= 500 {
+		return slog.LevelError
+	}
+	return slog.LevelInfo
+}
+
+// writeError emits the uniform JSON error shape. The body stays
+// deterministic: no timestamps, no request IDs (those live in headers/logs).
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\"error\":%q}\n", msg)
+}
+
+// httpStatusFor maps a harness/context error to the response status.
+func httpStatusFor(err error) (int, string) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "simulation deadline exceeded"
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest, "request canceled"
+	default:
+		return http.StatusInternalServerError, err.Error()
+	}
+}

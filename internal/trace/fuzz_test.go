@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// fuzzMaxRecords caps how much of an input the fuzzer replays: enough to
+// exercise every decoder path, small enough that a multi-megabyte input of
+// single-byte records cannot stall the round-trip comparison.
+const fuzzMaxRecords = 1 << 15
+
+// encodeTrace is the test-side encoder: branches in, wire bytes out.
+func encodeTrace(branches []Branch) ([]byte, error) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, b := range branches {
+		if err := w.Write(b); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func mustEncodeTrace(f *testing.F, branches []Branch) []byte {
+	data, err := encodeTrace(branches)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
+}
+
+// FuzzTraceDecode feeds arbitrary bytes to the varint branch-trace decoder.
+// The invariants: no panic on any input, and any stream that decodes cleanly
+// re-encodes to a canonical form that round-trips byte-identically
+// (encode(decode(data)) == encode(decode(encode(decode(data))))). The PC
+// bound check in Reader.Read is what makes the re-encode in step one total:
+// every decoded branch is in the encoder's address range.
+func FuzzTraceDecode(f *testing.F) {
+	// Seed with an empty trace, a representative valid stream (forward and
+	// backward deltas, both directions, a near-MaxPC address), and mangled
+	// variants: truncated header, bad magic, truncated varint, a delta that
+	// overflows the PC bound, and a non-canonical (overlong) varint.
+	empty := mustEncodeTrace(f, nil)
+	valid := mustEncodeTrace(f, []Branch{
+		{PC: 0x1000, Taken: true},
+		{PC: 0x1008, Taken: false},
+		{PC: 0x40, Taken: true},
+		{PC: MaxPC - 8, Taken: false},
+		{PC: 0x2000, Taken: true},
+	})
+	f.Add(empty)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add([]byte("BPTRACE"))
+	f.Add([]byte("XPTRACE1\x02"))
+	f.Add(append(append([]byte{}, empty...), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f))
+	f.Add(append(append([]byte{}, empty...), 0x84, 0x80, 0x00)) // overlong varint for delta word 4
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		var branches []Branch
+		for len(branches) < fuzzMaxRecords {
+			b, err := r.Read()
+			if errors.Is(err, io.EOF) {
+				// Clean end of stream: the prefix read so far is a complete
+				// trace and must round-trip.
+				goto roundtrip
+			}
+			if err != nil {
+				return // invalid input rejected without panicking: success
+			}
+			if b.PC >= MaxPC {
+				t.Fatalf("decoder produced out-of-range PC %#x", b.PC)
+			}
+			branches = append(branches, b)
+		}
+		return // huge well-formed input; decode coverage only
+
+	roundtrip:
+		b1, err := encodeTrace(branches)
+		if err != nil {
+			t.Fatalf("re-encoding decoded trace: %v", err)
+		}
+		r2 := NewReader(bytes.NewReader(b1))
+		branches2, err := r2.ReadAll()
+		if err != nil {
+			t.Fatalf("decoding re-encoded trace: %v", err)
+		}
+		if len(branches2) != len(branches) {
+			t.Fatalf("round-trip length mismatch: %d vs %d", len(branches2), len(branches))
+		}
+		for i := range branches {
+			if branches[i] != branches2[i] {
+				t.Fatalf("branch %d differs after round-trip: %+v vs %+v", i, branches[i], branches2[i])
+			}
+		}
+		b2, err := encodeTrace(branches2)
+		if err != nil {
+			t.Fatalf("re-encoding round-tripped trace: %v", err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("encode→decode→encode not byte-identical:\n  first:  %x\n  second: %x", b1, b2)
+		}
+	})
+}

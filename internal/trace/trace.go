@@ -131,6 +131,12 @@ func (r *Reader) Read() (Branch, error) {
 	}
 	taken := word&1 == 1
 	pc := uint64(int64(r.lastPC) + unzigzag(word>>1))
+	// Enforce the Writer's address bound on the decode side too: a crafted
+	// or corrupted delta must not produce a branch the encoder would refuse,
+	// so every successfully decoded stream re-encodes bit-for-bit.
+	if pc >= MaxPC {
+		return Branch{}, fmt.Errorf("trace: decoded PC %#x exceeds the %#x encoding limit", pc, uint64(MaxPC))
+	}
 	r.lastPC = pc
 	return Branch{PC: pc, Taken: taken}, nil
 }

@@ -22,6 +22,21 @@ for ex in examples/*/; do
     go run "./$ex" > /dev/null
 done
 
+# Fuzz smoke: both binary decoders must survive sustained fuzzing with no
+# crashes or round-trip violations. The minimize budget is capped so a slow
+# minimization cannot eat the whole fuzz window.
+go test -run '^$' -fuzz '^FuzzTraceDecode$' -fuzztime 5s -fuzzminimizetime 5s ./internal/trace
+go test -run '^$' -fuzz '^FuzzProgramDecode$' -fuzztime 5s -fuzzminimizetime 5s ./internal/program
+
+# Coverage floor for the serving layer: the e2e suite must keep exercising
+# the handlers, middleware, and metrics paths.
+svc_cov="$(go test -cover ./internal/service | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p')"
+if [ -z "$svc_cov" ] || ! awk "BEGIN{exit !($svc_cov >= 70)}"; then
+    echo "internal/service coverage ${svc_cov:-unknown}% is below the 70% floor" >&2
+    exit 1
+fi
+echo "service coverage: ${svc_cov}% (floor 70%)"
+
 # Determinism smoke: the full quick figure set must be byte-identical no
 # matter how many simulation workers run it.
 tmp="$(mktemp -d)"
@@ -30,3 +45,38 @@ go run ./cmd/bpexperiments -quick -warmup 4000 -measure 8000 -parallel 1 > "$tmp
 go run ./cmd/bpexperiments -quick -warmup 4000 -measure 8000 -parallel 4 > "$tmp/parallel.txt"
 diff "$tmp/serial.txt" "$tmp/parallel.txt"
 echo "parallel smoke: output identical at -parallel 1 and -parallel 4"
+
+# Service smoke: boot bpserved, hit the discovery and simulate endpoints at
+# two worker counts, require byte-identical responses across worker counts
+# and against the committed goldens, then shut down cleanly.
+go build -o "$tmp/bpserved" ./cmd/bpserved
+serve_addr="127.0.0.1:18479"
+sim_body='{"predictor":"Hybrid_1","workload":"164.gzip","fidelity":"quick","warmup_insts":4000,"measure_insts":8000}'
+for par in 1 4; do
+    "$tmp/bpserved" -addr "$serve_addr" -parallel "$par" 2> "$tmp/bpserved.$par.log" &
+    serve_pid=$!
+    ok=""
+    for _ in $(seq 1 50); do
+        if curl -sf --max-time 2 "http://$serve_addr/healthz" > /dev/null 2>&1; then
+            ok=1
+            break
+        fi
+        sleep 0.1
+    done
+    if [ -z "$ok" ]; then
+        echo "bpserved (-parallel $par) never became healthy:" >&2
+        cat "$tmp/bpserved.$par.log" >&2
+        kill "$serve_pid" 2> /dev/null || true
+        exit 1
+    fi
+    curl -sf "http://$serve_addr/v1/predictors" > "$tmp/predictors.$par.json"
+    curl -sf -X POST -d "$sim_body" "http://$serve_addr/v1/simulate" > "$tmp/simulate.$par.json"
+    curl -sf "http://$serve_addr/metrics" | grep -q '^bpserved_simulations_total [1-9]'
+    kill -TERM "$serve_pid"
+    wait "$serve_pid"
+done
+diff "$tmp/predictors.1.json" "$tmp/predictors.4.json"
+diff "$tmp/simulate.1.json" "$tmp/simulate.4.json"
+diff "$tmp/predictors.1.json" cmd/bpserved/testdata/predictors.golden
+diff "$tmp/simulate.1.json" cmd/bpserved/testdata/simulate.golden
+echo "service smoke: responses identical at -parallel 1 and -parallel 4 and match goldens"

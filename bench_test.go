@@ -3,6 +3,7 @@ package bpredpower
 import (
 	"bytes"
 	"flag"
+	"fmt"
 	"io"
 	"testing"
 
@@ -148,6 +149,54 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	sim.Run(uint64(b.N))
+}
+
+// BenchmarkSimulatorStep measures one full pipeline cycle (fetch through
+// commit plus power fold) on a warm machine — the per-cycle cost that
+// BenchmarkSimulatorThroughput amortizes over committed instructions.
+func BenchmarkSimulatorStep(b *testing.B) {
+	bench, err := workload.ByName("164.gzip")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := bench.Program()
+	sim := cpu.MustNew(p, cpu.Options{Predictor: bpred.Hybrid1})
+	sim.Run(20000) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.StepCycle()
+	}
+}
+
+// BenchmarkMeterEndCycle measures the per-cycle power fold under each
+// accounting mode: deferred is the integer-only kernel, percycle is the
+// eager reference fold (the pre-kernel behavior), crosscheck runs both.
+// The meter mirrors the real machine's unit count, with about a third of
+// the units active per cycle.
+func BenchmarkMeterEndCycle(b *testing.B) {
+	for _, mode := range []power.AccountingMode{power.AccountDeferred, power.AccountPerCycle, power.AccountCrossCheck} {
+		b.Run(mode.String(), func(b *testing.B) {
+			m := power.NewMeter(1.25e-9)
+			m.Accounting = mode
+			units := make([]*power.Unit, 34)
+			for i := range units {
+				units[i] = m.Add(power.NewFixedUnit(fmt.Sprintf("u%02d", i), power.GroupALU, 1e-10, 2))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < len(units); j += 3 {
+					units[j].Read(1)
+				}
+				m.EndCycle()
+			}
+			b.StopTimer()
+			if m.TotalEnergy() <= 0 {
+				b.Fatal("meter accumulated no energy")
+			}
+		})
+	}
 }
 
 // BenchmarkPredictorLookup measures a single hybrid lookup+update round.

@@ -1,13 +1,22 @@
 // Command bpbench records the simulator's performance trajectory: it runs
-// the core throughput and predictor microbenchmarks plus every
-// harness-driven figure (Quick windows) and writes the numbers to
-// BENCH_results.json so later changes can be diffed against them.
+// the core throughput, per-cycle step, power-fold, and predictor
+// microbenchmarks plus every harness-driven figure (Quick windows) and
+// writes the numbers to BENCH_results.json so later changes can be diffed
+// against them.
 //
 // Usage:
 //
 //	bpbench                      # write BENCH_results.json in the cwd
 //	bpbench -o /tmp/bench.json -parallel 4
 //	bpbench -skip-figures        # microbenchmarks only (seconds, not minutes)
+//	bpbench -skip-figures -compare BENCH_results.json
+//	                             # fail (exit 1) if a microbenchmark regressed
+//	                             # more than -threshold vs the old file
+//	bpbench -cpuprofile cpu.out -memprofile mem.out -skip-figures
+//
+// -compare checks only the microbenchmarks (throughput, step, end_cycle,
+// predictor lookups): figure wall times include harness scheduling and vary
+// with machine load, so they are recorded but never gated on.
 package main
 
 import (
@@ -17,11 +26,14 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"sort"
 	"testing"
 
 	"bpredpower/internal/bpred"
 	"bpredpower/internal/cpu"
 	"bpredpower/internal/experiments"
+	"bpredpower/internal/power"
 	"bpredpower/internal/workload"
 )
 
@@ -41,7 +53,11 @@ type report struct {
 	MeasureInsts uint64 `json:"measure_insts"`
 	// Throughput is the full-pipeline simulation rate; NsPerOp is ns per
 	// committed instruction and AllocsPerOp must stay 0 in steady state.
-	Throughput      result            `json:"throughput"`
+	Throughput result `json:"throughput"`
+	// Step is one warm pipeline cycle (fetch through commit plus the power
+	// fold); EndCycle is the power fold alone, per accounting mode.
+	Step            result            `json:"step"`
+	EndCycle        map[string]result `json:"end_cycle"`
 	PredictorLookup map[string]result `json:"predictor_lookup"`
 	Figures         map[string]result `json:"figures,omitempty"`
 }
@@ -69,6 +85,10 @@ func main() {
 	skipFigures := flag.Bool("skip-figures", false, "skip the per-figure wall-time runs")
 	warm := flag.Uint64("warmup", experiments.Quick.WarmupInsts, "figure warm-up instructions")
 	meas := flag.Uint64("measure", experiments.Quick.MeasureInsts, "figure measured instructions")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the throughput run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after the microbenchmarks) to this file")
+	compare := flag.String("compare", "", "old BENCH_results.json to diff against; exit 1 on microbenchmark regressions beyond -threshold")
+	threshold := flag.Float64("threshold", 0.25, "relative ns/op regression tolerated by -compare (0.25 = 25%)")
 	flag.Parse()
 
 	rc := experiments.RunConfig{WarmupInsts: *warm, MeasureInsts: *meas}
@@ -77,6 +97,7 @@ func main() {
 		Parallel:        *parallel,
 		WarmupInsts:     rc.WarmupInsts,
 		MeasureInsts:    rc.MeasureInsts,
+		EndCycle:        map[string]result{},
 		PredictorLookup: map[string]result{},
 	}
 
@@ -86,6 +107,21 @@ func main() {
 		os.Exit(1)
 	}
 	prog := gzip.Program()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	rep.Throughput = measure(func(b *testing.B) {
 		sim := cpu.MustNew(prog, cpu.Options{Predictor: bpred.Hybrid1})
 		sim.Run(20000) // warm
@@ -95,6 +131,41 @@ func main() {
 	})
 	fmt.Printf("throughput        %8.1f ns/inst  %d allocs/op\n",
 		rep.Throughput.NsPerOp, rep.Throughput.AllocsPerOp)
+
+	rep.Step = measure(func(b *testing.B) {
+		sim := cpu.MustNew(prog, cpu.Options{Predictor: bpred.Hybrid1})
+		sim.Run(20000) // warm
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sim.StepCycle()
+		}
+	})
+	fmt.Printf("step              %8.1f ns/cycle %d allocs/op\n",
+		rep.Step.NsPerOp, rep.Step.AllocsPerOp)
+
+	for _, mode := range []power.AccountingMode{power.AccountDeferred, power.AccountPerCycle, power.AccountCrossCheck} {
+		mode := mode
+		r := measure(func(b *testing.B) {
+			m := power.NewMeter(1.25e-9)
+			m.Accounting = mode
+			units := make([]*power.Unit, 34)
+			for i := range units {
+				//bplint:allow unitsource -- synthetic micro-bench units, not part of the modeled machine
+				units[i] = m.Add(power.NewFixedUnit(fmt.Sprintf("u%02d", i), power.GroupALU, 1e-10, 2))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < len(units); j += 3 {
+					units[j].Read(1)
+				}
+				m.EndCycle()
+			}
+		})
+		rep.EndCycle[mode.String()] = r
+		fmt.Printf("end_cycle %-7s %8.2f ns/op    %d allocs/op\n", mode.String(), r.NsPerOp, r.AllocsPerOp)
+	}
 
 	for _, spec := range []bpred.Spec{bpred.Bim4k, bpred.Gsh16k12, bpred.PAs4k16k8, bpred.Hybrid1} {
 		spec := spec
@@ -111,6 +182,20 @@ func main() {
 		})
 		rep.PredictorLookup[spec.Name] = r
 		fmt.Printf("lookup %-11s %8.2f ns/op    %d allocs/op\n", spec.Name, r.NsPerOp, r.AllocsPerOp)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 
 	if !*skipFigures {
@@ -159,4 +244,86 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if *compare != "" {
+		if !compareReports(*compare, rep, *threshold) {
+			os.Exit(1)
+		}
+	}
+}
+
+// compareReports diffs the new microbenchmark numbers against the report in
+// oldPath, printing a delta line per entry. It returns false when any entry
+// present in both reports got slower by more than threshold (relative), or
+// when a previously allocation-free entry now allocates.
+func compareReports(oldPath string, newRep report, threshold float64) bool {
+	data, err := os.ReadFile(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bpbench: -compare: %v\n", err)
+		return false
+	}
+	var oldRep report
+	if err := json.Unmarshal(data, &oldRep); err != nil {
+		fmt.Fprintf(os.Stderr, "bpbench: -compare: parsing %s: %v\n", oldPath, err)
+		return false
+	}
+
+	type entry struct {
+		name     string
+		old, new result
+	}
+	entries := []entry{
+		{"throughput", oldRep.Throughput, newRep.Throughput},
+	}
+	if oldRep.Step.Iterations > 0 {
+		entries = append(entries, entry{"step", oldRep.Step, newRep.Step})
+	}
+	appendMap := func(prefix string, oldM, newM map[string]result) {
+		keys := make([]string, 0, len(oldM))
+		for k := range oldM { //bplint:allow maprange -- keys are sorted before any order-dependent use
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if n, ok := newM[k]; ok {
+				entries = append(entries, entry{prefix + k, oldM[k], n})
+			}
+		}
+	}
+	// Only the deferred mode is a production hot path; the eager and
+	// cross-check modes exist for validation, and their in-process timings
+	// are binary-layout-sensitive (40% swings from unrelated recompiles),
+	// so they are reported but not gated.
+	if o, ok := oldRep.EndCycle["deferred"]; ok {
+		if n, ok := newRep.EndCycle["deferred"]; ok {
+			entries = append(entries, entry{"end_cycle/deferred", o, n})
+		}
+	}
+	appendMap("lookup/", oldRep.PredictorLookup, newRep.PredictorLookup)
+
+	ok := true
+	fmt.Printf("compare vs %s (threshold %.0f%%):\n", oldPath, threshold*100)
+	for _, e := range entries {
+		if e.old.Iterations == 0 || e.old.NsPerOp <= 0 {
+			continue
+		}
+		delta := e.new.NsPerOp/e.old.NsPerOp - 1
+		verdict := "ok"
+		switch {
+		case delta > threshold:
+			verdict = "REGRESSION"
+			ok = false
+		case e.old.AllocsPerOp == 0 && e.new.AllocsPerOp > 0:
+			verdict = "ALLOC REGRESSION"
+			ok = false
+		case delta < -0.05:
+			verdict = "faster"
+		}
+		fmt.Printf("  %-22s %9.2f -> %9.2f ns/op  %+6.1f%%  %s\n",
+			e.name, e.old.NsPerOp, e.new.NsPerOp, delta*100, verdict)
+	}
+	if !ok {
+		fmt.Fprintln(os.Stderr, "bpbench: performance regression beyond threshold")
+	}
+	return ok
 }

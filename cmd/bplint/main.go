@@ -1,6 +1,6 @@
 // Command bplint runs the simulator's invariant-checking analyzer suite
 // (internal/analysis: determinism, statsafety, specrepair, unitdiscipline,
-// unitsource) plus a few standard go vet passes over the module.
+// unitsource, hotpath) plus a few standard go vet passes over the module.
 //
 // Usage:
 //
@@ -30,7 +30,7 @@ import (
 	bplint "bpredpower/internal/analysis"
 )
 
-// suite is the full analyzer set: the five simulator invariants plus
+// suite is the full analyzer set: the six simulator invariants plus
 // standard vet passes that matter for accounting code (atomic misuse, buggy
 // boolean conditions, always-nil func comparisons, unreachable code).
 func suite() []*analysis.Analyzer {
@@ -40,6 +40,7 @@ func suite() []*analysis.Analyzer {
 		bplint.SpecRepair,
 		bplint.UnitDiscipline,
 		bplint.UnitSource,
+		bplint.Hotpath,
 		atomic.Analyzer,
 		bools.Analyzer,
 		nilfunc.Analyzer,

@@ -1,4 +1,4 @@
-// Package analysis is the simulator's invariant-checking lint suite: five
+// Package analysis is the simulator's invariant-checking lint suite: six
 // golang.org/x/tools/go/analysis analyzers enforcing the properties every
 // figure regeneration depends on. Two runs of the same configuration must be
 // bit-for-bit identical, and the power/stat accounting must never silently
@@ -15,8 +15,12 @@
 //   - unitsource: power.Unit construction stays behind the frontend layer —
 //     raw NewArrayUnit/NewFixedUnit calls are allowed only in the frontend
 //     and power packages, so no hand-wired unit escapes the registry
+//   - hotpath: functions marked //bp:hotpath (Sim.step and its callees,
+//     Meter.EndCycle) must not range over maps, defer, or call methods
+//     through interfaces — the per-cycle kernel stays allocation-free and
+//     devirtualized
 //
-// All five are wired into cmd/bplint, which runs them (plus selected go vet
+// All six are wired into cmd/bplint, which runs them (plus selected go vet
 // passes) over the whole module; verify.sh makes that a CI gate.
 //
 // A diagnostic that is intentional can be suppressed with a comment on the
@@ -25,7 +29,8 @@
 //	//bplint:allow <check> -- reason
 //
 // where <check> is the key named in the diagnostic (wallclock, maprange,
-// goroutine, divzero, counter, specrepair, units, unitsource). The reason is
+// goroutine, divzero, counter, specrepair, units, unitsource, hotpath). The
+// reason is
 // mandatory by convention: the comment documents why the invariant holds
 // anyway.
 package analysis

@@ -31,6 +31,10 @@ func TestUnitSource(t *testing.T) {
 	analyzertest.Run(t, bplint.UnitSource, filepath.Join("testdata", "src", "unitsource"))
 }
 
+func TestHotpath(t *testing.T) {
+	analyzertest.Run(t, bplint.Hotpath, filepath.Join("testdata", "src", "hotpath"))
+}
+
 func TestUnitSourceAllowedPackage(t *testing.T) {
 	analyzertest.Run(t, bplint.UnitSource, filepath.Join("testdata", "src", "unitsource_frontend"))
 }

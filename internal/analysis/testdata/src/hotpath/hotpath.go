@@ -1,0 +1,72 @@
+// Package hotpath seeds violations of the hot-path contract inside marked
+// functions, plus unmarked and suppressed counterparts, for the analyzer's
+// regression test.
+package hotpath
+
+var sink uint64
+
+// ticker is a stand-in for a per-cycle unit with a concrete method.
+type ticker struct{ n uint64 }
+
+func (t *ticker) tick() { t.n++ }
+
+// stepper is an interface whose dynamic dispatch the hot path must avoid.
+type stepper interface {
+	Step()
+}
+
+type machine struct {
+	byName map[string]uint64
+	units  []*ticker
+	s      stepper
+}
+
+// stepHot is a marked hot-path function containing one of each violation.
+//
+//bp:hotpath
+func (m *machine) stepHot() {
+	for _, v := range m.byName { // want `hotpath: map iteration in hot-path function stepHot`
+		sink += v
+	}
+	defer func() { sink++ }() // want `hotpath: defer in hot-path function stepHot`
+	m.s.Step()                // want `hotpath: interface-method call stepper\.Step in hot-path function stepHot`
+}
+
+// stepClean is marked and uses only the approved shapes: dense slices,
+// concrete methods, inline epilogue.
+//
+//bp:hotpath
+func (m *machine) stepClean() {
+	for _, u := range m.units {
+		u.tick()
+	}
+	sink++
+}
+
+// stepSuppressed documents an intentional exception on each line.
+//
+//bp:hotpath
+func (m *machine) stepSuppressed() {
+	m.s.Step() //bplint:allow hotpath -- fixture: exercised once per run, not per cycle
+}
+
+// closureIsExempt shows the marker binding the declaration, not closures it
+// builds: the closure body runs on its own schedule.
+//
+//bp:hotpath
+func (m *machine) closureIsExempt() func() {
+	return func() {
+		for _, v := range m.byName {
+			sink += v
+		}
+	}
+}
+
+// stepUnmarked has no marker, so nothing in it is flagged.
+func (m *machine) stepUnmarked() {
+	defer func() { sink++ }()
+	for _, v := range m.byName {
+		sink += v
+	}
+	m.s.Step()
+}

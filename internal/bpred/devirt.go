@@ -1,0 +1,54 @@
+package bpred
+
+// Funcs is a Predictor's hot-path method set resolved to bound function
+// values. The simulator's fetch/resolve/commit loop calls Lookup, Unwind,
+// Redirect, and Update once per control instruction; binding them at
+// construction replaces per-call interface dispatch with direct indirect
+// calls whose receiver is fixed for the simulation's lifetime. The cold
+// methods (Name, Tables, TotalBits, Reset) stay on the interface.
+//
+// The contract mirrors Predictor exactly: Lookup speculatively updates
+// history, Unwind undoes it youngest-first, Redirect repairs to the resolved
+// outcome, Update trains at commit.
+type Funcs struct {
+	// Lookup predicts the branch at pc (speculatively updating history).
+	Lookup func(pc uint64) Prediction
+	// Unwind undoes the speculative history updates of p's Lookup.
+	Unwind func(p *Prediction)
+	// Redirect repairs history after p resolved with direction taken.
+	Redirect func(p *Prediction, taken bool)
+	// Update trains the pattern tables at commit.
+	Update func(p *Prediction, taken bool)
+	// Concrete reports whether Devirt matched a known concrete type (as
+	// opposed to falling back to interface-bound methods). Every predictor
+	// registered in this package devirtualizes concretely; the field exists
+	// so tests can enforce that.
+	Concrete bool
+}
+
+// Devirt resolves p's hot-path methods to concrete bound functions via a
+// type switch over every predictor family in this package. Unknown
+// implementations (e.g. test doubles) fall back to interface-bound method
+// values, which are still resolved once rather than per call.
+func Devirt(p Predictor) Funcs {
+	switch c := p.(type) {
+	case *Bimodal:
+		return Funcs{c.Lookup, c.Unwind, c.Redirect, c.Update, true}
+	case *TwoLevelGlobal:
+		return Funcs{c.Lookup, c.Unwind, c.Redirect, c.Update, true}
+	case *PAs:
+		return Funcs{c.Lookup, c.Unwind, c.Redirect, c.Update, true}
+	case *Hybrid:
+		return Funcs{c.Lookup, c.Unwind, c.Redirect, c.Update, true}
+	case *Alloyed:
+		return Funcs{c.Lookup, c.Unwind, c.Redirect, c.Update, true}
+	case *Static:
+		return Funcs{c.Lookup, c.Unwind, c.Redirect, c.Update, true}
+	case *Gselect:
+		return Funcs{c.Lookup, c.Unwind, c.Redirect, c.Update, true}
+	case *PAg:
+		return Funcs{c.Lookup, c.Unwind, c.Redirect, c.Update, true}
+	default:
+		return Funcs{p.Lookup, p.Unwind, p.Redirect, p.Update, false}
+	}
+}

@@ -1,0 +1,57 @@
+package bpred
+
+import "testing"
+
+// Every registered configuration must devirtualize to a concrete fast path:
+// a predictor family that falls back to interface dispatch silently loses
+// the hot-loop contract the simulator's fetch path relies on.
+func TestDevirtCoversAllRegisteredConfigs(t *testing.T) {
+	for _, spec := range AllConfigs() {
+		p := spec.Build()
+		fns := Devirt(p)
+		if !fns.Concrete {
+			t.Errorf("%s (%T): Devirt fell back to interface dispatch; add the concrete type to the type switch", spec.Name, p)
+		}
+		if fns.Lookup == nil || fns.Unwind == nil || fns.Redirect == nil || fns.Update == nil {
+			t.Fatalf("%s: Devirt returned nil function(s)", spec.Name)
+		}
+	}
+}
+
+// The devirtualized functions must be behaviorally identical to the
+// interface methods: two fresh instances of the same spec driven through a
+// mixed lookup/unwind/redirect/update sequence must agree on every
+// prediction and on final state.
+func TestDevirtMatchesInterface(t *testing.T) {
+	for _, spec := range AllConfigs() {
+		viaIface := spec.Build()
+		viaFns := Devirt(spec.Build())
+
+		// A deterministic branch-outcome stream with some repeating PCs.
+		seq := uint64(0x9e3779b97f4a7c15)
+		for i := 0; i < 4096; i++ {
+			seq = seq*6364136223846793005 + 1442695040888963407
+			pc := (seq >> 33) & 0x3ff * 4
+			taken := seq&0x30000 != 0
+
+			pi := viaIface.Lookup(pc)
+			pf := viaFns.Lookup(pc)
+			if pi != pf {
+				t.Fatalf("%s: Lookup(%#x) diverged at i=%d: interface %+v, devirt %+v", spec.Name, pc, i, pi, pf)
+			}
+			switch i % 5 {
+			case 0, 1, 2:
+				viaIface.Update(&pi, taken)
+				viaFns.Update(&pf, taken)
+			case 3:
+				viaIface.Unwind(&pi)
+				viaFns.Unwind(&pf)
+			case 4:
+				viaIface.Redirect(&pi, taken)
+				viaFns.Redirect(&pf, taken)
+				viaIface.Update(&pi, taken)
+				viaFns.Update(&pf, taken)
+			}
+		}
+	}
+}

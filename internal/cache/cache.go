@@ -228,6 +228,11 @@ type TLB struct {
 	missPen  int
 	clock    uint64
 	stats    Stats
+	// mru indexes the most recently hit (or filled) entry. Translations are
+	// heavily repetitive, so checking it first turns the common case into a
+	// single compare instead of a full associative scan; statistics and LRU
+	// state are updated identically on either path.
+	mru int
 }
 
 // NewTLB builds a TLB with the given entry count, page size, and miss
@@ -253,12 +258,18 @@ func (t *TLB) Access(addr uint64) int {
 	t.stats.Accesses++
 	t.clock++
 	vpn := addr >> t.pageBits
+	if e := &t.entries[t.mru]; e.valid && e.tag == vpn {
+		e.lru = t.clock
+		t.stats.Hits++
+		return 0
+	}
 	victim := 0
 	for i := range t.entries {
 		e := &t.entries[i]
 		if e.valid && e.tag == vpn {
 			e.lru = t.clock
 			t.stats.Hits++
+			t.mru = i
 			return 0
 		}
 		if !e.valid {
@@ -269,6 +280,7 @@ func (t *TLB) Access(addr uint64) int {
 	}
 	t.stats.Misses++
 	t.entries[victim] = line{valid: true, tag: vpn, lru: t.clock}
+	t.mru = victim
 	return t.missPen
 }
 
@@ -282,4 +294,5 @@ func (t *TLB) Reset() {
 	}
 	t.clock = 0
 	t.stats = Stats{}
+	t.mru = 0
 }

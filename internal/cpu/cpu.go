@@ -64,6 +64,12 @@ type Options struct {
 	// ClockGating selects the Wattch conditional-clocking style (default
 	// CC3, the paper's "non-ideal aggressive clock gating").
 	ClockGating power.GatingStyle
+	// Accounting selects the power-accounting mode (default AccountDeferred,
+	// the integer-counter kernel; AccountPerCycle folds eagerly every cycle;
+	// AccountCrossCheck runs both and panics on any disagreement). All modes
+	// report identical energies — the knob exists for validation and for the
+	// EndCycle micro-benchmarks.
+	Accounting power.AccountingMode
 	// ChargeLookupsPerBranch is an ablation of the paper's fetch-engine
 	// accounting: instead of charging one predictor + BTB lookup per active
 	// fetch cycle (the paper's model — the structures are probed before the
@@ -119,6 +125,10 @@ type Sim struct {
 
 	walker *program.Walker
 	pred   bpred.Predictor
+	// predFn is pred's hot-path method set devirtualized at construction
+	// (bpred.Devirt): the fetch/resolve/commit path calls these bound
+	// functions instead of dispatching through the interface per lookup.
+	predFn bpred.Funcs
 	btb    *btb.BTB
 	ras    *ras.RAS
 	ppd    *ppd.PPD
@@ -148,8 +158,12 @@ type Sim struct {
 	fqHead int
 	fqLen  int
 
-	// ROB (RUU) as a ring buffer; robID % size is the slot.
+	// ROB (RUU) as a ring buffer sized to the next power of two above
+	// RUUSize, so the slot map is a single AND with robMask instead of a
+	// 64-bit modulo on every access (the modulo dominated the profile).
+	// Occupancy is still capped at cfg.RUUSize by dispatch.
 	rob      []robEntry
+	robMask  int64
 	headID   int64
 	tailID   int64
 	lsqUsed  int
@@ -196,8 +210,10 @@ func New(prog *program.Program, opt Options) (*Sim, error) {
 		ras:    ras.New(cfg.RASEntries),
 		gate:   gating.New(opt.Gating),
 		mem:    &cache.MainMemory{Latency: cfg.MemLatency},
-		rob:    make([]robEntry, cfg.RUUSize),
+		rob:    make([]robEntry, ceilPow2(cfg.RUUSize)),
 	}
+	s.robMask = int64(len(s.rob) - 1)
+	s.predFn = bpred.Devirt(s.pred)
 	s.l2 = cache.New(cfg.L2, s.mem)
 	s.il1 = cache.New(cfg.IL1, s.l2)
 	s.dl1 = cache.New(cfg.DL1, s.l2)
@@ -320,21 +336,76 @@ func (s *Sim) targetUpdate(pc, target uint64) {
 	s.btb.Update(pc, target)
 }
 
+// ceilPow2 returns the smallest power of two >= n (and >= 1).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
 // robCount returns the number of in-flight entries.
 func (s *Sim) robCount() int { return int(s.tailID - s.headID) }
 
-func (s *Sim) slot(id int64) *robEntry { return &s.rob[id%int64(len(s.rob))] }
+func (s *Sim) slot(id int64) *robEntry { return &s.rob[id&s.robMask] }
 
-// Run simulates until n more instructions commit (or the cycle limit of
-// 400 cycles per requested instruction is hit, a safety net against
-// pathological configurations).
+// runBlockCycles is the cycle-block granularity of Run: the inner loop runs
+// up to this many cycles against a precomputed bound so the per-cycle
+// condition is one decrement-and-test rather than two 64-bit comparisons
+// against re-read fields.
+const runBlockCycles = 1024
+
+// cycleBudget returns cur + n*400 + 10000 saturated at the uint64 maximum,
+// so paper-scale instruction counts (hundreds of millions and beyond) can
+// never wrap the cycle limit into the past.
+func cycleBudget(cur, n uint64) uint64 {
+	const maxU = ^uint64(0)
+	if n > (maxU-10000)/400 {
+		return maxU
+	}
+	lim := cur + n*400 + 10000
+	if lim < cur {
+		return maxU
+	}
+	return lim
+}
+
+// Run simulates until n more instructions commit, or until the cycle limit
+// of 400 cycles per requested instruction is hit — a safety net against
+// pathological configurations. Hitting the limit is recorded in
+// Stats.CycleLimitHit so callers can distinguish a truncated run from a
+// completed one instead of silently reporting short results.
 func (s *Sim) Run(n uint64) {
 	target := s.stats.Committed + n
-	limit := s.cycle + n*400 + 10000
+	limit := cycleBudget(s.cycle, n)
 	for s.stats.Committed < target && s.cycle < limit {
+		block := limit - s.cycle
+		if block > runBlockCycles {
+			block = runBlockCycles
+		}
+		s.runBlock(block, target)
+	}
+	if s.stats.Committed < target {
+		s.stats.CycleLimitHit = true
+	}
+}
+
+// runBlock steps up to block cycles, stopping early once target instructions
+// have committed. The cycle bound is a local countdown so the hot loop
+// re-reads only the commit counter.
+//
+//bp:hotpath
+func (s *Sim) runBlock(block, target uint64) {
+	for ; block > 0 && s.stats.Committed < target; block-- {
 		s.step()
 	}
 }
+
+// StepCycle advances the machine exactly one cycle. It exists for
+// micro-benchmarks and tests that need cycle-granular control; bulk
+// simulation should use Run, which batches cycles into blocks.
+func (s *Sim) StepCycle() { s.step() }
 
 // ResetMeasurement clears statistics and accumulated energy while keeping
 // all microarchitectural state warm — call after a warm-up run.
@@ -346,6 +417,8 @@ func (s *Sim) ResetMeasurement() {
 // step advances one cycle: commit and writeback/resolve see the machine
 // state produced by earlier cycles, then issue, dispatch, and fetch refill
 // it. Power activity is folded at the end of the cycle.
+//
+//bp:hotpath
 func (s *Sim) step() {
 	s.writebackAndResolve()
 	s.commit()

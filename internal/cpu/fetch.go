@@ -16,6 +16,8 @@ import (
 // one direction-predictor lookup and one BTB lookup (they are accessed in
 // parallel with the I-cache), unless the PPD's pre-decode bits prove the
 // line needs neither.
+//
+//bp:hotpath
 func (s *Sim) fetch() {
 	if s.cycle < s.fetchStallUntil || s.fetchHalted {
 		return
@@ -60,8 +62,19 @@ func (s *Sim) fetch() {
 // control transfer, appends it to the fetch queue, and advances fetchPC.
 // It returns true when fetch must end this cycle (taken prediction,
 // misfetch bubble, or wrong path running off the image).
+//
+// The entry is built directly in its fetch-queue slot (the slot past the
+// occupied span is free by construction), so the ~170-byte robEntry is
+// never copied; on the one early return the slot is simply left unclaimed.
+//
+//bp:hotpath
 func (s *Sim) fetchOne() (stop bool) {
-	e := robEntry{
+	fqi := s.fqHead + s.fqLen
+	if fqi >= len(s.fq) {
+		fqi -= len(s.fq)
+	}
+	e := &s.fq[fqi]
+	*e = robEntry{
 		fetchSeq: s.fetchSeq,
 		readyAt:  s.cycle + 1 + uint64(s.cfg.ExtraStages),
 		dep1:     -1, dep2: -1, prevProd: -1,
@@ -101,7 +114,7 @@ func (s *Sim) fetchOne() (stop bool) {
 	next := si.NextPC()
 	stopAfter := false
 	if e.isCtl {
-		next, stopAfter = s.predictControl(&e)
+		next, stopAfter = s.predictControl(e)
 	}
 	e.predNext = next
 
@@ -134,11 +147,6 @@ func (s *Sim) fetchOne() (stop bool) {
 		s.onWrongPath = true
 	}
 
-	i := s.fqHead + s.fqLen
-	if i >= len(s.fq) {
-		i -= len(s.fq)
-	}
-	s.fq[i] = e
 	s.fqLen++
 	s.fetchPC = e.predNext
 	return stopAfter || (e.isCtl && e.predNext != si.NextPC())
@@ -148,6 +156,8 @@ func (s *Sim) fetchOne() (stop bool) {
 // instruction: direction predictor for conditional branches, BTB for taken
 // targets, RAS for calls and returns. It returns the next fetch PC and
 // whether fetch must stop after this instruction.
+//
+//bp:hotpath
 func (s *Sim) predictControl(e *robEntry) (next uint64, stop bool) {
 	si := e.si
 	pc := si.PC
@@ -163,7 +173,7 @@ func (s *Sim) predictControl(e *robEntry) (next uint64, stop bool) {
 	}
 	switch si.Class {
 	case isa.ClassBranch:
-		pr := s.pred.Lookup(pc)
+		pr := s.predFn.Lookup(pc)
 		e.pred = pr
 		e.hasPred = true
 		e.predTaken = pr.Taken
@@ -243,6 +253,8 @@ func (s *Sim) misfetch() {
 // chargeFetch charges the per-active-cycle front-end power: I-cache, ITLB,
 // PPD (when present), and — unless the PPD proves them unnecessary — the
 // direction predictor and BTB.
+//
+//bp:hotpath
 func (s *Sim) chargeFetch(lineIdx int) {
 	s.pw.il1Data.Read(1)
 	s.pw.il1Tag.Read(1)

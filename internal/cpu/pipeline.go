@@ -27,7 +27,10 @@ func latency(c isa.Class) uint64 {
 
 // dispatch moves up to DecodeWidth instructions whose front-end delay has
 // elapsed from the fetch queue into the RUU (and LSQ for memory ops),
-// renaming their register operands.
+// renaming their register operands. The RUU ring is oversized to a power of
+// two, so occupancy is capped at the configured RUUSize here.
+//
+//bp:hotpath
 func (s *Sim) dispatch() {
 	n := 0
 	for n < s.cfg.DecodeWidth && s.fqLen > 0 {
@@ -35,13 +38,16 @@ func (s *Sim) dispatch() {
 		if s.cycle < e.readyAt {
 			break
 		}
-		if s.robCount() >= len(s.rob) {
+		if s.robCount() >= s.cfg.RUUSize {
 			break
 		}
 		if e.isMem && s.lsqUsed >= s.cfg.LSQSize {
 			break
 		}
-		ent := *e
+		// Move the entry into its RUU slot with a single copy and rename it
+		// in place (the fetch-queue slot is dead once fqHead advances).
+		ent := s.slot(s.tailID)
+		*ent = *e
 		s.fqHead++
 		if s.fqHead == len(s.fq) {
 			s.fqHead = 0
@@ -60,7 +66,6 @@ func (s *Sim) dispatch() {
 			s.lsqUsed++
 			s.pw.lsqUnit.Write(1)
 		}
-		*s.slot(s.tailID) = ent
 		s.tailID++
 		n++
 
@@ -98,6 +103,8 @@ func (s *Sim) depDone(id int64) bool {
 // issue selects up to IssueWidth ready instructions (4 int + 2 FP, bounded
 // by memory ports and divider occupancy), oldest first, and starts their
 // execution.
+//
+//bp:hotpath
 func (s *Sim) issue() {
 	intLeft := s.cfg.IntIssue
 	fpLeft := s.cfg.FPIssue
@@ -165,6 +172,8 @@ func (s *Sim) issue() {
 }
 
 // chargeExec charges the functional unit for one operation.
+//
+//bp:hotpath
 func (s *Sim) chargeExec(c isa.Class) {
 	switch c {
 	case isa.ClassIntMult, isa.ClassIntDiv:
@@ -181,6 +190,8 @@ func (s *Sim) chargeExec(c isa.Class) {
 // writebackAndResolve completes instructions whose latency has elapsed,
 // broadcasts their results, and resolves control transfers — squashing and
 // redirecting on mispredictions.
+//
+//bp:hotpath
 func (s *Sim) writebackAndResolve() {
 	for id := s.headID; id < s.tailID; id++ {
 		e := s.slot(id)
@@ -202,6 +213,8 @@ func (s *Sim) writebackAndResolve() {
 
 // resolve checks a completed control transfer against its prediction and
 // recovers on a mispredict.
+//
+//bp:hotpath
 func (s *Sim) resolve(id int64, e *robEntry) {
 	e.resolved = true
 	if e.isCond {
@@ -220,7 +233,7 @@ func (s *Sim) resolve(id int64, e *robEntry) {
 	s.squashAfter(id)
 	// Repair speculative predictor history with the resolved outcome.
 	if e.hasPred {
-		s.pred.Redirect(&e.pred, e.actualTaken)
+		s.predFn.Redirect(&e.pred, e.actualTaken)
 	}
 	// Repair the RAS, then re-apply this instruction's own stack operation.
 	if e.hasRAS {
@@ -244,6 +257,8 @@ func (s *Sim) resolve(id int64, e *robEntry) {
 // squashAfter removes every entry younger than id from the machine:
 // fetch queue entries, then ROB entries youngest-first (unwinding predictor
 // history, rename state, LSQ occupancy, and gating counts).
+//
+//bp:hotpath
 func (s *Sim) squashAfter(id int64) {
 	// The entire fetch queue is younger than any ROB entry.
 	for i := s.fqLen - 1; i >= 0; i-- {
@@ -271,9 +286,11 @@ func (s *Sim) squashAfter(id int64) {
 
 // unfetch undoes the speculative front-end effects of a fetched entry:
 // predictor history and gating accounting.
+//
+//bp:hotpath
 func (s *Sim) unfetch(e *robEntry) {
 	if e.hasPred {
-		s.pred.Unwind(&e.pred)
+		s.predFn.Unwind(&e.pred)
 	}
 	if e.isCond && !e.resolved {
 		s.gate.OnRemoveBranch(!e.lowConf)
@@ -283,6 +300,8 @@ func (s *Sim) unfetch(e *robEntry) {
 // commit retires up to CommitWidth completed instructions from the head of
 // the RUU in program order, training the predictor and BTB and performing
 // store writes.
+//
+//bp:hotpath
 func (s *Sim) commit() {
 	n := 0
 	for n < s.cfg.CommitWidth && s.robCount() > 0 {
@@ -304,7 +323,7 @@ func (s *Sim) commit() {
 			s.pw.dtlbUnit.Read(1)
 		}
 		if e.isCond {
-			s.pred.Update(&e.pred, e.actualTaken)
+			s.predFn.Update(&e.pred, e.actualTaken)
 			for _, u := range s.pw.predTables {
 				u.Write(1)
 			}

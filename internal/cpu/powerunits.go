@@ -93,6 +93,7 @@ func (s *Sim) frontendSpec() frontend.Spec {
 func (s *Sim) buildPowerModel() error {
 	m := power.NewMeter(s.cfg.CycleSeconds())
 	m.Style = s.opt.ClockGating
+	m.Accounting = s.opt.Accounting
 	s.meter = m
 
 	built, err := frontend.NewRegistry().Build(s.frontendSpec(), m)

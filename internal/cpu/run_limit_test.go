@@ -1,0 +1,74 @@
+package cpu
+
+import (
+	"testing"
+
+	"bpredpower/internal/config"
+	"bpredpower/internal/workload"
+)
+
+func TestCycleBudgetSaturates(t *testing.T) {
+	const maxU = ^uint64(0)
+	cases := []struct {
+		cur, n, want uint64
+	}{
+		{0, 100, 100*400 + 10000},
+		{5000, 200_000_000, 5000 + 200_000_000*400 + 10000},
+		{0, maxU, maxU},              // n*400 would wrap
+		{maxU - 5, 1, maxU},          // cur + ... would wrap
+		{maxU / 2, maxU / 500, maxU}, // sum wraps even though product fits
+		{123, 0, 123 + 10000},        // zero instructions still get the floor
+	}
+	for _, c := range cases {
+		if got := cycleBudget(c.cur, c.n); got != c.want {
+			t.Errorf("cycleBudget(%d, %d) = %d, want %d", c.cur, c.n, got, c.want)
+		}
+	}
+}
+
+// A machine that cannot make progress fast enough must stop at the safety
+// limit AND say so: a main-memory latency larger than the whole cycle budget
+// stalls the first instruction fetch past the limit.
+func TestRunRecordsCycleLimitHit(t *testing.T) {
+	bench, err := workload.ByName("164.gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.Default()
+	cfg.MemLatency = 1_000_000 // first I-cache miss outlasts the budget
+	sim := MustNew(bench.Program(), Options{Config: cfg})
+
+	sim.Run(1) // budget: 1*400 + 10000 cycles
+	st := sim.Stats()
+	if st.Committed != 0 {
+		t.Fatalf("expected no commits under a %d-cycle memory, got %d", cfg.MemLatency, st.Committed)
+	}
+	if !st.CycleLimitHit {
+		t.Fatal("Run truncated at the cycle limit without setting Stats.CycleLimitHit")
+	}
+}
+
+// A normal run must complete exactly and leave the flag clear, and the flag
+// must stay clear across subsequent Run calls and ResetMeasurement.
+func TestRunCompletesWithoutLimitFlag(t *testing.T) {
+	bench, err := workload.ByName("164.gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := MustNew(bench.Program(), Options{})
+	sim.Run(5000)
+	if st := sim.Stats(); st.CycleLimitHit {
+		t.Fatal("CycleLimitHit set on a healthy run")
+	}
+	// Run stops at the first cycle boundary past the target, so it may
+	// overshoot by at most one commit group (deterministically).
+	over := uint64(sim.Config().CommitWidth - 1)
+	if got := sim.Stats().Committed; got < 5000 || got > 5000+over {
+		t.Fatalf("Committed = %d, want 5000..%d", got, 5000+over)
+	}
+	sim.ResetMeasurement()
+	sim.Run(5000)
+	if st := sim.Stats(); st.CycleLimitHit || st.Committed < 5000 || st.Committed > 5000+over {
+		t.Fatalf("after reset: CycleLimitHit=%v Committed=%d, want false/5000..%d", st.CycleLimitHit, st.Committed, 5000+over)
+	}
+}

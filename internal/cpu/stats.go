@@ -35,6 +35,11 @@ type Stats struct {
 	// LowConfFetched counts fetched low-confidence branches.
 	GatedCycles, LowConfFetched uint64
 
+	// CycleLimitHit records that Run stopped at its safety cycle limit
+	// before reaching the requested instruction count: the run is truncated
+	// and its statistics cover fewer instructions than asked for.
+	CycleLimitHit bool
+
 	// Inter-branch distance accounting over the committed path (Figure 14).
 	condDistSum, condDistN  uint64
 	condDistGT10            uint64

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"bpredpower/internal/bpred"
+	"bpredpower/internal/config"
+	"bpredpower/internal/cpu"
+	"bpredpower/internal/power"
+	"bpredpower/internal/workload"
+)
+
+// The deferred accounting kernel must reproduce the eager per-cycle
+// reference bit-for-bit at the figure level, for all four gating styles:
+// every float in the Run rows — energies, powers, EDP — must be identical,
+// and the cross-check mode (which asserts agreement internally every read)
+// must complete without panicking.
+func TestAccountingEquivalenceAcrossGatingStyles(t *testing.T) {
+	bench, err := workload.ByName("164.gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := RunConfig{WarmupInsts: 4000, MeasureInsts: 8000}
+	for _, style := range []power.GatingStyle{power.CC0, power.CC1, power.CC2, power.CC3} {
+		t.Run(style.String(), func(t *testing.T) {
+			runWith := func(mode power.AccountingMode) Run {
+				h := NewHarness(rc)
+				h.Parallel = 1
+				r := h.Simulate(bench, cpu.Options{
+					Predictor:   bpred.Hybrid1,
+					ClockGating: style,
+					Accounting:  mode,
+				})
+				if err := h.Err(); err != nil {
+					t.Fatalf("mode %s: %v", mode, err)
+				}
+				// Machine labels differ by the accounting suffix (display
+				// only); blank it so the struct comparison sees physics only.
+				r.Machine = ""
+				return r
+			}
+			deferred := runWith(power.AccountDeferred)
+			eager := runWith(power.AccountPerCycle)
+			cross := runWith(power.AccountCrossCheck)
+			if deferred != eager {
+				t.Errorf("deferred and per-cycle accounting diverged:\n deferred: %+v\n percycle: %+v", deferred, eager)
+			}
+			if deferred != cross {
+				t.Errorf("deferred and cross-check accounting diverged:\n deferred: %+v\n crosscheck: %+v", deferred, cross)
+			}
+		})
+	}
+}
+
+// A run that hits the cycle safety limit must surface as a harness error,
+// not as a silently short Run.
+func TestSimulateSurfacesCycleLimit(t *testing.T) {
+	bench, err := workload.ByName("164.gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.Default()
+	cfg.MemLatency = 1_000_000
+	h := NewHarness(RunConfig{WarmupInsts: 10, MeasureInsts: 10})
+	h.Parallel = 1
+	r := h.Simulate(bench, cpu.Options{Config: cfg})
+	if err := h.Err(); err == nil {
+		t.Fatalf("expected a cycle-limit error, got none (run: %+v)", r)
+	} else if want := "cycle safety limit"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not mention %q", err, want)
+	}
+	if r != (Run{}) {
+		t.Errorf("limit-hit Simulate returned a non-zero Run: %+v", r)
+	}
+}

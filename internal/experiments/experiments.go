@@ -352,6 +352,9 @@ func machineLabel(opt cpu.Options) string {
 	if opt.ClockGating != power.CC3 {
 		l += "+" + opt.ClockGating.String()
 	}
+	if opt.Accounting != power.AccountDeferred {
+		l += "+" + opt.Accounting.String()
+	}
 	return l
 }
 
@@ -392,6 +395,9 @@ func simulateCtx(ctx context.Context, p *program.Program, b workload.Benchmark, 
 	}
 	sim := cpu.MustNew(p, opt)
 	sim.Run(rc.WarmupInsts)
+	if st := sim.Stats(); st.CycleLimitHit {
+		return Run{}, fmt.Errorf("experiments: %s on %s: warm-up hit the cycle safety limit after %d of %d instructions", b.Name, machineLabel(opt), st.Committed, rc.WarmupInsts)
+	}
 	if err := ctx.Err(); err != nil {
 		return Run{}, err
 	}
@@ -399,6 +405,9 @@ func simulateCtx(ctx context.Context, p *program.Program, b workload.Benchmark, 
 	sim.Run(rc.MeasureInsts)
 
 	st := sim.Stats()
+	if st.CycleLimitHit {
+		return Run{}, fmt.Errorf("experiments: %s on %s: measurement hit the cycle safety limit after %d of %d instructions", b.Name, machineLabel(opt), st.Committed, rc.MeasureInsts)
+	}
 	m := sim.Meter()
 	return Run{
 		Benchmark:     b.Name,

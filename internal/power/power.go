@@ -117,6 +117,50 @@ func (g GatingStyle) String() string {
 // fraction of maximum power.
 const IdleFraction = 0.10
 
+// AccountingMode selects how per-cycle activity is folded into energy.
+//
+// The simulator's hot loop only ever increments integer activity counters;
+// turning those counts into joules is a pure function of the counters (the
+// closed form in Unit.activeEnergy and Meter.clockClosedForm). The mode
+// decides *when* that fold runs:
+//
+//   - AccountDeferred (default) folds once, lazily, at read time
+//     (Energy/TotalEnergy/Breakdown) — EndCycle is integer-only, the
+//     kernelized fast path.
+//   - AccountPerCycle folds eagerly every cycle, so each unit's energy (and
+//     the clock tree's) is current after every EndCycle — the reference
+//     accounting, O(all units) per cycle.
+//   - AccountCrossCheck runs both: the eager fold of AccountPerCycle plus,
+//     at every read, the deferred fold — and panics unless the two agree
+//     bit-for-bit. Both evaluate the same closed form over the same
+//     integers, so any divergence means the counter bookkeeping or the lazy
+//     idle/clock accounting drifted.
+type AccountingMode uint8
+
+const (
+	// AccountDeferred is the integer-counter kernel: energy is computed in
+	// closed form only when read.
+	AccountDeferred AccountingMode = iota
+	// AccountPerCycle eagerly folds energy every cycle (reference mode).
+	AccountPerCycle
+	// AccountCrossCheck runs both accountings and asserts exact agreement.
+	AccountCrossCheck
+)
+
+var accountingNames = [...]string{
+	AccountDeferred:   "deferred",
+	AccountPerCycle:   "percycle",
+	AccountCrossCheck: "crosscheck",
+}
+
+// String returns the mode name.
+func (a AccountingMode) String() string {
+	if int(a) < len(accountingNames) {
+		return accountingNames[a]
+	}
+	return fmt.Sprintf("accounting(%d)", uint8(a))
+}
+
 // Unit is one power-accounted structure.
 type Unit struct {
 	// Name identifies the unit ("bpred.pht", "il1", "ialu", ...).
@@ -136,13 +180,17 @@ type Unit struct {
 	reads, writes, partials uint64 // activity in the current cycle
 	touched                 bool   // on the meter's active list this cycle
 
-	// energy accumulates active-cycle energy only. Idle-cycle energy (the
-	// cc3 10% floor, or full maximum under cc0) is a per-cycle constant, so
-	// it is applied lazily in Energy() as idleRate * idleCycles instead of
-	// being folded unit-by-unit every cycle.
-	energy                  float64
-	activeCycles            uint64
-	totalReads, totalWrites uint64
+	// Lifetime activity. These integers are the unit's entire accounting
+	// state: active-cycle energy is their closed-form fold (activeEnergy),
+	// and idle-cycle energy (the cc3 10% floor, or full maximum under cc0)
+	// is a per-cycle constant applied as idleRate * idleCycles at read time.
+	activeCycles                           uint64
+	totalReads, totalWrites, totalPartials uint64
+
+	// energy is the eagerly folded active-cycle energy, maintained only
+	// under AccountPerCycle / AccountCrossCheck (it equals
+	// activeEnergy() after every EndCycle). AccountDeferred never touches it.
+	energy float64
 }
 
 // maxCycleEnergy is the energy the unit would burn with all ports active.
@@ -200,10 +248,49 @@ func (u *Unit) idleRate() float64 {
 	}
 }
 
+// activeEnergy is the closed-form fold of the unit's lifetime activity
+// counters into active-cycle energy. The evaluation order is fixed —
+// (reads·ERead + writes·EWrite) + partials·EPartial — so the eager and
+// deferred accountings, which both call this on identical integers, agree
+// bit-for-bit.
+func (u *Unit) activeEnergy() float64 {
+	if u.meter == nil {
+		return 0
+	}
+	switch u.meter.Style {
+	case CC0, CC1:
+		return float64(u.activeCycles) * u.maxE
+	default: // CC2, CC3
+		return float64(u.totalReads)*u.ERead + float64(u.totalWrites)*u.EWrite + float64(u.totalPartials)*u.EPartial
+	}
+}
+
+// foldedEnergy returns active-cycle energy under the owning meter's
+// accounting mode: the eager value under AccountPerCycle, the deferred
+// closed form otherwise, and both (asserted identical) under
+// AccountCrossCheck.
+func (u *Unit) foldedEnergy() float64 {
+	if u.meter == nil {
+		return 0
+	}
+	switch u.meter.Accounting {
+	case AccountPerCycle:
+		return u.energy
+	case AccountCrossCheck:
+		closed := u.activeEnergy()
+		if closed != u.energy {
+			panic(fmt.Sprintf("power: accounting cross-check failed for unit %q: deferred %v != per-cycle %v", u.Name, closed, u.energy))
+		}
+		return closed
+	default:
+		return u.activeEnergy()
+	}
+}
+
 // Energy returns the unit's accumulated energy in joules, including the
 // lazily-accounted idle-cycle floor.
 func (u *Unit) Energy() float64 {
-	e := u.energy
+	e := u.foldedEnergy()
 	if u.meter != nil {
 		if idle := u.idleRate(); idle != 0 {
 			e += idle * float64(u.meter.cycles-u.activeCycles)
@@ -250,6 +337,9 @@ type Meter struct {
 	ClockBaseFraction, ClockActivityFraction float64
 	// Style is the conditional-clocking model (default CC3, the paper's).
 	Style GatingStyle
+	// Accounting selects when activity counters are folded into energy
+	// (default AccountDeferred, the integer-only EndCycle kernel).
+	Accounting AccountingMode
 
 	units  []*Unit
 	byName map[string]*Unit
@@ -260,8 +350,13 @@ type Meter struct {
 	active []*Unit
 
 	cycles      uint64
-	clockEnergy float64
 	maxPerCycle float64 // cached sum of unit max energies
+
+	// clockEnergy is the eagerly folded clock-tree energy, maintained only
+	// under AccountPerCycle / AccountCrossCheck (it equals clockClosedForm()
+	// after every EndCycle). AccountDeferred computes the closed form at
+	// read time instead.
+	clockEnergy float64
 }
 
 // NewMeter builds a Meter for the given clock period.
@@ -311,34 +406,70 @@ func (m *Meter) idlePerCycle() float64 {
 	}
 }
 
-// EndCycle folds the cycle's activity into accumulated energy and resets the
-// per-cycle counters. Only the units actually accessed this cycle (the dense
+// EndCycle folds the cycle's activity into the lifetime counters and resets
+// the per-cycle state. Only the units actually accessed this cycle (the dense
 // active list built by Read/Write/Partial) are visited; idle units are
 // covered by the precomputed idle-floor constant and accounted lazily in
 // Unit.Energy.
+//
+// Under AccountDeferred (the default) this is integer-only: no float math
+// runs in the simulator hot loop, and energy is recovered in closed form at
+// read time. The other modes additionally refresh the eager folds.
+//
+//bp:hotpath
 func (m *Meter) EndCycle() {
-	// Start from the all-idle constant and swap each active unit's idle
-	// share for its real access energy.
-	switched := m.idlePerCycle()
 	for _, u := range m.active {
-		var e float64
-		switch m.Style {
-		case CC0, CC1:
-			e = u.maxE
-		default: // CC2, CC3
-			e = float64(u.reads)*u.ERead + float64(u.writes)*u.EWrite + float64(u.partials)*u.EPartial
-		}
-		u.energy += e
-		switched += e - u.idleRate()
 		u.activeCycles++
 		u.totalReads += u.reads
 		u.totalWrites += u.writes
+		u.totalPartials += u.partials
 		u.reads, u.writes, u.partials = 0, 0, 0
 		u.touched = false
 	}
 	m.active = m.active[:0]
-	m.clockEnergy += m.ClockBaseFraction*m.maxPerCycle + m.ClockActivityFraction*switched
 	m.cycles++
+	if m.Accounting != AccountDeferred {
+		// Reference accounting: eagerly recompute, every cycle, exactly the
+		// folds the deferred mode produces at read time. O(all units) per
+		// cycle — the point of AccountDeferred is to skip this.
+		for _, u := range m.units {
+			u.energy = u.activeEnergy()
+		}
+		m.clockEnergy = m.clockClosedForm()
+	}
+}
+
+// clockClosedForm folds the lifetime counters into clock-tree energy:
+// a base term proportional to registered capacity and elapsed cycles, plus
+// an activity term proportional to total switched energy. The switched total
+// starts from the all-idle constant per cycle and swaps each unit's idle
+// share for its real access energy over its active cycles; units are visited
+// in registration order so the fold is deterministic.
+func (m *Meter) clockClosedForm() float64 {
+	switched := float64(m.cycles) * m.idlePerCycle()
+	for _, u := range m.units {
+		switched += u.activeEnergy() - u.idleRate()*float64(u.activeCycles)
+	}
+	return m.ClockBaseFraction*m.maxPerCycle*float64(m.cycles) + m.ClockActivityFraction*switched
+}
+
+// ClockEnergy returns the clock tree's accumulated energy in joules under
+// the meter's accounting mode: the eager value under AccountPerCycle, the
+// deferred closed form otherwise, and both (asserted identical) under
+// AccountCrossCheck.
+func (m *Meter) ClockEnergy() float64 {
+	switch m.Accounting {
+	case AccountPerCycle:
+		return m.clockEnergy
+	case AccountCrossCheck:
+		closed := m.clockClosedForm()
+		if closed != m.clockEnergy {
+			panic(fmt.Sprintf("power: accounting cross-check failed for clock tree: deferred %v != per-cycle %v", closed, m.clockEnergy))
+		}
+		return closed
+	default:
+		return m.clockClosedForm()
+	}
 }
 
 // Cycles returns the number of accounted cycles.
@@ -346,7 +477,7 @@ func (m *Meter) Cycles() uint64 { return m.cycles }
 
 // TotalEnergy returns the total energy in joules, including the clock tree.
 func (m *Meter) TotalEnergy() float64 {
-	e := m.clockEnergy
+	e := m.ClockEnergy()
 	for _, u := range m.units {
 		e += u.Energy()
 	}
@@ -357,7 +488,7 @@ func (m *Meter) TotalEnergy() float64 {
 // to the clock tree).
 func (m *Meter) GroupEnergy(g Group) float64 {
 	if g == GroupClock {
-		return m.clockEnergy
+		return m.ClockEnergy()
 	}
 	var e float64
 	for _, u := range m.units {
@@ -411,7 +542,7 @@ func (m *Meter) Reset() {
 		u.energy = 0
 		u.activeCycles = 0
 		u.reads, u.writes, u.partials = 0, 0, 0
-		u.totalReads, u.totalWrites = 0, 0
+		u.totalReads, u.totalWrites, u.totalPartials = 0, 0, 0
 		u.touched = false
 	}
 	m.active = m.active[:0]
@@ -423,7 +554,7 @@ func (m *Meter) Reset() {
 // "clock" included. Callers that print or accumulate order-sensitively must
 // use BreakdownSorted instead: map iteration order is randomized.
 func (m *Meter) Breakdown() map[string]float64 {
-	out := map[string]float64{"clock": m.clockEnergy}
+	out := map[string]float64{"clock": m.ClockEnergy()}
 	for _, u := range m.units {
 		out[u.Group.String()] += u.Energy()
 	}
@@ -448,7 +579,7 @@ func (m *Meter) BreakdownSorted() []GroupEnergyRow {
 		energies[u.Group] += u.Energy()
 		present[u.Group] = true
 	}
-	energies[GroupClock] = m.clockEnergy
+	energies[GroupClock] = m.ClockEnergy()
 	present[GroupClock] = true
 	rows := make([]GroupEnergyRow, 0, numGroups)
 	for g := Group(0); g < numGroups; g++ {

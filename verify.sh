@@ -37,10 +37,27 @@ if [ -z "$svc_cov" ] || ! awk "BEGIN{exit !($svc_cov >= 70)}"; then
 fi
 echo "service coverage: ${svc_cov}% (floor 70%)"
 
-# Determinism smoke: the full quick figure set must be byte-identical no
-# matter how many simulation workers run it.
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
+
+# Bench smoke: the hot-loop microbenchmarks must run (and stay allocation-
+# free in the throughput loop) even at a token iteration count.
+go test -run '^$' -bench 'BenchmarkSimulatorThroughput$|BenchmarkSimulatorStep$|BenchmarkMeterEndCycle' -benchtime 100x .
+
+# Performance gate: rerun the microbenchmarks and compare against the
+# committed baseline; fail on >25% ns/op regressions or new allocations.
+go run ./cmd/bpbench -skip-figures -o "$tmp/bench.json" -compare BENCH_results.json -threshold 0.25
+
+# Figure-output byte identity: regenerating the full experiment suite must
+# reproduce the committed experiments_output.txt exactly — the accounting
+# kernel, predictor devirtualization, and any future hot-loop work must
+# never change a reported number.
+go run ./cmd/bpexperiments -parallel "$(nproc)" > "$tmp/experiments_output.txt"
+diff "$tmp/experiments_output.txt" experiments_output.txt
+echo "experiments output: byte-identical to committed experiments_output.txt"
+
+# Determinism smoke: the full quick figure set must be byte-identical no
+# matter how many simulation workers run it.
 go run ./cmd/bpexperiments -quick -warmup 4000 -measure 8000 -parallel 1 > "$tmp/serial.txt"
 go run ./cmd/bpexperiments -quick -warmup 4000 -measure 8000 -parallel 4 > "$tmp/parallel.txt"
 diff "$tmp/serial.txt" "$tmp/parallel.txt"

@@ -1,17 +1,28 @@
 // Command bplint runs the simulator's invariant-checking analyzer suite
-// (internal/analysis: determinism, statsafety, specrepair, unitdiscipline,
-// unitsource, hotpath) plus a few standard go vet passes over the module.
+// (internal/analysis: determinism, statsafety, specrepair, dimcheck,
+// unitdiscipline, unitsource, hotpath, hotreach, allowhygiene) plus a few
+// standard go vet passes over the module.
 //
 // Usage:
 //
 //	go run ./cmd/bplint ./...         # lint the whole module
 //	go run ./cmd/bplint ./internal/cpu
+//	go run ./cmd/bplint -json ./...   # machine-readable diagnostics
+//	go run ./cmd/bplint -allowances   # audit all //bplint:allow suppressions
 //
 // The binary is a go/analysis unitchecker: invoked with package patterns it
 // re-executes itself through "go vet -vettool", which hands it one
 // type-checked package at a time, so the analyzers see exactly what the
-// compiler sees. Individual analyzers can be toggled with the usual vet
-// flags, e.g. -determinism=false.
+// compiler sees (and fact files flow between packages, which dimcheck and
+// hotreach rely on). Individual analyzers can be toggled with the usual vet
+// flags, e.g. -determinism=false. With -json, diagnostics are emitted as
+// the vet JSON schema: one object per package keyed by analyzer name, each
+// diagnostic carrying posn and message fields.
+//
+// -allowances prints every //bplint:allow in the module (outside vendor and
+// testdata) as "file:line: key -- reason", the format committed to
+// lint_allowances.txt; verify.sh regenerates and diffs that file so new
+// suppressions are visible in review.
 package main
 
 import (
@@ -30,7 +41,7 @@ import (
 	bplint "bpredpower/internal/analysis"
 )
 
-// suite is the full analyzer set: the six simulator invariants plus
+// suite is the full analyzer set: the nine simulator invariants plus
 // standard vet passes that matter for accounting code (atomic misuse, buggy
 // boolean conditions, always-nil func comparisons, unreachable code).
 func suite() []*analysis.Analyzer {
@@ -38,9 +49,12 @@ func suite() []*analysis.Analyzer {
 		bplint.Determinism,
 		bplint.StatSafety,
 		bplint.SpecRepair,
+		bplint.DimCheck,
 		bplint.UnitDiscipline,
 		bplint.UnitSource,
 		bplint.Hotpath,
+		bplint.HotReach,
+		bplint.AllowHygiene,
 		atomic.Analyzer,
 		bools.Analyzer,
 		nilfunc.Analyzer,
@@ -54,18 +68,32 @@ func main() {
 		unitchecker.Main(suite()...) // never returns
 	}
 
+	if len(args) > 0 && args[0] == "-allowances" {
+		printAllowances()
+		return
+	}
+
 	// Driver mode: re-exec through go vet so the toolchain loads, builds,
-	// and type-checks packages for us (the unitchecker protocol).
+	// and type-checks packages for us (the unitchecker protocol). Leading
+	// flags (-json, -determinism=false, ...) are forwarded to go vet, which
+	// relays them to the tool.
 	exe, err := os.Executable()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bplint: %v\n", err)
 		os.Exit(1)
 	}
-	patterns := args
+	var flags, patterns []string
+	rest := args
+	for len(rest) > 0 && strings.HasPrefix(rest[0], "-") {
+		flags = append(flags, rest[0])
+		rest = rest[1:]
+	}
+	patterns = rest
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	vetArgs := append([]string{"vet", "-vettool=" + exe}, flags...)
+	cmd := exec.Command("go", append(vetArgs, patterns...)...)
 	cmd.Stdout = os.Stdout
 	cmd.Stderr = os.Stderr
 	cmd.Stdin = os.Stdin
@@ -75,6 +103,18 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "bplint: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// printAllowances writes the module's suppression audit to stdout.
+func printAllowances() {
+	allowances, err := bplint.ScanAllowances(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bplint: %v\n", err)
+		os.Exit(1)
+	}
+	for _, a := range allowances {
+		fmt.Println(a)
 	}
 }
 

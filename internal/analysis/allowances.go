@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Allowance is one //bplint:allow suppression found in the tree: the audit
+// record committed as lint_allowances.txt.
+type Allowance struct {
+	File   string // slash-separated path relative to the scan root
+	Line   int
+	Key    string
+	Reason string
+}
+
+func (a Allowance) String() string {
+	reason := a.Reason
+	if reason == "" {
+		reason = "(no reason — allowhygiene violation)"
+	}
+	return fmt.Sprintf("%s:%d: %s -- %s", a.File, a.Line, a.Key, reason)
+}
+
+// ScanAllowances parses every non-vendored .go file under root and returns
+// its suppression comments, sorted by file then line. It parses rather than
+// greps so string literals *mentioning* the marker (the analyzers' own
+// diagnostic texts, testdata fixtures embedded as strings) are not counted;
+// testdata trees are skipped because their allows exercise the analyzers
+// rather than suppress real findings.
+func ScanAllowances(root string) ([]Allowance, error) {
+	var out []Allowance
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (name == "vendor" || name == "testdata" || strings.HasPrefix(name, ".")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("scanning allowances: %w", err)
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			rel = path
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				key, reason, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				out = append(out, Allowance{
+					File:   filepath.ToSlash(rel),
+					Line:   fset.Position(c.Pos()).Line,
+					Key:    key,
+					Reason: reason,
+				})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out, nil
+}

@@ -1,8 +1,13 @@
 package analysis_test
 
 import (
+	"os"
 	"path/filepath"
+	"regexp"
+	"strings"
 	"testing"
+
+	"golang.org/x/tools/go/analysis"
 
 	bplint "bpredpower/internal/analysis"
 	"bpredpower/internal/analysis/analyzertest"
@@ -37,4 +42,115 @@ func TestHotpath(t *testing.T) {
 
 func TestUnitSourceAllowedPackage(t *testing.T) {
 	analyzertest.Run(t, bplint.UnitSource, filepath.Join("testdata", "src", "unitsource_frontend"))
+}
+
+func TestDimCheck(t *testing.T) {
+	analyzertest.Run(t, bplint.DimCheck, filepath.Join("testdata", "src", "dimcheck"))
+}
+
+func TestHotReach(t *testing.T) {
+	analyzertest.Run(t, bplint.HotReach, filepath.Join("testdata", "src", "hotreach"))
+}
+
+func TestAllowHygiene(t *testing.T) {
+	analyzertest.Run(t, bplint.AllowHygiene, filepath.Join("testdata", "src", "allowhygiene"))
+}
+
+// The fact-propagation fixtures split annotations and uses across two
+// packages: every expectation in the "use" halves is only reachable if the
+// "dep" halves' annotations arrive as serialized analysis facts.
+
+func TestDimCheckCrossPackageFacts(t *testing.T) {
+	analyzertest.RunPackages(t, bplint.DimCheck, filepath.Join("testdata", "src"),
+		"dimfact/dep", "dimfact/use")
+}
+
+func TestHotReachCrossPackageFacts(t *testing.T) {
+	analyzertest.RunPackages(t, bplint.HotReach, filepath.Join("testdata", "src"),
+		"hotfact/dep", "hotfact/use")
+}
+
+// moduleRoot locates the repository for mutation tests that type-check real
+// packages.
+var moduleRoot = filepath.Join("..", "..")
+
+// mutatePower returns an overlay with one seeded defect in
+// internal/power/power.go, failing loudly if the anchor text has drifted.
+func mutatePower(t *testing.T, orig, mutated string) map[string]string {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("..", "power", "power.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), orig) {
+		t.Fatalf("internal/power/power.go no longer contains %q; update the mutation anchor", orig)
+	}
+	return map[string]string{"internal/power/power.go": strings.Replace(string(src), orig, mutated, 1)}
+}
+
+// assertDiagnostic fails unless some diagnostic matches pattern.
+func assertDiagnostic(t *testing.T, diags []analysis.Diagnostic, pattern string) {
+	t.Helper()
+	rx := regexp.MustCompile(pattern)
+	for _, d := range diags {
+		if rx.MatchString(d.Message) {
+			return
+		}
+	}
+	t.Errorf("no diagnostic matching %q; got %d diagnostics:", pattern, len(diags))
+	for _, d := range diags {
+		t.Errorf("  %s", d.Message)
+	}
+}
+
+// TestDimCheckCleanOnRealPower pins the baseline the mutation tests depend
+// on: the real, annotated power package carries no dimension diagnostics.
+func TestDimCheckCleanOnRealPower(t *testing.T) {
+	diags := analyzertest.ModuleDiagnostics(t, bplint.DimCheck, "bpredpower", moduleRoot, nil, "bpredpower/internal/power")
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic on unmutated internal/power: %s", d.Message)
+	}
+}
+
+// TestDimCheckCatchesEnergyPowerSwap seeds the classic accounting bug —
+// multiplying energy by time where it must be divided — into the real
+// AveragePower and proves dimcheck rejects it.
+func TestDimCheckCatchesEnergyPowerSwap(t *testing.T) {
+	overlay := mutatePower(t,
+		"return m.TotalEnergy() / m.Seconds()",
+		"return m.TotalEnergy() * m.Seconds()")
+	diags := analyzertest.ModuleDiagnostics(t, bplint.DimCheck, "bpredpower", moduleRoot, overlay, "bpredpower/internal/power")
+	assertDiagnostic(t, diags, `result 1 has dimension W but is assigned a J\*s expression`)
+}
+
+// TestHotReachCatchesHotPathAllocation strips the documented suppression
+// from the one sanctioned hot-path append and proves hotreach reports the
+// allocation.
+func TestHotReachCatchesHotPathAllocation(t *testing.T) {
+	overlay := mutatePower(t,
+		"u.meter.active = append(u.meter.active, u) //bplint:allow hotreach -- capacity preallocated in Add for all registered units; never grows",
+		"u.meter.active = append(u.meter.active, u)")
+	diags := analyzertest.ModuleDiagnostics(t, bplint.HotReach, "bpredpower", moduleRoot, overlay, "bpredpower/internal/power")
+	assertDiagnostic(t, diags, `append in hot-path function touch can grow its backing array`)
+}
+
+// TestScanAllowances checks the audit scanner extracts key, line, and
+// reason (including flagging the missing one) from a fixture tree.
+func TestScanAllowances(t *testing.T) {
+	got, err := bplint.ScanAllowances(filepath.Join("testdata", "src", "allowhygiene"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("want 2 allowances, got %d: %v", len(got), got)
+	}
+	if got[0].Key != "wallclock" || got[0].Reason != "fixture: documented reason" {
+		t.Errorf("documented allowance parsed as %+v", got[0])
+	}
+	if got[1].Reason != "" || !strings.Contains(got[1].String(), "allowhygiene violation") {
+		t.Errorf("bare allowance parsed as %+v (%s)", got[1], got[1].String())
+	}
+	if got[0].Line >= got[1].Line {
+		t.Errorf("allowances not sorted by line: %d then %d", got[0].Line, got[1].Line)
+	}
 }

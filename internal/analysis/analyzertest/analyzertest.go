@@ -1,7 +1,7 @@
 // Package analyzertest is a minimal, dependency-free analogue of
-// golang.org/x/tools/go/analysis/analysistest: it type-checks a testdata
-// package from source, runs one analyzer over it, and compares the
-// diagnostics against the fixture's expectations.
+// golang.org/x/tools/go/analysis/analysistest: it type-checks packages from
+// source, runs one analyzer over them, and compares the diagnostics against
+// the fixtures' expectations.
 //
 // Expectations are written analysistest-style, as comments on the line the
 // diagnostic is reported on:
@@ -15,9 +15,25 @@
 // The full analysistest is not vendorable here (it needs go/packages and a
 // driver toolchain); this harness instead type-checks with the stdlib source
 // importer, which resolves the standard-library imports the fixtures use.
+// On top of it the harness adds what the fact-based analyzers (dimcheck,
+// hotreach) need:
+//
+//   - an in-memory object-fact store shared across the packages of one run,
+//     with every exported fact round-tripped through gob exactly as the real
+//     unitchecker driver would serialize it;
+//   - multi-package fixture runs (RunPackages) where fixture packages import
+//     each other by their directory path, so cross-package fact propagation
+//     is exercised for real;
+//   - module-local loading with source overlays (Loader / ModuleDiagnostics),
+//     so mutation tests can type-check a *modified* copy of a real package
+//     like bpredpower/internal/power and assert the analyzer catches the
+//     seeded defect.
 package analyzertest
 
 import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
 	"go/ast"
 	"go/importer"
 	"go/parser"
@@ -25,6 +41,7 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"sort"
 	"strings"
@@ -44,29 +61,123 @@ type expectation struct {
 // wantRE extracts the quoted pattern from a // want comment.
 var wantRE = regexp.MustCompile("// want (`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\")")
 
-// Run type-checks the Go package in dir, applies the analyzer, and reports
-// any mismatch between diagnostics and // want expectations as test errors.
-func Run(t *testing.T, a *analysis.Analyzer, dir string) {
-	t.Helper()
+// Package is one type-checked package the Loader produced.
+type Package struct {
+	// Path is the import path the package was loaded under.
+	Path  string
+	Pkg   *types.Package
+	Files []*ast.File
+	Info  *types.Info
+}
 
-	fset := token.NewFileSet()
+// Loader type-checks fixture and module-local packages from source,
+// resolving imports recursively. Standard-library imports fall through to
+// the stdlib source importer; everything else is looked up first under
+// ModuleRoot (for paths beginning with Module + "/") and then under
+// FixtureRoot (import path = directory path relative to FixtureRoot).
+type Loader struct {
+	// Fset is the file set shared by every package the loader touches.
+	Fset *token.FileSet
+	// Module is the module path prefix resolved against ModuleRoot
+	// (e.g. "bpredpower"). Empty disables module-local loading.
+	Module string
+	// ModuleRoot is the filesystem directory holding Module's go.mod.
+	ModuleRoot string
+	// FixtureRoot is the directory fixture import paths resolve under.
+	FixtureRoot string
+	// Overlay maps a path relative to ModuleRoot (or FixtureRoot) to
+	// replacement source text, substituting for the on-disk file during
+	// loading. This is the mutation-test hook.
+	Overlay map[string]string
+
+	std   types.Importer
+	pkgs  map[string]*Package
+	order []*Package // dependency-first completion order
+}
+
+// NewLoader returns a loader with the given fixture root and no module
+// mapping.
+func NewLoader(fixtureRoot string) *Loader {
+	return &Loader{Fset: token.NewFileSet(), FixtureRoot: fixtureRoot}
+}
+
+// NewModuleLoader returns a loader resolving module-local import paths
+// (module + "/...") against root.
+func NewModuleLoader(module, root string) *Loader {
+	return &Loader{Fset: token.NewFileSet(), Module: module, ModuleRoot: root}
+}
+
+// Import implements types.Importer over fixture, module-local, and stdlib
+// packages.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p.Pkg, nil
+	}
+	if l.Module != "" && strings.HasPrefix(path, l.Module+"/") {
+		rel := strings.TrimPrefix(path, l.Module+"/")
+		p, err := l.load(path, filepath.Join(l.ModuleRoot, filepath.FromSlash(rel)), rel)
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	if l.FixtureRoot != "" {
+		dir := filepath.Join(l.FixtureRoot, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			p, err := l.load(path, dir, path)
+			if err != nil {
+				return nil, err
+			}
+			return p.Pkg, nil
+		}
+	}
+	if l.std == nil {
+		l.std = importer.ForCompiler(l.Fset, "source", nil)
+	}
+	return l.std.Import(path)
+}
+
+// Load type-checks the package at importPath (via the same resolution rules
+// as Import) and returns it.
+func (l *Loader) Load(importPath string) (*Package, error) {
+	if _, err := l.Import(importPath); err != nil {
+		return nil, err
+	}
+	return l.pkgs[importPath], nil
+}
+
+// Loaded returns every fixture/module package loaded so far, dependencies
+// before dependents.
+func (l *Loader) Loaded() []*Package { return l.order }
+
+// load parses and type-checks one directory as import path path, applying
+// any overlay entries (keyed relative to the resolution root).
+func (l *Loader) load(path, dir, relDir string) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		t.Fatalf("reading fixture dir: %v", err)
+		return nil, fmt.Errorf("reading %s: %w", dir, err)
 	}
 	var files []*ast.File
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		full := filepath.Join(dir, name)
+		var src any
+		if l.Overlay != nil {
+			if text, ok := l.Overlay[filepath.ToSlash(filepath.Join(relDir, name))]; ok {
+				src = text
+			}
+		}
+		f, err := parser.ParseFile(l.Fset, full, src, parser.ParseComments)
 		if err != nil {
-			t.Fatalf("parsing %s: %v", e.Name(), err)
+			return nil, fmt.Errorf("parsing %s: %w", full, err)
 		}
 		files = append(files, f)
 	}
 	if len(files) == 0 {
-		t.Fatalf("no Go files in %s", dir)
+		return nil, fmt.Errorf("no Go files in %s", dir)
 	}
 
 	info := &types.Info{
@@ -77,30 +188,111 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 		Implicits:  map[ast.Node]types.Object{},
 		Scopes:     map[ast.Node]*types.Scope{},
 	}
-	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
-	pkg, err := conf.Check(files[0].Name.Name, fset, files, info)
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.Fset, files, info)
 	if err != nil {
-		t.Fatalf("type-checking fixture: %v", err)
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
 	}
+	p := &Package{Path: path, Pkg: pkg, Files: files, Info: info}
+	if l.pkgs == nil {
+		l.pkgs = map[string]*Package{}
+	}
+	l.pkgs[path] = p
+	l.order = append(l.order, p)
+	return p, nil
+}
 
-	var diags []analysis.Diagnostic
+// factStore is the in-memory object-fact universe of one run, standing in
+// for the driver's per-package fact files.
+type factStore struct {
+	obj map[factKey]analysis.Fact
+}
+
+type factKey struct {
+	obj types.Object
+	t   reflect.Type
+}
+
+func newFactStore() *factStore { return &factStore{obj: map[factKey]analysis.Fact{}} }
+
+// export stores a gob round-tripped copy of fact, failing the test if the
+// fact is not serializable — the property the real driver depends on.
+func (s *factStore) export(t *testing.T, obj types.Object, fact analysis.Fact) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(fact); err != nil {
+		t.Fatalf("fact %T is not gob-serializable: %v", fact, err)
+	}
+	out := reflect.New(reflect.TypeOf(fact).Elem()).Interface().(analysis.Fact)
+	if err := gob.NewDecoder(&buf).Decode(out); err != nil {
+		t.Fatalf("fact %T does not gob round-trip: %v", fact, err)
+	}
+	s.obj[factKey{obj, reflect.TypeOf(fact)}] = out
+}
+
+// import_ copies a stored fact into ptr, reporting whether one existed.
+func (s *factStore) import_(obj types.Object, ptr analysis.Fact) bool {
+	f, ok := s.obj[factKey{obj, reflect.TypeOf(ptr)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(f).Elem())
+	return true
+}
+
+// runOn applies a to one loaded package, appending diagnostics via report.
+func runOn(t *testing.T, a *analysis.Analyzer, facts *factStore, p *Package, fset *token.FileSet, report func(analysis.Diagnostic)) {
+	t.Helper()
 	pass := &analysis.Pass{
-		Analyzer:   a,
-		Fset:       fset,
-		Files:      files,
-		Pkg:        pkg,
-		TypesInfo:  info,
-		TypesSizes: types.SizesFor("gc", "amd64"),
-		ResultOf:   map[*analysis.Analyzer]interface{}{},
-		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+		Analyzer:         a,
+		Fset:             fset,
+		Files:            p.Files,
+		Pkg:              p.Pkg,
+		TypesInfo:        p.Info,
+		TypesSizes:       types.SizesFor("gc", "amd64"),
+		ResultOf:         map[*analysis.Analyzer]interface{}{},
+		Report:           report,
+		ExportObjectFact: func(obj types.Object, fact analysis.Fact) { facts.export(t, obj, fact) },
+		ImportObjectFact: facts.import_,
 	}
 	if _, err := a.Run(pass); err != nil {
-		t.Fatalf("running %s: %v", a.Name, err)
+		t.Fatalf("running %s on %s: %v", a.Name, p.Path, err)
+	}
+}
+
+// Run type-checks the single Go package in dir, applies the analyzer, and
+// reports any mismatch between diagnostics and // want expectations as test
+// errors.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	RunPackages(t, a, filepath.Dir(dir), filepath.Base(dir))
+}
+
+// RunPackages type-checks the named fixture packages under fixtureRoot in
+// order (so dependencies come first), runs the analyzer over each with a
+// shared fact store, and compares all diagnostics against the fixtures'
+// // want expectations. Fixture packages import each other by their path
+// relative to fixtureRoot.
+func RunPackages(t *testing.T, a *analysis.Analyzer, fixtureRoot string, paths ...string) {
+	t.Helper()
+	l := NewLoader(fixtureRoot)
+	facts := newFactStore()
+	var diags []analysis.Diagnostic
+	for _, path := range paths {
+		p, err := l.Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runOn(t, a, facts, p, l.Fset, func(d analysis.Diagnostic) { diags = append(diags, d) })
 	}
 
-	expects := collectExpectations(t, fset, files)
+	var files []*ast.File
+	for _, p := range l.Loaded() {
+		files = append(files, p.Files...)
+	}
+	expects := collectExpectations(t, l.Fset, files)
 	for _, d := range diags {
-		pos := fset.Position(d.Pos)
+		pos := l.Fset.Position(d.Pos)
 		var hit *expectation
 		for _, e := range expects {
 			if !e.matched && e.file == pos.Filename && e.line == pos.Line && e.rx.MatchString(d.Message) {
@@ -122,6 +314,31 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.rx)
 		}
 	}
+}
+
+// ModuleDiagnostics type-checks the module-local package target (an import
+// path under module, resolved against moduleRoot) with overlay substituted
+// for the named files, runs the analyzer over every module package loaded
+// (dependencies first, sharing facts), and returns the diagnostics reported
+// against target itself. Overlay keys are module-root-relative slash paths
+// ("internal/power/power.go").
+func ModuleDiagnostics(t *testing.T, a *analysis.Analyzer, module, moduleRoot string, overlay map[string]string, target string) []analysis.Diagnostic {
+	t.Helper()
+	l := NewModuleLoader(module, moduleRoot)
+	l.Overlay = overlay
+	if _, err := l.Load(target); err != nil {
+		t.Fatal(err)
+	}
+	facts := newFactStore()
+	var out []analysis.Diagnostic
+	for _, p := range l.Loaded() {
+		report := func(analysis.Diagnostic) {}
+		if p.Path == target {
+			report = func(d analysis.Diagnostic) { out = append(out, d) }
+		}
+		runOn(t, a, facts, p, l.Fset, report)
+	}
+	return out
 }
 
 // collectExpectations scans every comment for // want patterns.

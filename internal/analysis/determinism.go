@@ -41,6 +41,7 @@ var nondetTimeFuncs = map[string]bool{
 }
 
 func runDeterminism(pass *analysis.Pass) (interface{}, error) {
+	sup := indexSuppressions(pass)
 	for _, file := range pass.Files {
 		if isTestFile(pass, file.Pos()) {
 			continue
@@ -48,7 +49,7 @@ func runDeterminism(pass *analysis.Pass) (interface{}, error) {
 		for _, imp := range file.Imports {
 			path := imp.Path.Value
 			if path == `"math/rand"` || path == `"math/rand/v2"` {
-				if !allowed(pass, file, imp.Pos(), "mathrand") {
+				if !sup.allowed(imp.Pos(), "mathrand") {
 					pass.Reportf(imp.Pos(), "determinism: import of %s in simulation code; use internal/xrand's seeded counter-based hashes so results are a pure function of the program seed", path)
 				}
 			}
@@ -80,17 +81,17 @@ func runDeterminism(pass *analysis.Pass) (interface{}, error) {
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
 				switch n := n.(type) {
 				case *ast.SelectorExpr:
-					if isPkgFunc(pass, n, "time") && nondetTimeFuncs[n.Sel.Name] && !allowed(pass, file, n.Pos(), "wallclock") {
+					if isPkgFunc(pass, n, "time") && nondetTimeFuncs[n.Sel.Name] && !sup.allowed(n.Pos(), "wallclock") {
 						pass.Reportf(n.Pos(), "determinism: time.%s reads the wall clock; simulation code must be a pure function of its inputs (use cycle counts, or //bplint:allow wallclock -- <why this is observability, not simulation>)", n.Sel.Name)
 					}
 				case *ast.RangeStmt:
 					if t := pass.TypesInfo.TypeOf(n.X); t != nil {
-						if _, isMap := t.Underlying().(*types.Map); isMap && !allowed(pass, file, n.Pos(), "maprange") {
+						if _, isMap := t.Underlying().(*types.Map); isMap && !sup.allowed(n.Pos(), "maprange") {
 							pass.Reportf(n.Pos(), "determinism: map iteration order is randomized; sort the keys before ranging (or //bplint:allow maprange -- <why order cannot matter>)")
 						}
 					}
 				case *ast.GoStmt:
-					if !funcHasJoin[fd] && !allowed(pass, file, n.Pos(), "goroutine") {
+					if !funcHasJoin[fd] && !sup.allowed(n.Pos(), "goroutine") {
 						pass.Reportf(n.Pos(), "determinism: goroutine spawned with no Wait-style join in %s; unsynchronized concurrency makes accounting order nondeterministic", fd.Name.Name)
 					}
 				}

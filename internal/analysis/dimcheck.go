@@ -1,0 +1,866 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// DimCheck is the typed units-of-measure analyzer: the replacement for
+// unitdiscipline's name heuristics wherever code carries real annotations.
+//
+// A quantity's dimension is declared with a //bp:unit comment on its
+// declaration — a struct field, a const/var spec, or a function:
+//
+//	ERead float64 //bp:unit J
+//
+//	//bp:unit W
+//	func (m *Meter) AveragePower() float64 { ... }
+//
+//	//bp:unit addr 1
+//	//bp:unit s
+//	func (c Coeffs) Delay(addr uint64) float64 { ... }
+//
+// The grammar is base units J (joules), s (seconds), cycle, inst, the
+// sugar W (= J/s) and Hz (= cycle/s), and 1 (dimensionless), combined with
+// * and / into derived dimensions: J*s (energy-delay), J/inst (EPI),
+// s/cycle (cycle time), 1/cycle (per-cycle rate). On a function, a bare
+// //bp:unit <dim> line annotates the first result; //bp:unit <name> <dim>
+// annotates the parameter or named result called <name> ("return" means the
+// first result).
+//
+// Over annotated code the analyzer runs expression-level dimension
+// inference on the typed AST:
+//
+//   - mul/div combine exponent vectors (J/cycle × cycle = J)
+//   - add, sub, comparisons, assignments, op-assignments, call arguments,
+//     returns, and keyed composite literals require equal dimensions
+//   - untyped literals and len/cap are polymorphic (0 can be 0 J or 0 s;
+//     2*x preserves x's dimension)
+//   - := inference carries dimensions onto locals
+//   - anything unannotated is unknown and exempt: adoption is incremental,
+//     with unitdiscipline's name heuristic as the fallback
+//
+// Annotations propagate across packages as analysis facts, so
+// experiments.Run{BpredPower: m.PredictorPower()} is checked against the
+// annotation on power.Meter.PredictorPower even though they live in
+// different packages. (Facts survive only for objects reachable through
+// export data — i.e. exported ones — which covers every cross-package
+// reference by construction.)
+//
+// Suppress a finding with //bplint:allow dim -- reason.
+var DimCheck = &analysis.Analyzer{
+	Name:      "dimcheck",
+	Doc:       "units-of-measure dataflow: check //bp:unit dimension annotations by expression-level inference",
+	Run:       runDimCheck,
+	FactTypes: []analysis.Fact{(*dimFact)(nil), (*funcDimFact)(nil)},
+}
+
+// Dim is a dimension as an exponent vector over the four base units. The
+// zero value is dimensionless ("1"); W is Dim{J: 1, S: -1}.
+type Dim struct {
+	J, S, Cycle, Inst int8
+}
+
+// baseDims is the unit-expression vocabulary.
+var baseDims = map[string]Dim{
+	"J":     {J: 1},
+	"s":     {S: 1},
+	"cycle": {Cycle: 1},
+	"inst":  {Inst: 1},
+	"W":     {J: 1, S: -1},
+	"Hz":    {Cycle: 1, S: -1},
+	"1":     {},
+}
+
+// mulPow returns d with sign×b folded in (sign −1 divides).
+func (d Dim) mulPow(b Dim, sign int8) Dim {
+	return Dim{d.J + sign*b.J, d.S + sign*b.S, d.Cycle + sign*b.Cycle, d.Inst + sign*b.Inst}
+}
+
+// parseDim parses a unit expression: base units joined by * and /, each
+// operator binding the single following base (left-associative, so
+// J/cycle/s is J per cycle-second).
+func parseDim(expr string) (Dim, bool) {
+	var d Dim
+	sign := int8(1)
+	rest := expr
+	for {
+		i := strings.IndexAny(rest, "*/")
+		tok := rest
+		if i >= 0 {
+			tok = rest[:i]
+		}
+		base, ok := baseDims[tok]
+		if !ok {
+			return Dim{}, false
+		}
+		d = d.mulPow(base, sign)
+		if i < 0 {
+			return d, true
+		}
+		sign = 1
+		if rest[i] == '/' {
+			sign = -1
+		}
+		rest = rest[i+1:]
+	}
+}
+
+// String renders the dimension for diagnostics, preferring the W and Hz
+// sugar and otherwise a num/den form like J*s, J/cycle, 1/cycle.
+func (d Dim) String() string {
+	switch d {
+	case Dim{}:
+		return "1"
+	case Dim{J: 1, S: -1}:
+		return "W"
+	case Dim{Cycle: 1, S: -1}:
+		return "Hz"
+	}
+	part := func(name string, exp int8) string {
+		if exp == 1 {
+			return name
+		}
+		return fmt.Sprintf("%s^%d", name, exp)
+	}
+	var num, den []string
+	for _, b := range []struct {
+		name string
+		exp  int8
+	}{{"J", d.J}, {"s", d.S}, {"cycle", d.Cycle}, {"inst", d.Inst}} {
+		switch {
+		case b.exp > 0:
+			num = append(num, part(b.name, b.exp))
+		case b.exp < 0:
+			den = append(den, part(b.name, -b.exp))
+		}
+	}
+	out := strings.Join(num, "*")
+	if out == "" {
+		out = "1"
+	}
+	if len(den) > 0 {
+		out += "/" + strings.Join(den, "/")
+	}
+	return out
+}
+
+// dimFact attaches a dimension to an exported const, var, or field so
+// other packages see its annotation.
+type dimFact struct{ D Dim }
+
+func (*dimFact) AFact() {}
+
+func (f *dimFact) String() string { return "dim(" + f.D.String() + ")" }
+
+// dimSlot is one parameter or result position of a funcDimFact: Known
+// false means that position is unannotated.
+type dimSlot struct {
+	Known bool
+	D     Dim
+}
+
+// funcDimFact attaches parameter/result dimensions to an exported function
+// or method.
+type funcDimFact struct {
+	Params, Results []dimSlot
+}
+
+func (*funcDimFact) AFact() {}
+
+func (f *funcDimFact) String() string {
+	render := func(slots []dimSlot) string {
+		parts := make([]string, len(slots))
+		for i, s := range slots {
+			parts[i] = "_"
+			if s.Known {
+				parts[i] = s.D.String()
+			}
+		}
+		return strings.Join(parts, ",")
+	}
+	return "dims(" + render(f.Params) + "->" + render(f.Results) + ")"
+}
+
+// unitMarker starts a dimension annotation comment.
+const unitMarker = "bp:unit"
+
+// badAnno records an annotation the index could not apply.
+type badAnno struct {
+	pos token.Pos
+	msg string
+}
+
+// funcDims holds a function's annotated parameter/result dimensions by
+// position (absent index = unannotated).
+type funcDims struct {
+	params, results map[int]Dim
+}
+
+// dimIndex is the per-pass dimension environment: declared annotations,
+// :=-inferred locals, and an import cache for cross-package facts.
+type dimIndex struct {
+	objs   map[types.Object]Dim
+	local  map[types.Object]Dim
+	funcs  map[*types.Func]*funcDims
+	bad    []badAnno
+	noFact map[types.Object]bool // negative import cache
+}
+
+// unitAnno is one parsed //bp:unit line: a target name ("" = default) and
+// the dimension text.
+type unitAnno struct {
+	target, expr string
+	pos          token.Pos
+}
+
+// unitAnnos extracts every //bp:unit line of a comment group.
+func unitAnnos(cgs ...*ast.CommentGroup) []unitAnno {
+	var out []unitAnno
+	for _, cg := range cgs {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimPrefix(text, "/*")
+			text = strings.TrimSpace(text)
+			rest, ok := strings.CutPrefix(text, unitMarker)
+			if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+				continue
+			}
+			fields := strings.Fields(rest)
+			switch len(fields) {
+			case 1:
+				out = append(out, unitAnno{"", fields[0], c.Pos()})
+			case 2:
+				out = append(out, unitAnno{fields[0], fields[1], c.Pos()})
+			default:
+				out = append(out, unitAnno{"", "", c.Pos()}) // malformed; caller reports
+			}
+		}
+	}
+	return out
+}
+
+// buildDimIndex scans the package's declarations for //bp:unit annotations.
+// It never reports; callers that own the diagnostics (dimcheck) report
+// ix.bad, while unitdiscipline builds the index purely to yield to it.
+func buildDimIndex(pass *analysis.Pass) *dimIndex {
+	ix := &dimIndex{
+		objs:   map[types.Object]Dim{},
+		local:  map[types.Object]Dim{},
+		funcs:  map[*types.Func]*funcDims{},
+		noFact: map[types.Object]bool{},
+	}
+	addObj := func(name *ast.Ident, a unitAnno) {
+		d, ok := parseDim(a.expr)
+		if !ok || a.target != "" {
+			ix.bad = append(ix.bad, badAnno{a.pos, fmt.Sprintf("unparseable unit expression %q (grammar: J, W, s, cycle, inst, Hz, 1 joined by * and /)", strings.TrimSpace(a.target+" "+a.expr))})
+			return
+		}
+		if obj := pass.TypesInfo.Defs[name]; obj != nil {
+			ix.objs[obj] = d
+		}
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.ValueSpec:
+						doc := sp.Doc
+						if doc == nil && len(d.Specs) == 1 {
+							doc = d.Doc
+						}
+						for _, a := range unitAnnos(doc, sp.Comment) {
+							for _, name := range sp.Names {
+								addObj(name, a)
+							}
+						}
+					case *ast.TypeSpec:
+						st, ok := sp.Type.(*ast.StructType)
+						if !ok {
+							continue
+						}
+						for _, field := range st.Fields.List {
+							for _, a := range unitAnnos(field.Doc, field.Comment) {
+								for _, name := range field.Names {
+									addObj(name, a)
+								}
+							}
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				ix.addFuncAnnos(pass, d)
+			}
+		}
+	}
+	return ix
+}
+
+// addFuncAnnos resolves a FuncDecl's //bp:unit lines against its signature.
+func (ix *dimIndex) addFuncAnnos(pass *analysis.Pass, fd *ast.FuncDecl) {
+	annos := unitAnnos(fd.Doc)
+	if len(annos) == 0 {
+		return
+	}
+	fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	fdims := &funcDims{params: map[int]Dim{}, results: map[int]Dim{}}
+	for _, a := range annos {
+		d, ok := parseDim(a.expr)
+		if !ok {
+			ix.bad = append(ix.bad, badAnno{a.pos, fmt.Sprintf("unparseable unit expression %q on func %s", a.expr, fd.Name.Name)})
+			continue
+		}
+		switch {
+		case a.target == "" || a.target == "return":
+			if sig.Results().Len() == 0 {
+				ix.bad = append(ix.bad, badAnno{a.pos, fmt.Sprintf("result annotation on func %s, which has no results", fd.Name.Name)})
+				continue
+			}
+			fdims.results[0] = d
+		default:
+			idx, isResult, ok := lookupSigName(sig, a.target)
+			if !ok {
+				ix.bad = append(ix.bad, badAnno{a.pos, fmt.Sprintf("func %s has no parameter or result named %q", fd.Name.Name, a.target)})
+				continue
+			}
+			if isResult {
+				fdims.results[idx] = d
+			} else {
+				fdims.params[idx] = d
+				// Annotated parameters also bind their local object so
+				// uses inside the body are checked.
+				if v := sig.Params().At(idx); v != nil {
+					ix.objs[v] = d
+				}
+			}
+		}
+	}
+	ix.funcs[fn] = fdims
+}
+
+// lookupSigName finds a parameter or named result position by name.
+func lookupSigName(sig *types.Signature, name string) (idx int, isResult, ok bool) {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i).Name() == name {
+			return i, false, true
+		}
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if sig.Results().At(i).Name() == name {
+			return i, true, true
+		}
+	}
+	return 0, false, false
+}
+
+// objDim resolves an object's dimension: local inference first, then
+// declared annotations, then (cross-package) an imported fact.
+func (ix *dimIndex) objDim(pass *analysis.Pass, obj types.Object) (Dim, bool) {
+	if obj == nil {
+		return Dim{}, false
+	}
+	if d, ok := ix.local[obj]; ok {
+		return d, true
+	}
+	if d, ok := ix.objs[obj]; ok {
+		return d, true
+	}
+	if obj.Pkg() == nil || obj.Pkg() == pass.Pkg || ix.noFact[obj] {
+		return Dim{}, false
+	}
+	var f dimFact
+	if pass.ImportObjectFact(obj, &f) {
+		ix.objs[obj] = f.D
+		return f.D, true
+	}
+	ix.noFact[obj] = true
+	return Dim{}, false
+}
+
+// funcDim resolves a function's annotation set, importing the fact for
+// cross-package callees.
+func (ix *dimIndex) funcDim(pass *analysis.Pass, fn *types.Func) *funcDims {
+	if fd, ok := ix.funcs[fn]; ok {
+		return fd
+	}
+	if fn.Pkg() == nil || fn.Pkg() == pass.Pkg || ix.noFact[fn] {
+		return nil
+	}
+	var f funcDimFact
+	if !pass.ImportObjectFact(fn, &f) {
+		ix.noFact[fn] = true
+		return nil
+	}
+	fd := &funcDims{params: map[int]Dim{}, results: map[int]Dim{}}
+	for i, s := range f.Params {
+		if s.Known {
+			fd.params[i] = s.D
+		}
+	}
+	for i, s := range f.Results {
+		if s.Known {
+			fd.results[i] = s.D
+		}
+	}
+	ix.funcs[fn] = fd
+	return fd
+}
+
+// dimKind is the inference lattice: unknown (unannotated — exempt), poly
+// (untyped literal — matches anything), known (carries a Dim).
+type dimKind uint8
+
+const (
+	dimUnknown dimKind = iota
+	dimPoly
+	dimKnown
+)
+
+// dval is an inferred dimension value.
+type dval struct {
+	d Dim
+	k dimKind
+}
+
+var (
+	unknownVal = dval{}
+	polyVal    = dval{k: dimPoly}
+)
+
+func knownVal(d Dim) dval { return dval{d, dimKnown} }
+
+// dimEval evaluates expression dimensions. The memo both avoids rework and
+// guarantees a mismatching subexpression is reported exactly once however
+// many contexts evaluate it.
+type dimEval struct {
+	pass *analysis.Pass
+	ix   *dimIndex
+	sup  *suppressions
+	memo map[ast.Expr]dval
+}
+
+// mathPoly are math functions whose result dimension is not a linear
+// function of the argument's (logarithms, exponentials, roots): the result
+// is treated as polymorphic, matching the dimensionless-argument idiom the
+// access-time model uses (log2 of a row count, sqrt of an aspect ratio).
+var mathPoly = map[string]bool{
+	"Log": true, "Log2": true, "Log10": true, "Log1p": true,
+	"Exp": true, "Exp2": true, "Pow": true, "Sqrt": true, "Cbrt": true,
+	"Hypot": true, "Atan": true, "Atan2": true, "Tanh": true,
+}
+
+// mathShape are math functions that preserve their first argument's
+// dimension (rounding and sign operations).
+var mathShape = map[string]bool{
+	"Abs": true, "Floor": true, "Ceil": true, "Round": true, "Trunc": true,
+	"Copysign": true, "Mod": true, "Remainder": true,
+}
+
+// mathMerge are math functions whose arguments must share a dimension,
+// which the result keeps.
+var mathMerge = map[string]bool{
+	"Max": true, "Min": true,
+}
+
+func (ev *dimEval) eval(e ast.Expr) dval {
+	if v, ok := ev.memo[e]; ok {
+		return v
+	}
+	v := ev.evalUncached(e)
+	ev.memo[e] = v
+	return v
+}
+
+func (ev *dimEval) evalUncached(e ast.Expr) dval {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return ev.eval(e.X)
+	case *ast.BasicLit:
+		if e.Kind == token.INT || e.Kind == token.FLOAT {
+			return polyVal
+		}
+		return unknownVal
+	case *ast.Ident:
+		if d, ok := ev.ix.objDim(ev.pass, ev.objectOf(e)); ok {
+			return knownVal(d)
+		}
+		return unknownVal
+	case *ast.SelectorExpr:
+		if d, ok := ev.ix.objDim(ev.pass, ev.pass.TypesInfo.Uses[e.Sel]); ok {
+			return knownVal(d)
+		}
+		return unknownVal
+	case *ast.UnaryExpr:
+		if e.Op == token.ADD || e.Op == token.SUB {
+			return ev.eval(e.X)
+		}
+		return unknownVal
+	case *ast.StarExpr:
+		return ev.eval(e.X)
+	case *ast.IndexExpr:
+		// An element of an annotated slice/array/map carries the
+		// container's dimension.
+		return ev.eval(e.X)
+	case *ast.CallExpr:
+		return ev.evalCall(e)
+	case *ast.BinaryExpr:
+		return ev.evalBinary(e)
+	}
+	return unknownVal
+}
+
+func (ev *dimEval) objectOf(id *ast.Ident) types.Object {
+	if obj := ev.pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return ev.pass.TypesInfo.Defs[id]
+}
+
+func (ev *dimEval) evalCall(call *ast.CallExpr) dval {
+	// Conversions (float64(x)) are dimension-transparent.
+	if tv, ok := ev.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return ev.eval(call.Args[0])
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := ev.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			if id.Name == "len" || id.Name == "cap" {
+				return polyVal // counts are bare scalars
+			}
+			return unknownVal
+		}
+	}
+	fn := typeutil.Callee(ev.pass.TypesInfo, call)
+	f, ok := fn.(*types.Func)
+	if !ok {
+		return unknownVal
+	}
+	if f.Pkg() != nil && f.Pkg().Path() == "math" {
+		name := f.Name()
+		switch {
+		case mathPoly[name]:
+			return polyVal
+		case mathShape[name] && len(call.Args) >= 1:
+			return ev.eval(call.Args[0])
+		case mathMerge[name] && len(call.Args) == 2:
+			return ev.requireCompat(ev.eval(call.Args[0]), ev.eval(call.Args[1]), call.Pos(),
+				"math."+name+" arguments")
+		}
+		return unknownVal
+	}
+	if fd := ev.ix.funcDim(ev.pass, f); fd != nil {
+		if d, ok := fd.results[0]; ok {
+			return knownVal(d)
+		}
+	}
+	return unknownVal
+}
+
+func (ev *dimEval) evalBinary(be *ast.BinaryExpr) dval {
+	t := ev.pass.TypesInfo.TypeOf(be.X)
+	if t == nil {
+		return unknownVal
+	}
+	if b, ok := t.Underlying().(*types.Basic); !ok || b.Info()&types.IsNumeric == 0 {
+		return unknownVal // string +, pointer ==, ...
+	}
+	x, y := ev.eval(be.X), ev.eval(be.Y)
+	switch be.Op {
+	case token.MUL, token.QUO:
+		sign := int8(1)
+		if be.Op == token.QUO {
+			sign = -1
+		}
+		switch {
+		case x.k == dimKnown && y.k == dimKnown:
+			return knownVal(x.d.mulPow(y.d, sign))
+		case x.k == dimKnown && y.k == dimPoly:
+			return x
+		case x.k == dimPoly && y.k == dimKnown:
+			return knownVal(Dim{}.mulPow(y.d, sign))
+		case x.k == dimPoly && y.k == dimPoly:
+			return polyVal
+		}
+		return unknownVal
+	case token.ADD, token.SUB:
+		return ev.requireCompat(x, y, be.OpPos, be.Op.String())
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		ev.requireCompat(x, y, be.OpPos, be.Op.String())
+		return unknownVal // result is a bool, not a quantity
+	}
+	return unknownVal
+}
+
+// requireCompat merges two dimension values under the equal-dimension
+// contract (add/sub/compare/assign), reporting a mismatch once.
+func (ev *dimEval) requireCompat(x, y dval, pos token.Pos, ctx string) dval {
+	if x.k == dimKnown && y.k == dimKnown {
+		if x.d != y.d {
+			ev.reportMismatch(pos, ctx, x.d, y.d)
+			return unknownVal // don't cascade one mismatch into many
+		}
+		return x
+	}
+	if x.k == dimKnown && y.k == dimPoly {
+		return x
+	}
+	if y.k == dimKnown && x.k == dimPoly {
+		return y
+	}
+	if x.k == dimPoly && y.k == dimPoly {
+		return polyVal
+	}
+	return unknownVal
+}
+
+func (ev *dimEval) reportMismatch(pos token.Pos, ctx string, want, got Dim) {
+	if ev.sup.allowed(pos, "dim") {
+		return
+	}
+	ev.pass.Reportf(pos, "dimcheck: %s mixes dimensions %s and %s; convert through the cycle time or fix the expression (or //bplint:allow dim -- <reason>)", ctx, want, got)
+}
+
+// checkStoreDim enforces lhsDim = rhs under the assignment contract.
+func (ev *dimEval) checkStoreDim(target string, lhs dval, rhs ast.Expr) {
+	if lhs.k != dimKnown {
+		return
+	}
+	r := ev.eval(rhs)
+	if r.k != dimKnown || r.d == lhs.d {
+		return
+	}
+	if ev.sup.allowed(rhs.Pos(), "dim") {
+		return
+	}
+	ev.pass.Reportf(rhs.Pos(), "dimcheck: %s has dimension %s but is assigned a %s expression (or //bplint:allow dim -- <reason>)", target, lhs.d, r.d)
+}
+
+func runDimCheck(pass *analysis.Pass) (interface{}, error) {
+	sup := indexSuppressions(pass)
+	ix := buildDimIndex(pass)
+	for _, b := range ix.bad {
+		pass.Reportf(b.pos, "dimcheck: %s", b.msg)
+	}
+	ev := &dimEval{pass: pass, ix: ix, sup: sup, memo: map[ast.Expr]dval{}}
+
+	for _, file := range pass.Files {
+		if isTestFile(pass, file.Pos()) {
+			continue
+		}
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			stack = append(stack, n)
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				ev.checkAssign(n)
+			case *ast.ValueSpec:
+				ev.checkValueSpec(n)
+			case *ast.CompositeLit:
+				ev.checkCompositeLit(n)
+			case *ast.CallExpr:
+				ev.checkCallArgs(n)
+			case *ast.ReturnStmt:
+				ev.checkReturn(n, stack)
+			case *ast.BinaryExpr:
+				ev.eval(n) // reports add/sub/compare mismatches (memoized)
+			}
+			return true
+		})
+	}
+
+	exportDimFacts(pass, ix)
+	return nil, nil
+}
+
+// checkAssign handles =, :=, and the op-assignments.
+func (ev *dimEval) checkAssign(as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ASSIGN:
+		if len(as.Lhs) != len(as.Rhs) {
+			return // multi-value call: result dims unknown per position
+		}
+		for i, lhs := range as.Lhs {
+			ev.checkStoreDim(types.ExprString(lhs), ev.eval(lhs), as.Rhs[i])
+		}
+	case token.DEFINE:
+		if len(as.Lhs) != len(as.Rhs) {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := ev.pass.TypesInfo.Defs[id]
+			if obj == nil {
+				continue
+			}
+			if r := ev.eval(as.Rhs[i]); r.k == dimKnown {
+				ev.ix.local[obj] = r.d
+			}
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		if len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+			ev.requireCompat(ev.eval(as.Lhs[0]), ev.eval(as.Rhs[0]), as.TokPos, as.Tok.String())
+		}
+	case token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return
+		}
+		lhs, rhs := ev.eval(as.Lhs[0]), ev.eval(as.Rhs[0])
+		if lhs.k == dimKnown && rhs.k == dimKnown && rhs.d != (Dim{}) && !ev.sup.allowed(as.TokPos, "dim") {
+			ev.pass.Reportf(as.TokPos, "dimcheck: %s by a %s quantity changes the dimension of %s (%s); introduce a new variable for the derived quantity (or //bplint:allow dim -- <reason>)", as.Tok, rhs.d, types.ExprString(as.Lhs[0]), lhs.d)
+		}
+	}
+}
+
+// checkValueSpec checks initialized var/const declarations and infers
+// dimensions for unannotated ones.
+func (ev *dimEval) checkValueSpec(vs *ast.ValueSpec) {
+	for i, name := range vs.Names {
+		if i >= len(vs.Values) {
+			break
+		}
+		obj := ev.pass.TypesInfo.Defs[name]
+		if obj == nil {
+			continue
+		}
+		if d, ok := ev.ix.objs[obj]; ok {
+			ev.checkStoreDim(name.Name, knownVal(d), vs.Values[i])
+		} else if r := ev.eval(vs.Values[i]); r.k == dimKnown {
+			ev.ix.local[obj] = r.d
+		}
+	}
+}
+
+// checkCompositeLit checks keyed struct literals against field annotations.
+func (ev *dimEval) checkCompositeLit(cl *ast.CompositeLit) {
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		field := ev.pass.TypesInfo.Uses[key]
+		if field == nil {
+			continue // map key or unresolved
+		}
+		if d, ok := ev.ix.objDim(ev.pass, field); ok {
+			ev.checkStoreDim("field "+key.Name, knownVal(d), kv.Value)
+		}
+	}
+}
+
+// checkCallArgs checks arguments against the callee's parameter
+// annotations.
+func (ev *dimEval) checkCallArgs(call *ast.CallExpr) {
+	fn, ok := typeutil.Callee(ev.pass.TypesInfo, call).(*types.Func)
+	if !ok {
+		return
+	}
+	fd := ev.ix.funcDim(ev.pass, fn)
+	if fd == nil || len(fd.params) == 0 {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	for i, arg := range call.Args {
+		if sig.Variadic() && i >= sig.Params().Len()-1 {
+			break
+		}
+		if d, ok := fd.params[i]; ok {
+			ev.checkStoreDim(fmt.Sprintf("argument %d of %s", i+1, fn.Name()), knownVal(d), arg)
+		}
+	}
+}
+
+// checkReturn checks returned expressions against the enclosing declared
+// function's result annotations. Returns inside closures are exempt (the
+// FuncLit has no annotation to check against).
+func (ev *dimEval) checkReturn(ret *ast.ReturnStmt, stack []ast.Node) {
+	var fd *funcDims
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.FuncLit:
+			return
+		case *ast.FuncDecl:
+			fn, _ := ev.pass.TypesInfo.Defs[n.Name].(*types.Func)
+			if fn != nil {
+				fd = ev.ix.funcs[fn]
+			}
+		}
+		if fd != nil {
+			break
+		}
+	}
+	if fd == nil {
+		return
+	}
+	for i, res := range ret.Results {
+		if d, ok := fd.results[i]; ok {
+			ev.checkStoreDim(fmt.Sprintf("result %d", i+1), knownVal(d), res)
+		}
+	}
+}
+
+// exportDimFacts publishes annotations for cross-package checking. The
+// driver serializes facts only for objects reachable through export data;
+// unexported-object facts are dropped there, which is exactly the set no
+// other package can reference.
+func exportDimFacts(pass *analysis.Pass, ix *dimIndex) {
+	objs := make([]types.Object, 0, len(ix.objs))
+	for obj := range ix.objs { //bplint:allow maprange -- collected into a slice and sorted before use
+		if obj.Pkg() == pass.Pkg {
+			objs = append(objs, obj)
+		}
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Pos() < objs[j].Pos() })
+	for _, obj := range objs {
+		d := ix.objs[obj]
+		pass.ExportObjectFact(obj, &dimFact{D: d})
+	}
+
+	fns := make([]*types.Func, 0, len(ix.funcs))
+	for fn := range ix.funcs { //bplint:allow maprange -- collected into a slice and sorted before use
+		if fn.Pkg() == pass.Pkg {
+			fns = append(fns, fn)
+		}
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Pos() < fns[j].Pos() })
+	for _, fn := range fns {
+		fd := ix.funcs[fn]
+		sig := fn.Type().(*types.Signature)
+		fact := &funcDimFact{
+			Params:  make([]dimSlot, sig.Params().Len()),
+			Results: make([]dimSlot, sig.Results().Len()),
+		}
+		for i, d := range fd.params { //bplint:allow maprange -- writes to distinct slice indexes
+			fact.Params[i] = dimSlot{true, d}
+		}
+		for i, d := range fd.results { //bplint:allow maprange -- writes to distinct slice indexes
+			fact.Results[i] = dimSlot{true, d}
+		}
+		pass.ExportObjectFact(fn, fact)
+	}
+}

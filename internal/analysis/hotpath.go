@@ -49,6 +49,7 @@ func isHotpath(fd *ast.FuncDecl) bool {
 }
 
 func runHotpath(pass *analysis.Pass) (interface{}, error) {
+	sup := indexSuppressions(pass)
 	for _, file := range pass.Files {
 		if isTestFile(pass, file.Pos()) {
 			continue
@@ -67,12 +68,12 @@ func runHotpath(pass *analysis.Pass) (interface{}, error) {
 					return false
 				case *ast.RangeStmt:
 					if t := pass.TypesInfo.TypeOf(n.X); t != nil {
-						if _, isMap := t.Underlying().(*types.Map); isMap && !allowed(pass, file, n.Pos(), "hotpath") {
+						if _, isMap := t.Underlying().(*types.Map); isMap && !sup.allowed(n.Pos(), "hotpath") {
 							pass.Reportf(n.Pos(), "hotpath: map iteration in hot-path function %s; use a dense slice (or //bplint:allow hotpath -- <reason>)", name)
 						}
 					}
 				case *ast.DeferStmt:
-					if !allowed(pass, file, n.Pos(), "hotpath") {
+					if !sup.allowed(n.Pos(), "hotpath") {
 						pass.Reportf(n.Pos(), "hotpath: defer in hot-path function %s; run the epilogue inline (or //bplint:allow hotpath -- <reason>)", name)
 					}
 				case *ast.CallExpr:
@@ -84,7 +85,7 @@ func runHotpath(pass *analysis.Pass) (interface{}, error) {
 					if !ok || s.Kind() != types.MethodVal {
 						return true
 					}
-					if types.IsInterface(s.Recv()) && !allowed(pass, file, n.Pos(), "hotpath") {
+					if types.IsInterface(s.Recv()) && !sup.allowed(n.Pos(), "hotpath") {
 						pass.Reportf(n.Pos(), "hotpath: interface-method call %s.%s in hot-path function %s; bind a concrete method or a devirtualized function value at construction (or //bplint:allow hotpath -- <reason>)", types.TypeString(s.Recv(), types.RelativeTo(pass.Pkg)), sel.Sel.Name, name)
 					}
 				}

@@ -39,6 +39,7 @@ var (
 )
 
 func runSpecRepair(pass *analysis.Pass) (interface{}, error) {
+	sup := indexSuppressions(pass)
 	scope := pass.Pkg.Scope()
 	for _, name := range scope.Names() {
 		tn, ok := scope.Lookup(name).(*types.TypeName)
@@ -89,8 +90,7 @@ func runSpecRepair(pass *analysis.Pass) (interface{}, error) {
 		}
 
 		pos := tn.Pos()
-		file := enclosingFile(pass, pos)
-		if file == nil || allowed(pass, file, pos, "specrepair") {
+		if sup.allowed(pos, "specrepair") {
 			continue
 		}
 		pass.Reportf(pos, "specrepair: type %s speculatively updates predictor history but lacks %s; squashed wrong-path history will corrupt later predictions (or //bplint:allow specrepair -- <why stateless>)", name, strings.Join(missing, " and "))

@@ -31,6 +31,7 @@ var StatSafety = &analysis.Analyzer{
 }
 
 func runStatSafety(pass *analysis.Pass) (interface{}, error) {
+	sup := indexSuppressions(pass)
 	for _, file := range pass.Files {
 		if isTestFile(pass, file.Pos()) {
 			continue
@@ -40,9 +41,9 @@ func runStatSafety(pass *analysis.Pass) (interface{}, error) {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			checkDivisions(pass, file, fd)
+			checkDivisions(pass, sup, fd)
 		}
-		checkCounters(pass, file)
+		checkCounters(pass, sup, file)
 	}
 	return nil, nil
 }
@@ -50,7 +51,7 @@ func runStatSafety(pass *analysis.Pass) (interface{}, error) {
 // checkDivisions flags float divisions whose denominator is a float
 // conversion of a non-constant integer expression with no zero test of that
 // expression anywhere in the enclosing function.
-func checkDivisions(pass *analysis.Pass, file *ast.File, fd *ast.FuncDecl) {
+func checkDivisions(pass *analysis.Pass, sup *suppressions, fd *ast.FuncDecl) {
 	// guarded collects the printed form of every expression the function
 	// compares against an integer literal (if x == 0, x != 0, x > 0, ...).
 	// Any such test counts as a guard: the heuristic is per-function, not
@@ -98,7 +99,7 @@ func checkDivisions(pass *analysis.Pass, file *ast.File, fd *ast.FuncDecl) {
 			}
 		}
 		key := types.ExprString(inner)
-		if guarded[key] || allowed(pass, file, be.Pos(), "divzero") {
+		if guarded[key] || sup.allowed(be.Pos(), "divzero") {
 			return true
 		}
 		pass.Reportf(be.Pos(), "statsafety: possible zero denominator %s; guard with a %s == 0 early return so an empty measurement window reads 0, not NaN (or //bplint:allow divzero -- <why nonzero>)", key, key)
@@ -147,7 +148,7 @@ func isCounterStruct(name string) bool {
 
 // checkCounters flags ++ and += on fields of counter structs whose type can
 // wrap within a measurement window.
-func checkCounters(pass *analysis.Pass, file *ast.File) {
+func checkCounters(pass *analysis.Pass, sup *suppressions, file *ast.File) {
 	check := func(target ast.Expr, pos token.Pos) {
 		sel, ok := ast.Unparen(target).(*ast.SelectorExpr)
 		if !ok {
@@ -173,7 +174,7 @@ func checkCounters(pass *analysis.Pass, file *ast.File) {
 		case types.Uint64, types.Uint, types.Int64, types.Uintptr:
 			return // overflow-safe for any realistic run length
 		}
-		if allowed(pass, file, pos, "counter") {
+		if sup.allowed(pos, "counter") {
 			return
 		}
 		pass.Reportf(pos, "statsafety: counter field %s.%s has type %s, which can wrap within a measurement window; use uint64 (or //bplint:allow counter -- <bound>)", named.Obj().Name(), selection.Obj().Name(), ft)

@@ -1,0 +1,13 @@
+// Package allowhygiene exercises the suppression-policy check: an allow
+// with a documented reason is fine, a bare allow is itself a diagnostic.
+package allowhygiene
+
+import "time"
+
+func documented() int64 {
+	return time.Now().UnixNano() //bplint:allow wallclock -- fixture: documented reason
+}
+
+func bare() int64 {
+	return time.Now().UnixNano() //bplint:allow wallclock // want `allowhygiene: //bplint:allow wallclock without the mandatory`
+}

@@ -1,0 +1,80 @@
+// Package dimcheck exercises the typed units-of-measure analyzer: the
+// annotation grammar, mul/div exponent algebra, derived-unit inference via
+// :=, struct/composite/call/return stores, and the //bplint:allow dim
+// escape hatch.
+package dimcheck
+
+import "math"
+
+// Meter mirrors the shape of the real power meter's dimensioned state.
+type Meter struct {
+	Energy  float64 //bp:unit J
+	Seconds float64 //bp:unit s
+	Power   float64 //bp:unit W
+	Cycles  float64 //bp:unit cycle
+	CycleS  float64 //bp:unit s/cycle
+	Rate    float64 //bp:unit J/cycle
+	Count   float64 //bp:unit 1
+	Free    float64 // unannotated: exempt from every check
+}
+
+// CycleSeconds is a dimensioned constant.
+const CycleSeconds = 1.0 / 4e9 //bp:unit s/cycle
+
+// Bad is an unparseable annotation.
+var Bad float64 //bp:unit furlong // want `unparseable unit expression`
+
+// TotalEnergy returns the accumulated energy.
+//
+//bp:unit J
+func (m *Meter) TotalEnergy() float64 { return m.Energy }
+
+// AddEnergy accumulates e.
+//
+//bp:unit e J
+func (m *Meter) AddEnergy(e float64) { m.Energy += e }
+
+// AveragePower is the well-typed quotient: J / s = W.
+//
+//bp:unit W
+func (m *Meter) AveragePower() float64 {
+	return m.TotalEnergy() / m.Seconds
+}
+
+// BadReturn returns the wrong dimension.
+//
+//bp:unit J
+func (m *Meter) BadReturn() float64 {
+	return m.Seconds // want `result 1 has dimension J but is assigned a s expression`
+}
+
+func stores(m *Meter) {
+	m.Power = m.Energy / m.Seconds           // W = J/s: fine
+	m.Power = m.Energy * m.Seconds           // want `m\.Power has dimension W but is assigned a J\*s expression`
+	m.Seconds = m.Cycles * m.CycleS          // s = cycle * s/cycle: fine
+	m.Energy = 2.5                           // untyped literal is polymorphic
+	m.Energy = m.Rate * m.Cycles             // J = J/cycle * cycle: fine
+	m.Energy = m.Rate * m.Seconds            // want `m\.Energy has dimension J but is assigned a .* expression`
+	m.CycleS = CycleSeconds                  // annotated const: fine
+	m.Seconds = CycleSeconds                 // want `m\.Seconds has dimension s but is assigned a s/cycle expression`
+	m.Free = m.Energy                        // unannotated target: exempt
+	m.Power = m.Energy * m.Seconds           //bplint:allow dim -- fixture: suppressed on purpose
+	m.Energy = math.Abs(m.Rate) * m.Cycles   // math.Abs preserves its argument's dimension
+	m.Count = math.Log2(m.Cycles / m.CycleS) // log of anything is polymorphic
+	m.Energy = math.Max(m.Energy, m.Seconds) // want `mixes dimensions`
+	m.Seconds = math.Sqrt(m.Energy)          // sqrt result is polymorphic
+	m.Energy += m.Seconds                    // want `mixes dimensions`
+	m.Energy *= 2                            // scaling by a pure number: fine
+	m.Energy *= m.Seconds                    // want `changes the dimension`
+	m.AddEnergy(m.Rate * m.Cycles)           // argument J: fine
+	m.AddEnergy(m.Seconds)                   // want `argument 1 of AddEnergy has dimension J but is assigned a s expression`
+	derived := m.Energy / m.Cycles           // := infers J/cycle
+	m.Rate = derived                         // inferred dimension matches: fine
+	m.CycleS = derived                       // want `m\.CycleS has dimension s/cycle but is assigned a J/cycle expression`
+	if m.Energy > m.Cycles {                 // want `mixes dimensions`
+		m.Free = 0
+	}
+	other := Meter{Energy: m.Rate * m.Cycles} // keyed literal, J: fine
+	bad := Meter{Energy: m.Seconds}           // want `field Energy has dimension J but is assigned a s expression`
+	m.Free = other.Free + bad.Free
+}

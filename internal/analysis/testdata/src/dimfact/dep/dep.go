@@ -1,0 +1,19 @@
+// Package dep exports dimensioned quantities; the companion "use" package
+// checks that their annotations cross the package boundary as facts.
+package dep
+
+// Total is accumulated energy.
+var Total float64 //bp:unit J
+
+// Window is the measurement window.
+var Window float64 //bp:unit s
+
+// Power returns the average over the window.
+//
+//bp:unit W
+func Power() float64 { return Total / Window }
+
+// Charge adds e to the accumulator.
+//
+//bp:unit e J
+func Charge(e float64) { Total += e }

@@ -1,0 +1,18 @@
+// Package use consumes dep's dimension annotations purely through imported
+// facts: nothing here re-declares dep's units.
+package use
+
+import "dimfact/dep"
+
+// Watts is locally annotated power.
+var Watts float64 //bp:unit W
+
+// Consume mixes local and imported dimensions.
+func Consume() {
+	Watts = dep.Power()    // imported result fact says W: fine
+	Watts = dep.Total      // want `Watts has dimension W but is assigned a J expression`
+	dep.Charge(dep.Total)  // imported parameter fact says J: fine
+	dep.Charge(dep.Window) // want `argument 1 of Charge has dimension J but is assigned a s expression`
+	ratio := dep.Total / dep.Window
+	Watts = ratio // J/s is W by the exponent algebra: fine
+}

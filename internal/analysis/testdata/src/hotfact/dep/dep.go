@@ -1,0 +1,11 @@
+// Package dep exports one hot and one cold function; the companion "use"
+// package checks the //bp:hotpath marker crosses the boundary as a fact.
+package dep
+
+// Step advances the kernel state.
+//
+//bp:hotpath
+func Step(x uint64) uint64 { return x*6364136223846793005 + 1442695040888963407 }
+
+// Snapshot is deliberately not hot.
+func Snapshot() uint64 { return 0 }

@@ -1,0 +1,14 @@
+// Package use calls across the package boundary from a hot function; the
+// verdict on each edge comes from dep's exported hotpath facts.
+package use
+
+import "hotfact/dep"
+
+// Tick is on the per-cycle kernel.
+//
+//bp:hotpath
+func Tick(s uint64) uint64 {
+	s = dep.Step(s)     // imported fact says hot: fine
+	s += dep.Snapshot() // want `hot-path function Tick calls hotfact/dep\.Snapshot, which is not marked`
+	return s
+}

@@ -93,24 +93,26 @@ func leafName(e ast.Expr) string {
 }
 
 func runUnitDiscipline(pass *analysis.Pass) (interface{}, error) {
+	sup := indexSuppressions(pass)
+	ix := buildDimIndex(pass)
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.AssignStmt:
 				for i, lhs := range n.Lhs {
 					if i < len(n.Rhs) {
-						checkStore(pass, file, lhs, n.Rhs[i])
+						checkStore(pass, sup, ix, lhs, n.Rhs[i])
 					}
 				}
 			case *ast.ValueSpec:
 				for i, name := range n.Names {
 					if i < len(n.Values) {
-						checkStore(pass, file, name, n.Values[i])
+						checkStore(pass, sup, ix, name, n.Values[i])
 					}
 				}
 			case *ast.KeyValueExpr:
 				if key, ok := n.Key.(*ast.Ident); ok {
-					checkStore(pass, file, key, n.Value)
+					checkStore(pass, sup, ix, key, n.Value)
 				}
 			}
 			return true
@@ -119,11 +121,31 @@ func runUnitDiscipline(pass *analysis.Pass) (interface{}, error) {
 	return nil, nil
 }
 
+// storeTarget resolves the object an assignment target names (the field
+// for selectors and composite-literal keys, the variable for identifiers).
+func storeTarget(pass *analysis.Pass, lhs ast.Expr) types.Object {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[e]; obj != nil {
+			return obj
+		}
+		return pass.TypesInfo.Defs[e]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[e.Sel]
+	}
+	return nil
+}
+
 // checkStore flags lhs = rhs when the two sides declare opposite
 // energy/power dimensions and rhs carries no time term to convert.
-func checkStore(pass *analysis.Pass, file *ast.File, lhs, rhs ast.Expr) {
+func checkStore(pass *analysis.Pass, sup *suppressions, ix *dimIndex, lhs, rhs ast.Expr) {
 	lhsDim := classifyName(leafName(lhs))
 	if lhsDim != dimEnergy && lhsDim != dimPower {
+		return
+	}
+	// dimcheck owns anything annotated: a //bp:unit dimension on the target
+	// supersedes the name heuristic.
+	if _, annotated := ix.objDim(pass, storeTarget(pass, lhs)); annotated {
 		return
 	}
 	var hasOpposite, hasTime bool
@@ -155,7 +177,7 @@ func checkStore(pass *analysis.Pass, file *ast.File, lhs, rhs ast.Expr) {
 		}
 		return true
 	})
-	if hasOpposite && !hasTime && !allowed(pass, file, lhs.Pos(), "units") {
+	if hasOpposite && !hasTime && !sup.allowed(lhs.Pos(), "units") {
 		lhsKind, rhsKind := "power", "an energy"
 		if lhsDim == dimEnergy {
 			lhsKind, rhsKind = "energy", "a power"

@@ -42,6 +42,7 @@ func runUnitSource(pass *analysis.Pass) (interface{}, error) {
 	if pass.Pkg != nil && unitSourcePackages[pass.Pkg.Name()] {
 		return nil, nil
 	}
+	sup := indexSuppressions(pass)
 	for _, file := range pass.Files {
 		if isTestFile(pass, file.Pos()) {
 			continue
@@ -55,7 +56,7 @@ func runUnitSource(pass *analysis.Pass) (interface{}, error) {
 			if !rawUnitConstructors[name] {
 				return true
 			}
-			if !allowed(pass, file, call.Pos(), "unitsource") {
+			if !sup.allowed(call.Pos(), "unitsource") {
 				pass.Reportf(call.Pos(), "unitsource: raw %s call outside the frontend layer; declare the unit as a frontend.Structure (arrays) or a calibration-table entry (fixed energies) so registry transforms apply to it (or //bplint:allow unitsource -- <reason>)", name)
 			}
 			return true

@@ -33,7 +33,7 @@ type Tech struct {
 	// Vdd is the supply voltage.
 	Vdd float64
 	// ClockHz is the clock frequency (for converting energy to power).
-	ClockHz float64
+	ClockHz float64 //bp:unit Hz
 
 	// CBitCell is the effective bitline capacitance contributed by one cell
 	// on one column (precharge + discharge, both lines folded in), in farads.
@@ -43,24 +43,24 @@ type Tech struct {
 	// CRowDec is the row-decoder capacitance per row (NOR gate load).
 	CRowDec float64
 	// EPredecode is the fixed predecoder energy per access (3-input NANDs).
-	EPredecode float64
+	EPredecode float64 //bp:unit J
 	// ESenseAmp is the sense-amplifier energy per column.
-	ESenseAmp float64
+	ESenseAmp float64 //bp:unit J
 	// EColDecPerMux is the column-decoder energy per degree of multiplexing
 	// (the "new"-model component absent from Wattch 1.02).
-	EColDecPerMux float64
+	EColDecPerMux float64 //bp:unit J
 	// ECmpBit is the tag comparator energy per tag bit per way.
-	ECmpBit float64
+	ECmpBit float64 //bp:unit J
 	// EOutDrive is the output-driver energy per output bit.
-	EOutDrive float64
+	EOutDrive float64 //bp:unit J
 	// EWriteCol is the write energy per written column (full-swing drive).
-	EWriteCol float64
+	EWriteCol float64 //bp:unit J
 	// ERouteBit is the global routing (H-tree) energy per bit of subarray
 	// distance unit, charged for large partitioned arrays.
-	ERouteBit float64
+	ERouteBit float64 //bp:unit J
 	// EBankOverhead is the per-access bank-select/decode overhead energy of
 	// a banked organization.
-	EBankOverhead float64
+	EBankOverhead float64 //bp:unit J
 }
 
 // Tech350 is the default calibration (0.35um-class, 2.0V, 1200MHz — the
@@ -82,6 +82,8 @@ var Tech350 = Tech{
 }
 
 // e returns 1/2 C Vdd^2 for capacitance c.
+//
+//bp:unit J
 func (t Tech) e(c float64) float64 { return 0.5 * c * t.Vdd * t.Vdd }
 
 // Org is a physical organization of a logical array: the geometry of one
@@ -89,16 +91,16 @@ func (t Tech) e(c float64) float64 { return 0.5 * c * t.Vdd * t.Vdd }
 // is active on an access.
 type Org struct {
 	// Rows and Cols are the active subarray's dimensions in cells.
-	Rows, Cols int
+	Rows, Cols int //bp:unit 1
 	// MuxDeg is the column multiplexing degree (columns per output bit).
-	MuxDeg int
+	MuxDeg int //bp:unit 1
 	// OutBits is the number of bits delivered per access.
-	OutBits int
+	OutBits int //bp:unit 1
 	// Subarrays is how many subarrays the logical array was partitioned
 	// into (all banks counted together).
-	Subarrays int
+	Subarrays int //bp:unit 1
 	// Banks is the number of independently addressed banks (1 = unbanked).
-	Banks int
+	Banks int //bp:unit 1
 }
 
 // String renders the organization compactly, e.g. "128x256 mux4 b2".
@@ -110,17 +112,17 @@ func (o Org) String() string {
 // OutBits at a time (OutBits defaults to Width).
 type Spec struct {
 	// Entries is the logical entry count.
-	Entries int
+	Entries int //bp:unit 1
 	// Width is the bits per logical entry.
-	Width int
+	Width int //bp:unit 1
 	// OutBits is the bits read per access (defaults to Width).
-	OutBits int
+	OutBits int //bp:unit 1
 	// TagBits, when nonzero, adds an associative tag path with Assoc ways.
-	TagBits int
+	TagBits int //bp:unit 1
 	// Assoc is the associativity of the tag path (defaults to 1).
-	Assoc int
+	Assoc int //bp:unit 1
 	// Banks forces a banked organization (0 or 1 = unbanked).
-	Banks int
+	Banks int //bp:unit 1
 }
 
 // Bits returns the logical storage in bits.
@@ -238,6 +240,8 @@ func NewModel() Model { return Model{Tech: Tech350, IncludeColumnDecoder: true} 
 func OldModel() Model { return Model{Tech: Tech350, IncludeColumnDecoder: false} }
 
 // ReadEnergy returns the energy of one read access of s in organization o.
+//
+//bp:unit J
 func (m Model) ReadEnergy(s Spec, o Org) float64 {
 	s = s.normalized()
 	t := m.Tech
@@ -275,6 +279,8 @@ func (m Model) ReadEnergy(s Spec, o Org) float64 {
 
 // WriteEnergy returns the energy of one write access (update) of s in o:
 // decode plus full-swing drive of the written columns.
+//
+//bp:unit J
 func (m Model) WriteEnergy(s Spec, o Org) float64 {
 	s = s.normalized()
 	t := m.Tech
@@ -296,6 +302,8 @@ func (m Model) WriteEnergy(s Spec, o Org) float64 {
 // the bitlines but before column multiplexing and sensing — the PPD's
 // Scenario 2, where the probe result arrives too late to prevent the access
 // but in time to gate the sense amps and the column mux.
+//
+//bp:unit J
 func (m Model) PartialReadEnergy(s Spec, o Org) float64 {
 	s = s.normalized()
 	t := m.Tech
@@ -310,6 +318,10 @@ func (m Model) PartialReadEnergy(s Spec, o Org) float64 {
 
 // ReadPowerW converts a per-access read energy to watts at one access per
 // cycle.
+//
+//bp:unit W
 func (m Model) ReadPowerW(s Spec, o Org) float64 {
-	return m.ReadEnergy(s, o) * m.Tech.ClockHz
+	// J/access at one access per cycle is J/cycle; the cycle-to-seconds hop
+	// is ClockHz, leaving W. The one-access-per-cycle rate is implicit:
+	return m.ReadEnergy(s, o) * m.Tech.ClockHz //bplint:allow dim -- implicit one-access-per-cycle rate (1/cycle) makes J*Hz read as W here
 }

@@ -18,28 +18,28 @@ import (
 // Coeffs are the delay coefficients, in seconds (per unit noted).
 type Coeffs struct {
 	// TDecodeBase is the fixed predecoder delay.
-	TDecodeBase float64
+	TDecodeBase float64 //bp:unit s
 	// TDecodePerLog2Row is the additional decoder depth per doubling of rows.
-	TDecodePerLog2Row float64
+	TDecodePerLog2Row float64 //bp:unit s
 	// TWordPerCol is the wordline RC contribution per column (wire RC grows
 	// quadratically with length; applied to cols^2 scaled by this per-unit
 	// value at 128 columns).
-	TWordPerCol float64
+	TWordPerCol float64 //bp:unit s
 	// TBitPerRow is the bitline RC contribution per row (same quadratic
 	// treatment, normalized at 128 rows).
-	TBitPerRow float64
+	TBitPerRow float64 //bp:unit s
 	// TSense is the sense-amplifier resolution time.
-	TSense float64
+	TSense float64 //bp:unit s
 	// TColMuxPerLog2 is the column mux select delay per log2 of mux degree.
-	TColMuxPerLog2 float64
+	TColMuxPerLog2 float64 //bp:unit s
 	// TCompare is the tag comparator delay for associative arrays.
-	TCompare float64
+	TCompare float64 //bp:unit s
 	// TOutput is the output driver delay.
-	TOutput float64
+	TOutput float64 //bp:unit s
 	// TRoutePerSqrtSub is the global routing delay per sqrt(subarrays).
-	TRoutePerSqrtSub float64
+	TRoutePerSqrtSub float64 //bp:unit s
 	// TBankSelect is the added bank decode delay for banked organizations.
-	TBankSelect float64
+	TBankSelect float64 //bp:unit s
 }
 
 // Default350 approximates a 0.35um-class process: a 64x64 subarray accesses
@@ -72,6 +72,8 @@ func New() Model { return Model{Coeffs: Default350} }
 
 // AccessTime estimates the access time of spec s in organization o, in
 // seconds.
+//
+//bp:unit s
 func (m Model) AccessTime(s array.Spec, o array.Org) float64 {
 	c := m.Coeffs
 	rows := float64(o.Rows)
@@ -99,6 +101,8 @@ func (m Model) AccessTime(s array.Spec, o array.Org) float64 {
 
 // CycleTime estimates the array's minimum cycle time: access time plus a
 // precharge recovery proportional to the bitline component.
+//
+//bp:unit s
 func (m Model) CycleTime(s array.Spec, o array.Org) float64 {
 	c := m.Coeffs
 	rows := float64(o.Rows)
@@ -107,4 +111,6 @@ func (m Model) CycleTime(s array.Spec, o array.Org) float64 {
 }
 
 // Delay adapts AccessTime to array.DelayFunc for squarification.
+//
+//bp:unit s
 func (m Model) Delay(s array.Spec, o array.Org) float64 { return m.AccessTime(s, o) }

@@ -57,6 +57,7 @@ func (b *BTB) Ways() int { return b.ways }
 // Entries returns the total entry count.
 func (b *BTB) Entries() int { return b.sets * b.ways }
 
+//bp:hotpath
 func (b *BTB) set(pc uint64) (int, uint64) {
 	idx := (pc >> 2) & b.idxMask
 	return int(idx) * b.ways, (pc >> 2) >> uint(log2(b.sets))
@@ -64,6 +65,8 @@ func (b *BTB) set(pc uint64) (int, uint64) {
 
 // Lookup probes the BTB for the control instruction at pc. On a hit it
 // returns the cached target. The probe refreshes LRU state.
+//
+//bp:hotpath
 func (b *BTB) Lookup(pc uint64) (target uint64, hit bool) {
 	b.lookups++
 	b.clock++
@@ -82,6 +85,8 @@ func (b *BTB) Lookup(pc uint64) (target uint64, hit bool) {
 
 // Update installs or refreshes the mapping pc -> target, evicting the LRU
 // way on a conflict. Call it at commit for taken control transfers.
+//
+//bp:hotpath
 func (b *BTB) Update(pc, target uint64) {
 	b.updates++
 	b.clock++
@@ -140,6 +145,7 @@ func (b *BTB) Reset() {
 	b.lookups, b.hits, b.misses, b.updates = 0, 0, 0, 0
 }
 
+//bp:hotpath
 func log2(n int) uint {
 	var l uint
 	for n > 1 {

@@ -66,6 +66,8 @@ func (c Config) Validate() error {
 }
 
 // Sets returns the number of sets.
+//
+//bp:hotpath
 func (c Config) Sets() int { return c.SizeBytes / (c.BlockBytes * c.Ways) }
 
 type line struct {
@@ -129,8 +131,11 @@ func New(cfg Config, next Level) *Cache {
 func (c *Cache) Config() Config { return c.cfg }
 
 // Stats returns a copy of the access counters.
+//
+//bp:hotpath
 func (c *Cache) Stats() Stats { return c.stats }
 
+//bp:hotpath
 func (c *Cache) set(addr uint64) (base int, tag uint64) {
 	block := addr / uint64(c.cfg.BlockBytes)
 	sets := uint64(c.cfg.Sets())
@@ -139,6 +144,8 @@ func (c *Cache) set(addr uint64) (base int, tag uint64) {
 
 // Access services a read or write, filling on miss, and returns the total
 // latency.
+//
+//bp:hotpath
 func (c *Cache) Access(addr uint64, write bool) int {
 	c.stats.Accesses++
 	c.clock++
@@ -153,7 +160,7 @@ func (c *Cache) Access(addr uint64, write bool) int {
 					l.dirty = true
 				} else {
 					// Write-through: propagate without stalling the hit.
-					c.next.Access(addr, true)
+					c.next.Access(addr, true) //bplint:allow hotpath -- write-through path; Level is the memory-hierarchy seam and the call is off the per-cycle common case
 				}
 			}
 			c.stats.Hits++
@@ -161,7 +168,7 @@ func (c *Cache) Access(addr uint64, write bool) int {
 		}
 	}
 	c.stats.Misses++
-	lat := c.cfg.HitLatency + c.next.Access(addr, false)
+	lat := c.cfg.HitLatency + c.next.Access(addr, false) //bplint:allow hotpath -- miss path; Level is the memory-hierarchy seam and misses are off the per-cycle common case
 	// Choose a victim: first invalid way, else LRU.
 	victim := base
 	for w := 0; w < c.cfg.Ways; w++ {
@@ -179,7 +186,7 @@ func (c *Cache) Access(addr uint64, write bool) int {
 		c.stats.Writebacks++
 		// Write-back of the victim overlaps the fill; charge no extra
 		// latency but propagate occupancy to the next level.
-		c.next.Access(v.tag*uint64(c.cfg.Sets()*c.cfg.BlockBytes), true)
+		c.next.Access(v.tag*uint64(c.cfg.Sets()*c.cfg.BlockBytes), true) //bplint:allow hotpath -- dirty-victim write-back; off the per-cycle common case
 	}
 	*v = line{valid: true, dirty: write && c.cfg.WriteBack, tag: tag, lru: c.clock}
 	c.lastLine = victim
@@ -193,6 +200,8 @@ func (c *Cache) Access(addr uint64, write bool) int {
 // LastLineIndex returns the physical line index (set*ways + way) touched by
 // the most recent Access: the hit way, or the refill victim on a miss. The
 // PPD uses it to select its line-coherent entry.
+//
+//bp:hotpath
 func (c *Cache) LastLineIndex() int { return c.lastLine }
 
 // NumLines returns the total number of physical lines (sets * ways).
@@ -254,6 +263,8 @@ func NewTLB(entries int, pageBytes uint64, missPenalty int) *TLB {
 
 // Access translates addr, returning the added latency (0 on hit, the miss
 // penalty on a miss).
+//
+//bp:hotpath
 func (t *TLB) Access(addr uint64) int {
 	t.stats.Accesses++
 	t.clock++

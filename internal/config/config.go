@@ -51,7 +51,7 @@ type Processor struct {
 	RedirectBubble int
 
 	// ClockHz and Vdd set the operating point (1200 MHz, 2.0 V).
-	ClockHz float64
+	ClockHz float64 //bp:unit Hz
 	Vdd     float64
 
 	// VAddrBits sizes BTB/cache tags.
@@ -102,4 +102,6 @@ func Default() Processor {
 func (p Processor) PipelineLength() int { return 5 + p.ExtraStages }
 
 // CycleSeconds returns the clock period.
+//
+//bp:unit s/cycle
 func (p Processor) CycleSeconds() float64 { return 1 / p.ClockHz }

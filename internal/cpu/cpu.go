@@ -307,12 +307,16 @@ func (s *Sim) Cycle() uint64 { return s.cycle }
 // lineSlot maps an address to its next-line predictor entry (untagged,
 // direct-mapped by cache-line address bits — aliasing is a real line
 // predictor's failure mode and is modelled, not hidden).
+//
+//bp:hotpath
 func (s *Sim) lineSlot(pc uint64) int {
 	return int((pc / uint64(s.cfg.IL1.BlockBytes)) % uint64(len(s.linePred)))
 }
 
 // targetLookup consults the configured target mechanism (BTB or next-line
 // predictor) for the control instruction at pc.
+//
+//bp:hotpath
 func (s *Sim) targetLookup(pc uint64) (uint64, bool) {
 	if s.linePred != nil {
 		i := s.lineSlot(pc)
@@ -326,6 +330,8 @@ func (s *Sim) targetLookup(pc uint64) (uint64, bool) {
 
 // targetUpdate trains the target mechanism at commit of a taken control
 // transfer.
+//
+//bp:hotpath
 func (s *Sim) targetUpdate(pc, target uint64) {
 	if s.linePred != nil {
 		i := s.lineSlot(pc)
@@ -346,8 +352,11 @@ func ceilPow2(n int) int {
 }
 
 // robCount returns the number of in-flight entries.
+//
+//bp:hotpath
 func (s *Sim) robCount() int { return int(s.tailID - s.headID) }
 
+//bp:hotpath
 func (s *Sim) slot(id int64) *robEntry { return &s.rob[id&s.robMask] }
 
 // runBlockCycles is the cycle-block granularity of Run: the inner loop runs

@@ -227,6 +227,8 @@ func (s *Sim) predictControl(e *robEntry) (next uint64, stop bool) {
 
 // highConfidence applies the configured confidence estimator to a fetched
 // conditional branch prediction.
+//
+//bp:hotpath
 func (s *Sim) highConfidence(e *robEntry, pr bpred.Prediction) bool {
 	switch s.gate.Config().Estimator {
 	case gating.EstimatorJRS:
@@ -243,6 +245,8 @@ func (s *Sim) highConfidence(e *robEntry, pr bpred.Prediction) bool {
 
 // misfetch records a BTB miss on a predicted-taken direct control transfer:
 // the decoder supplies the target one cycle later, so fetch skips a cycle.
+//
+//bp:hotpath
 func (s *Sim) misfetch() {
 	s.stats.BTBMisfetches++
 	if s.fetchStallUntil < s.cycle+2 {

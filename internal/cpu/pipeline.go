@@ -4,6 +4,8 @@ import "bpredpower/internal/isa"
 
 // latency returns the execution latency of an operation class. Loads add
 // their memory latency at issue; stores retire through the LSQ at commit.
+//
+//bp:hotpath
 func latency(c isa.Class) uint64 {
 	switch c {
 	case isa.ClassIntALU, isa.ClassNop, isa.ClassBranch, isa.ClassJump,
@@ -76,6 +78,8 @@ func (s *Sim) dispatch() {
 }
 
 // producerOf returns the rob ID of the in-flight producer of reg, or -1.
+//
+//bp:hotpath
 func (s *Sim) producerOf(reg uint8) int64 {
 	if reg == isa.RegZero {
 		return -1
@@ -88,10 +92,13 @@ func (s *Sim) producerOf(reg uint8) int64 {
 }
 
 // ready reports whether the entry's source operands are available.
+//
+//bp:hotpath
 func (s *Sim) ready(e *robEntry) bool {
 	return s.depDone(e.dep1) && s.depDone(e.dep2)
 }
 
+//bp:hotpath
 func (s *Sim) depDone(id int64) bool {
 	if id < 0 || id < s.headID {
 		return true

@@ -3,37 +3,38 @@ package cpu
 // Stats accumulates the simulation metrics the paper's figures report.
 type Stats struct {
 	// Cycles is the number of simulated cycles.
-	Cycles uint64
+	Cycles uint64 //bp:unit cycle
 	// Committed is the number of architecturally retired instructions.
-	Committed uint64
+	Committed uint64 //bp:unit inst
 	// Fetched counts all fetched instructions, both paths.
-	Fetched uint64
+	Fetched uint64 //bp:unit inst
 	// WrongPathFetched counts fetched mis-speculated instructions.
-	WrongPathFetched uint64
+	WrongPathFetched uint64 //bp:unit inst
 	// Dispatched, Issued, Squashed count pipeline events.
-	Dispatched, Issued, Squashed uint64
+	Dispatched, Issued, Squashed uint64 //bp:unit inst
 
 	// CommittedCond and CorrectCond measure direction-prediction accuracy
 	// over committed conditional branches.
-	CommittedCond, CorrectCond uint64
+	CommittedCond, CorrectCond uint64 //bp:unit inst
 	// CommittedCtl counts committed control-flow instructions of any kind.
-	CommittedCtl uint64
+	CommittedCtl uint64 //bp:unit inst
 	// Mispredicts counts correct-path control mispredictions (direction or
 	// target) that caused a squash.
-	Mispredicts uint64
+	Mispredicts uint64 //bp:unit inst
 	// BTBMisfetches counts predicted-taken fetches that missed in the BTB.
-	BTBMisfetches uint64
+	BTBMisfetches uint64 //bp:unit inst
 
 	// FetchCycles counts cycles the fetch engine was active (each charges a
 	// predictor + BTB lookup in the baseline). DirLookupCycles and
 	// BTBLookupCycles count the active cycles in which those structures were
 	// actually read (less than FetchCycles only with a PPD).
-	FetchCycles, DirLookupCycles, BTBLookupCycles uint64
+	FetchCycles, DirLookupCycles, BTBLookupCycles uint64 //bp:unit cycle
 	// ICacheMissCycles accumulates fetch stall cycles due to I-cache misses.
-	ICacheMissCycles uint64
-	// GatedCycles counts fetch cycles suppressed by pipeline gating;
+	ICacheMissCycles uint64 //bp:unit cycle
+	// GatedCycles counts fetch cycles suppressed by pipeline gating.
+	GatedCycles uint64 //bp:unit cycle
 	// LowConfFetched counts fetched low-confidence branches.
-	GatedCycles, LowConfFetched uint64
+	LowConfFetched uint64 //bp:unit inst
 
 	// CycleLimitHit records that Run stopped at its safety cycle limit
 	// before reaching the requested instruction count: the run is truncated
@@ -41,17 +42,20 @@ type Stats struct {
 	CycleLimitHit bool
 
 	// Inter-branch distance accounting over the committed path (Figure 14).
-	condDistSum, condDistN  uint64
-	condDistGT10            uint64
-	ctlDistSum, ctlDistN    uint64
-	ctlDistGT10             uint64
-	lastCondPos, lastCtlPos uint64
+	condDistSum, ctlDistSum uint64 //bp:unit inst
+	condDistN, ctlDistN     uint64 //bp:unit 1
+	condDistGT10            uint64 //bp:unit 1
+	ctlDistGT10             uint64 //bp:unit 1
+	lastCondPos, lastCtlPos uint64 //bp:unit inst
 	haveCond, haveCtl       bool
 }
 
 // noteCondCommit records a committed conditional branch: its prediction
 // correctness and its distance (in committed instructions) from the
 // previous committed conditional branch.
+//
+//bp:hotpath
+//bp:unit pos inst
 func (st *Stats) noteCondCommit(correct bool, pos uint64) {
 	st.CommittedCond++
 	if correct {
@@ -71,6 +75,9 @@ func (st *Stats) noteCondCommit(correct bool, pos uint64) {
 
 // noteCtlCommit records a committed control-flow instruction's distance
 // from the previous one.
+//
+//bp:hotpath
+//bp:unit pos inst
 func (st *Stats) noteCtlCommit(pos uint64) {
 	st.CommittedCtl++
 	if st.haveCtl {
@@ -86,6 +93,8 @@ func (st *Stats) noteCtlCommit(pos uint64) {
 }
 
 // IPC returns committed instructions per cycle.
+//
+//bp:unit inst/cycle
 func (st *Stats) IPC() float64 {
 	if st.Cycles == 0 {
 		return 0
@@ -94,6 +103,8 @@ func (st *Stats) IPC() float64 {
 }
 
 // DirAccuracy returns the conditional-branch direction-prediction rate.
+//
+//bp:unit 1
 func (st *Stats) DirAccuracy() float64 {
 	if st.CommittedCond == 0 {
 		return 0
@@ -103,6 +114,8 @@ func (st *Stats) DirAccuracy() float64 {
 
 // CondBranchFreq returns committed conditional branches per committed
 // instruction.
+//
+//bp:unit 1
 func (st *Stats) CondBranchFreq() float64 {
 	if st.Committed == 0 {
 		return 0
@@ -112,6 +125,8 @@ func (st *Stats) CondBranchFreq() float64 {
 
 // UncondFreq returns committed unconditional control transfers per
 // committed instruction.
+//
+//bp:unit 1
 func (st *Stats) UncondFreq() float64 {
 	if st.Committed == 0 {
 		return 0
@@ -121,6 +136,8 @@ func (st *Stats) UncondFreq() float64 {
 
 // AvgCondDistance returns the mean committed-path distance between
 // conditional branches (Figure 14a).
+//
+//bp:unit inst
 func (st *Stats) AvgCondDistance() float64 {
 	if st.condDistN == 0 {
 		return 0
@@ -130,6 +147,8 @@ func (st *Stats) AvgCondDistance() float64 {
 
 // AvgCtlDistance returns the mean committed-path distance between
 // control-flow instructions (Figure 14b).
+//
+//bp:unit inst
 func (st *Stats) AvgCtlDistance() float64 {
 	if st.ctlDistN == 0 {
 		return 0
@@ -139,6 +158,8 @@ func (st *Stats) AvgCtlDistance() float64 {
 
 // FracCondDistanceGT10 returns the fraction of conditional branches whose
 // distance from the previous one exceeds 10 instructions.
+//
+//bp:unit 1
 func (st *Stats) FracCondDistanceGT10() float64 {
 	if st.condDistN == 0 {
 		return 0
@@ -147,6 +168,8 @@ func (st *Stats) FracCondDistanceGT10() float64 {
 }
 
 // FracCtlDistanceGT10 returns the same fraction for all control flow.
+//
+//bp:unit 1
 func (st *Stats) FracCtlDistanceGT10() float64 {
 	if st.ctlDistN == 0 {
 		return 0

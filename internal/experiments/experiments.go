@@ -47,11 +47,16 @@ type Run struct {
 	Accuracy float64 // conditional direction-prediction rate
 	IPC      float64
 
-	BpredPower  float64 // W, direction predictor + BTB (+RAS, +PPD)
-	TotalPower  float64 // W, whole chip
-	BpredEnergy float64 // J over the measured window
-	TotalEnergy float64 // J
-	EnergyDelay float64 // J*s
+	// BpredPower is the direction predictor + BTB (+RAS, +PPD) power.
+	BpredPower float64 //bp:unit W
+	// TotalPower is whole-chip power.
+	TotalPower float64 //bp:unit W
+	// BpredEnergy is predictor energy over the measured window.
+	BpredEnergy float64 //bp:unit J
+	// TotalEnergy is whole-chip energy over the measured window.
+	TotalEnergy float64 //bp:unit J
+	// EnergyDelay is the energy-delay product over the measured window.
+	EnergyDelay float64 //bp:unit J*s
 
 	CondFreq, UncondFreq      float64
 	AvgCondDist, AvgCtlDist   float64

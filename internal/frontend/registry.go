@@ -48,7 +48,7 @@ type BuiltArray struct {
 	// Org is the chosen physical organization.
 	Org array.Org
 	// AccessTime is the modeled access time in seconds.
-	AccessTime float64
+	AccessTime float64 //bp:unit s
 	// Unit is the registered power unit.
 	Unit *power.Unit
 }

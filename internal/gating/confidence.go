@@ -76,16 +76,21 @@ func NewJRS(entries, threshold int) *JRS {
 	}
 }
 
+//bp:hotpath
 func (j *JRS) index(pc uint64) int { return int((pc >> 2) & j.mask) }
 
 // HighConfidence reports whether the branch at pc has accumulated enough
 // consecutive correct predictions.
+//
+//bp:hotpath
 func (j *JRS) HighConfidence(pc uint64) bool {
 	return j.counters[j.index(pc)] >= j.threshold
 }
 
 // Train updates the counter at commit: increment (saturating) on a correct
 // prediction, reset on a misprediction.
+//
+//bp:hotpath
 func (j *JRS) Train(pc uint64, correct bool) {
 	i := j.index(pc)
 	if !correct {

@@ -49,17 +49,25 @@ func New(cfg Config) *Gate {
 }
 
 // Config returns the gate's configuration.
+//
+//bp:hotpath
 func (g *Gate) Config() Config { return g.cfg }
 
 // JRSTable returns the JRS estimator table, or nil when another estimator
 // is in use (the caller trains it at commit and sizes its power unit).
+//
+//bp:hotpath
 func (g *Gate) JRSTable() *JRS { return g.jrs }
 
 // Enabled reports whether gating is active.
+//
+//bp:hotpath
 func (g *Gate) Enabled() bool { return g.cfg.Enabled }
 
 // OnFetchBranch records a fetched conditional branch with the given
 // confidence estimate. Call once per fetched (speculative or not) branch.
+//
+//bp:hotpath
 func (g *Gate) OnFetchBranch(highConfidence bool) {
 	if !g.cfg.Enabled || highConfidence {
 		return
@@ -70,6 +78,8 @@ func (g *Gate) OnFetchBranch(highConfidence bool) {
 
 // OnRemoveBranch records that a previously fetched low-confidence branch
 // left flight (resolved or squashed).
+//
+//bp:hotpath
 func (g *Gate) OnRemoveBranch(highConfidence bool) {
 	if !g.cfg.Enabled || highConfidence {
 		return
@@ -81,12 +91,16 @@ func (g *Gate) OnRemoveBranch(highConfidence bool) {
 }
 
 // ShouldStallFetch reports whether fetch must stall this cycle (M > N).
+//
+//bp:hotpath
 func (g *Gate) ShouldStallFetch() bool {
 	return g.cfg.Enabled && g.inFlight > g.cfg.Threshold
 }
 
 // NoteGatedCycle accumulates the gated-cycle statistic; call once per cycle
 // in which fetch was stalled by the gate.
+//
+//bp:hotpath
 func (g *Gate) NoteGatedCycle() { g.gatedCycles++ }
 
 // InFlight returns the current low-confidence branch count M.

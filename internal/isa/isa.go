@@ -95,6 +95,8 @@ func (c Class) String() string {
 
 // IsControl reports whether the class transfers control (conditional branch,
 // jump, call, or return).
+//
+//bp:hotpath
 func (c Class) IsControl() bool {
 	switch c {
 	case ClassBranch, ClassJump, ClassCall, ClassReturn:
@@ -104,6 +106,8 @@ func (c Class) IsControl() bool {
 }
 
 // IsCondBranch reports whether the class is a conditional branch.
+//
+//bp:hotpath
 func (c Class) IsCondBranch() bool { return c == ClassBranch }
 
 // IsUncondControl reports whether the class is an unconditional control
@@ -117,9 +121,13 @@ func (c Class) IsUncondControl() bool {
 }
 
 // IsMem reports whether the class accesses data memory.
+//
+//bp:hotpath
 func (c Class) IsMem() bool { return c == ClassLoad || c == ClassStore }
 
 // IsFP reports whether the class executes on the floating-point cluster.
+//
+//bp:hotpath
 func (c Class) IsFP() bool {
 	switch c {
 	case ClassFPALU, ClassFPMult, ClassFPDiv:
@@ -156,6 +164,8 @@ type StaticInst struct {
 }
 
 // NextPC returns the fall-through address of the instruction.
+//
+//bp:hotpath
 func (si *StaticInst) NextPC() uint64 { return si.PC + InstBytes }
 
 // String renders a short human-readable form, e.g. "0x12004: branch ->0x12100".

@@ -14,7 +14,7 @@ type FixedEnergy struct {
 	// Group classifies the unit for reporting.
 	Group Group
 	// PerOpJ is the energy of one operation, in joules.
-	PerOpJ float64
+	PerOpJ float64 //bp:unit J
 }
 
 // Calibration is a named table of fixed per-operation energies. It is the

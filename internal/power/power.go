@@ -115,7 +115,7 @@ func (g GatingStyle) String() string {
 
 // IdleFraction is the cc3 clock-gating floor: inactive units dissipate this
 // fraction of maximum power.
-const IdleFraction = 0.10
+const IdleFraction = 0.10 //bp:unit 1
 
 // AccountingMode selects how per-cycle activity is folded into energy.
 //
@@ -168,44 +168,51 @@ type Unit struct {
 	// Group classifies it for reporting.
 	Group Group
 	// ERead, EWrite, EPartial are per-access energies in joules.
-	ERead, EWrite, EPartial float64
-	// Ports is the number of access ports (the cc3 scaling denominator).
-	Ports int
+	ERead, EWrite, EPartial float64 //bp:unit J
+	// Ports is the number of access ports (the cc3 scaling denominator):
+	// the unit's maximum accesses per cycle, hence dimensionally 1/cycle.
+	Ports int //bp:unit 1/cycle
 
 	// meter and maxE are set by Meter.Add; maxE caches maxCycleEnergy so the
 	// per-cycle fold never recomputes it.
 	meter *Meter
-	maxE  float64
+	maxE  float64 //bp:unit J/cycle
 
-	reads, writes, partials uint64 // activity in the current cycle
+	reads, writes, partials uint64 //bp:unit 1
 	touched                 bool   // on the meter's active list this cycle
 
 	// Lifetime activity. These integers are the unit's entire accounting
 	// state: active-cycle energy is their closed-form fold (activeEnergy),
 	// and idle-cycle energy (the cc3 10% floor, or full maximum under cc0)
 	// is a per-cycle constant applied as idleRate * idleCycles at read time.
-	activeCycles                           uint64
-	totalReads, totalWrites, totalPartials uint64
+	activeCycles                           uint64 //bp:unit cycle
+	totalReads, totalWrites, totalPartials uint64 //bp:unit 1
 
 	// energy is the eagerly folded active-cycle energy, maintained only
 	// under AccountPerCycle / AccountCrossCheck (it equals
 	// activeEnergy() after every EndCycle). AccountDeferred never touches it.
-	energy float64
+	energy float64 //bp:unit J
 }
 
 // maxCycleEnergy is the energy the unit would burn with all ports active.
+//
+//bp:unit J/cycle
 func (u *Unit) maxCycleEnergy() float64 { return float64(u.Ports) * u.ERead }
 
 // touch puts the unit on its meter's active list on the first access of the
 // cycle, so EndCycle folds only the units that actually moved.
+//
+//bp:hotpath
 func (u *Unit) touch() {
 	if !u.touched && u.meter != nil {
 		u.touched = true
-		u.meter.active = append(u.meter.active, u)
+		u.meter.active = append(u.meter.active, u) //bplint:allow hotreach -- capacity preallocated in Add for all registered units; never grows
 	}
 }
 
 // Read records n read accesses this cycle.
+//
+//bp:hotpath
 func (u *Unit) Read(n int) {
 	if n <= 0 {
 		return
@@ -215,6 +222,8 @@ func (u *Unit) Read(n int) {
 }
 
 // Write records n write accesses this cycle.
+//
+//bp:hotpath
 func (u *Unit) Write(n int) {
 	if n <= 0 {
 		return
@@ -224,6 +233,8 @@ func (u *Unit) Write(n int) {
 }
 
 // Partial records n cancelled (Scenario 2) accesses this cycle.
+//
+//bp:hotpath
 func (u *Unit) Partial(n int) {
 	if n <= 0 {
 		return
@@ -234,6 +245,9 @@ func (u *Unit) Partial(n int) {
 
 // idleRate is the energy the unit burns in a cycle with no accesses, under
 // the owning meter's gating style.
+//
+//bp:hotpath
+//bp:unit J/cycle
 func (u *Unit) idleRate() float64 {
 	if u.meter == nil {
 		return 0
@@ -253,6 +267,9 @@ func (u *Unit) idleRate() float64 {
 // (reads·ERead + writes·EWrite) + partials·EPartial — so the eager and
 // deferred accountings, which both call this on identical integers, agree
 // bit-for-bit.
+//
+//bp:hotpath
+//bp:unit J
 func (u *Unit) activeEnergy() float64 {
 	if u.meter == nil {
 		return 0
@@ -269,6 +286,8 @@ func (u *Unit) activeEnergy() float64 {
 // accounting mode: the eager value under AccountPerCycle, the deferred
 // closed form otherwise, and both (asserted identical) under
 // AccountCrossCheck.
+//
+//bp:unit J
 func (u *Unit) foldedEnergy() float64 {
 	if u.meter == nil {
 		return 0
@@ -289,6 +308,8 @@ func (u *Unit) foldedEnergy() float64 {
 
 // Energy returns the unit's accumulated energy in joules, including the
 // lazily-accounted idle-cycle floor.
+//
+//bp:unit J
 func (u *Unit) Energy() float64 {
 	e := u.foldedEnergy()
 	if u.meter != nil {
@@ -320,6 +341,8 @@ func NewArrayUnit(name string, g Group, m array.Model, s array.Spec, o array.Org
 
 // NewFixedUnit builds a unit with a flat per-access energy (functional
 // units, buses, latches).
+//
+//bp:unit eAccess J
 func NewFixedUnit(name string, g Group, eAccess float64, ports int) *Unit {
 	if ports < 1 {
 		ports = 1
@@ -330,11 +353,11 @@ func NewFixedUnit(name string, g Group, eAccess float64, ports int) *Unit {
 // Meter accumulates per-cycle energy over a simulation.
 type Meter struct {
 	// CycleSeconds is the clock period, for power conversion.
-	CycleSeconds float64
+	CycleSeconds float64 //bp:unit s/cycle
 	// ClockBaseFraction sets the clock tree's floor as a fraction of the
 	// sum of unit maximum powers; ClockActivityFraction adds clock energy
 	// proportional to the cycle's switched energy (loaded clock nodes).
-	ClockBaseFraction, ClockActivityFraction float64
+	ClockBaseFraction, ClockActivityFraction float64 //bp:unit 1
 	// Style is the conditional-clocking model (default CC3, the paper's).
 	Style GatingStyle
 	// Accounting selects when activity counters are folded into energy
@@ -349,17 +372,19 @@ type Meter struct {
 	// is covered by the precomputed idle-floor constant.
 	active []*Unit
 
-	cycles      uint64
-	maxPerCycle float64 // cached sum of unit max energies
+	cycles      uint64  //bp:unit cycle
+	maxPerCycle float64 //bp:unit J/cycle
 
 	// clockEnergy is the eagerly folded clock-tree energy, maintained only
 	// under AccountPerCycle / AccountCrossCheck (it equals clockClosedForm()
 	// after every EndCycle). AccountDeferred computes the closed form at
 	// read time instead.
-	clockEnergy float64
+	clockEnergy float64 //bp:unit J
 }
 
 // NewMeter builds a Meter for the given clock period.
+//
+//bp:unit cycleSeconds s/cycle
 func NewMeter(cycleSeconds float64) *Meter {
 	return &Meter{
 		CycleSeconds:          cycleSeconds,
@@ -379,6 +404,11 @@ func (m *Meter) Add(u *Unit) *Unit {
 	m.units = append(m.units, u)
 	m.byName[u.Name] = u
 	m.maxPerCycle += u.maxE
+	// Keep active's backing array sized for every registered unit, so the
+	// hot-path append in touch() never grows it mid-run.
+	if cap(m.active) < len(m.units) {
+		m.active = append(make([]*Unit, 0, 2*len(m.units)), m.active...)
+	}
 	return u
 }
 
@@ -395,6 +425,9 @@ func (m *Meter) Units() []*Unit {
 // idlePerCycle is the energy all units together would burn in a cycle with
 // no accesses at all — a constant per gating style, precomputable from the
 // registered capacity.
+//
+//bp:hotpath
+//bp:unit J/cycle
 func (m *Meter) idlePerCycle() float64 {
 	switch m.Style {
 	case CC0:
@@ -445,6 +478,9 @@ func (m *Meter) EndCycle() {
 // starts from the all-idle constant per cycle and swaps each unit's idle
 // share for its real access energy over its active cycles; units are visited
 // in registration order so the fold is deterministic.
+//
+//bp:hotpath
+//bp:unit J
 func (m *Meter) clockClosedForm() float64 {
 	switched := float64(m.cycles) * m.idlePerCycle()
 	for _, u := range m.units {
@@ -457,6 +493,8 @@ func (m *Meter) clockClosedForm() float64 {
 // the meter's accounting mode: the eager value under AccountPerCycle, the
 // deferred closed form otherwise, and both (asserted identical) under
 // AccountCrossCheck.
+//
+//bp:unit J
 func (m *Meter) ClockEnergy() float64 {
 	switch m.Accounting {
 	case AccountPerCycle:
@@ -476,6 +514,8 @@ func (m *Meter) ClockEnergy() float64 {
 func (m *Meter) Cycles() uint64 { return m.cycles }
 
 // TotalEnergy returns the total energy in joules, including the clock tree.
+//
+//bp:unit J
 func (m *Meter) TotalEnergy() float64 {
 	e := m.ClockEnergy()
 	for _, u := range m.units {
@@ -486,6 +526,8 @@ func (m *Meter) TotalEnergy() float64 {
 
 // GroupEnergy returns the accumulated energy of one group (GroupClock maps
 // to the clock tree).
+//
+//bp:unit J
 func (m *Meter) GroupEnergy(g Group) float64 {
 	if g == GroupClock {
 		return m.ClockEnergy()
@@ -502,6 +544,8 @@ func (m *Meter) GroupEnergy(g Group) float64 {
 // PredictorEnergy returns the energy of the branch-prediction structures
 // (direction predictor + BTB + RAS + PPD), the paper's "predictor power"
 // aggregation.
+//
+//bp:unit J
 func (m *Meter) PredictorEnergy() float64 {
 	var e float64
 	for _, u := range m.units {
@@ -513,9 +557,13 @@ func (m *Meter) PredictorEnergy() float64 {
 }
 
 // Seconds returns the accounted wall-clock time.
+//
+//bp:unit s
 func (m *Meter) Seconds() float64 { return float64(m.cycles) * m.CycleSeconds }
 
 // AveragePower returns total average power in watts.
+//
+//bp:unit W
 func (m *Meter) AveragePower() float64 {
 	if m.cycles == 0 {
 		return 0
@@ -524,6 +572,8 @@ func (m *Meter) AveragePower() float64 {
 }
 
 // PredictorPower returns average predictor power in watts.
+//
+//bp:unit W
 func (m *Meter) PredictorPower() float64 {
 	if m.cycles == 0 {
 		return 0
@@ -533,6 +583,8 @@ func (m *Meter) PredictorPower() float64 {
 
 // EnergyDelay returns the energy-delay product in joule-seconds (Gonzalez &
 // Horowitz), the paper's combined metric.
+//
+//bp:unit J*s
 func (m *Meter) EnergyDelay() float64 { return m.TotalEnergy() * m.Seconds() }
 
 // Reset zeroes all accumulated energy, activity, and cycle counts while
@@ -566,7 +618,7 @@ type GroupEnergyRow struct {
 	// Name is the group name ("bpred", "clock", ...).
 	Name string
 	// Energy is the group's accumulated energy in joules.
-	Energy float64
+	Energy float64 //bp:unit J
 }
 
 // BreakdownSorted returns the per-group energies of Breakdown as a slice in

@@ -94,6 +94,8 @@ func (p *PPD) Fill(lineIndex int, hasCond, hasCtl bool) {
 // whether the direction predictor and BTB must be looked up this fetch
 // cycle. Unfilled entries answer conservatively (both lookups needed).
 // Probe also accumulates the avoidance statistics.
+//
+//bp:hotpath
 func (p *PPD) Probe(lineIndex int) (needDir, needBTB bool) {
 	p.probes++
 	if !p.valid[lineIndex] {

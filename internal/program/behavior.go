@@ -99,6 +99,8 @@ type Site struct {
 // execution given the global outcome history ghist (bit 0 = most recent
 // committed conditional-branch outcome). seed is the program seed. The
 // result is a pure function of its arguments.
+//
+//bp:hotpath
 func (s *Site) Outcome(seed uint64, occ uint64, ghist uint64) bool {
 	var out bool
 	switch s.Kind {
@@ -114,7 +116,7 @@ func (s *Site) Outcome(seed uint64, occ uint64, ghist uint64) bool {
 	case BehaviorRandom:
 		out = xrand.HashBool(0.5, seed, uint64(s.ID), occ)
 	default:
-		panic(fmt.Sprintf("program: unknown behaviour kind %d", s.Kind))
+		panic(fmt.Sprintf("program: unknown behaviour kind %d", s.Kind)) //bplint:allow hotreach -- panic-only validation guard; unreachable for generator-produced sites
 	}
 	if s.Noise > 0 && xrand.HashBool(s.Noise, seed, ^uint64(s.ID), occ) {
 		out = !out
@@ -123,6 +125,8 @@ func (s *Site) Outcome(seed uint64, occ uint64, ghist uint64) bool {
 }
 
 // parity returns true when x has an odd number of set bits.
+//
+//bp:hotpath
 func parity(x uint64) bool {
 	x ^= x >> 32
 	x ^= x >> 16

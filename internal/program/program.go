@@ -51,6 +51,8 @@ func (p *Program) CodeBytes() uint64 { return uint64(len(p.Code)) * isa.InstByte
 
 // InstAt returns the static instruction at pc, or nil when pc lies outside
 // the code image or is misaligned.
+//
+//bp:hotpath
 func (p *Program) InstAt(pc uint64) *isa.StaticInst {
 	if pc < p.Base || (pc-p.Base)%isa.InstBytes != 0 {
 		return nil

@@ -68,6 +68,8 @@ func NewWalker(p *Program) *Walker {
 func (w *Walker) Program() *Program { return w.p }
 
 // PC returns the address of the next instruction the walker will execute.
+//
+//bp:hotpath
 func (w *Walker) PC() uint64 { return w.pc }
 
 // GHist returns the architectural global outcome history register.
@@ -87,6 +89,8 @@ func (w *Walker) SiteOcc(id int32) uint64 { return w.occ[id] }
 // Step architecturally executes the instruction at the walker's PC and
 // advances. It never fails: if control flow somehow leaves the image the
 // walker resets to the entry point and counts a restart.
+//
+//bp:hotpath
 func (w *Walker) Step() Step {
 	si := w.p.InstAt(w.pc)
 	if si == nil {
@@ -94,7 +98,7 @@ func (w *Walker) Step() Step {
 		w.pc = w.p.Entry
 		si = w.p.InstAt(w.pc)
 		if si == nil {
-			panic(fmt.Sprintf("program %s: entry %#x not in image", w.p.Name, w.p.Entry))
+			panic(fmt.Sprintf("program %s: entry %#x not in image", w.p.Name, w.p.Entry)) //bplint:allow hotreach -- panic-only corruption guard; formats once when the run is already dead
 		}
 	}
 	st := Step{SI: si, NextPC: si.NextPC(), Seq: w.seq}
@@ -115,7 +119,7 @@ func (w *Walker) Step() Step {
 	case isa.ClassCall:
 		st.Taken = true
 		st.NextPC = si.Target
-		w.callStack = append(w.callStack, si.NextPC())
+		w.callStack = append(w.callStack, si.NextPC()) //bplint:allow hotreach -- bounded at 1024 entries just below; amortizes to zero growth
 		// Bound the architectural stack defensively; generated call graphs
 		// are DAGs so depth is bounded by the function count anyway.
 		if len(w.callStack) > 1024 {
@@ -141,6 +145,8 @@ func (w *Walker) Step() Step {
 
 // memAddr computes the next effective address for a memory instruction per
 // its region's stream parameters.
+//
+//bp:hotpath
 func (w *Walker) memAddr(si *isa.StaticInst) uint64 {
 	r := &w.p.Regions[si.MemBase]
 	cur := w.memCursor[si.MemBase]
@@ -163,10 +169,13 @@ func (w *Walker) memAddr(si *isa.StaticInst) uint64 {
 
 // regionBase spreads data regions far apart in the address space so their
 // cache sets interleave realistically.
+//
+//bp:hotpath
 func regionBase(class uint32) uint64 {
 	return 0x1_0000_0000 + uint64(class)<<28
 }
 
+//bp:hotpath
 func b2u(b bool) uint64 {
 	if b {
 		return 1
@@ -178,12 +187,16 @@ func b2u(b bool) uint64 {
 // branch executed on the wrong path. Wrong-path instructions never update
 // architectural state, so the value needs only to be deterministic in the
 // fetch context, not replayable across configurations.
+//
+//bp:hotpath
 func WrongPathOutcome(seed, pc, fetchSeq uint64) bool {
 	return xrand.HashBool(0.5, seed^0x57_0a7c, pc, fetchSeq)
 }
 
 // WrongPathMemAddr returns a plausible effective address for a wrong-path
 // memory instruction.
+//
+//bp:hotpath
 func WrongPathMemAddr(p *Program, si *isa.StaticInst, fetchSeq uint64) uint64 {
 	if len(p.Regions) == 0 {
 		return 0x1_0000_0000

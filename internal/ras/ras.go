@@ -40,6 +40,8 @@ func (r *RAS) Size() int { return len(r.stack) }
 // Push records a return address (speculatively, at fetch of a call).
 // The stack is circular: pushing beyond capacity silently overwrites the
 // oldest entry, as in hardware.
+//
+//bp:hotpath
 func (r *RAS) Push(addr uint64) {
 	r.top = (r.top + 1) % len(r.stack)
 	r.stack[r.top] = addr
@@ -47,6 +49,8 @@ func (r *RAS) Push(addr uint64) {
 }
 
 // Pop predicts the target of a return (speculatively, at fetch).
+//
+//bp:hotpath
 func (r *RAS) Pop() uint64 {
 	addr := r.stack[r.top]
 	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
@@ -55,11 +59,15 @@ func (r *RAS) Pop() uint64 {
 }
 
 // Checkpoint captures repair state. Take one per fetched branch.
+//
+//bp:hotpath
 func (r *RAS) Checkpoint() Snapshot {
 	return Snapshot{Top: r.top, TopValue: r.stack[r.top]}
 }
 
 // Restore repairs the stack from a checkpoint after a squash.
+//
+//bp:hotpath
 func (r *RAS) Restore(s Snapshot) {
 	r.top = s.Top
 	r.stack[s.Top] = s.TopValue

@@ -64,6 +64,8 @@ func (s *SplitMix) Geometric(mean float64) int {
 // Hash64 mixes an arbitrary number of 64-bit words into a single
 // well-distributed 64-bit value. It is stateless: equal inputs always give
 // equal outputs.
+//
+//bp:hotpath
 func Hash64(words ...uint64) uint64 {
 	h := uint64(0x9e3779b97f4a7c15)
 	for _, w := range words {
@@ -81,11 +83,15 @@ func Hash64(words ...uint64) uint64 {
 }
 
 // HashFloat maps the hash of words to a float64 in [0, 1).
+//
+//bp:hotpath
 func HashFloat(words ...uint64) float64 {
 	return float64(Hash64(words...)>>11) / (1 << 53)
 }
 
 // HashBool returns true with probability p, deterministically in words.
+//
+//bp:hotpath
 func HashBool(p float64, words ...uint64) bool {
 	return HashFloat(words...) < p
 }

@@ -14,6 +14,18 @@ fi
 go build ./...
 go vet ./...
 go run ./cmd/bplint ./...
+# Self-check: the lint suite and the example programs must satisfy the
+# same invariants they enforce on the simulator.
+go run ./cmd/bplint ./internal/analysis/... ./examples/...
+
+# The committed suppression inventory must match the tree: every
+# //bplint:allow added or removed shows up as a lint_allowances.txt diff.
+allow_tmp="$(mktemp)"
+go run ./cmd/bplint -allowances > "$allow_tmp"
+diff "$allow_tmp" lint_allowances.txt
+rm -f "$allow_tmp"
+echo "lint allowances: inventory matches committed lint_allowances.txt"
+
 go test -race ./...
 
 # Every example program must run end to end.
@@ -27,6 +39,15 @@ done
 # minimization cannot eat the whole fuzz window.
 go test -run '^$' -fuzz '^FuzzTraceDecode$' -fuzztime 5s -fuzzminimizetime 5s ./internal/trace
 go test -run '^$' -fuzz '^FuzzProgramDecode$' -fuzztime 5s -fuzzminimizetime 5s ./internal/program
+
+# Coverage floor for the lint suite itself: the fixtures and mutation
+# tests must keep exercising the analyzers they pin.
+lint_cov="$(go test -cover ./internal/analysis | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p')"
+if [ -z "$lint_cov" ] || ! awk "BEGIN{exit !($lint_cov >= 80)}"; then
+    echo "internal/analysis coverage ${lint_cov:-unknown}% is below the 80% floor" >&2
+    exit 1
+fi
+echo "analysis coverage: ${lint_cov}% (floor 80%)"
 
 # Coverage floor for the serving layer: the e2e suite must keep exercising
 # the handlers, middleware, and metrics paths.

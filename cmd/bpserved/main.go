@@ -38,6 +38,7 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 4096, "run-cache LRU bound (negative = unbounded)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "server-side deadline per /v1 request")
 	drain := flag.Duration("drain", 15*time.Second, "inflight-request drain budget on shutdown")
+	segmentInsts := flag.Uint64("segment-insts", 0, "instructions per checkpoint-stitched run segment, bounding cancellation latency (0 = default); responses are identical at any value")
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -46,6 +47,7 @@ func main() {
 		MaxConcurrent:  *maxConcurrent,
 		CacheEntries:   *cacheEntries,
 		RequestTimeout: *timeout,
+		SegmentInsts:   *segmentInsts,
 		Logger:         logger,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}

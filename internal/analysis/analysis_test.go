@@ -123,13 +123,13 @@ func TestDimCheckCatchesEnergyPowerSwap(t *testing.T) {
 	assertDiagnostic(t, diags, `result 1 has dimension W but is assigned a J\*s expression`)
 }
 
-// TestHotReachCatchesHotPathAllocation strips the documented suppression
-// from the one sanctioned hot-path append and proves hotreach reports the
+// TestHotReachCatchesHotPathAllocation seeds an unsanctioned append into
+// the per-access hot path (Unit.touch) and proves hotreach reports the
 // allocation.
 func TestHotReachCatchesHotPathAllocation(t *testing.T) {
 	overlay := mutatePower(t,
-		"u.meter.active = append(u.meter.active, u) //bplint:allow hotreach -- capacity preallocated in Add for all registered units; never grows",
-		"u.meter.active = append(u.meter.active, u)")
+		"u.lastActive = m.cycles\n\t\tu.activeCycles++",
+		"u.lastActive = m.cycles\n\t\tu.activeCycles++\n\t\tm.units = append(m.units, u)")
 	diags := analyzertest.ModuleDiagnostics(t, bplint.HotReach, "bpredpower", moduleRoot, overlay, "bpredpower/internal/power")
 	assertDiagnostic(t, diags, `append in hot-path function touch can grow its backing array`)
 }

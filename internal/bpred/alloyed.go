@@ -14,8 +14,7 @@ type Alloyed struct {
 	bhtMask uint64
 	lBits   uint
 	gBits   uint
-	pht     counters
-	idxBits uint
+	pht     ctrKernel
 	ghist   uint64
 }
 
@@ -43,8 +42,9 @@ func NewAlloyed(name string, bhtEntries, lBits, gBits, phtEntries int) *Alloyed 
 		bhtMask: uint64(bhtEntries - 1),
 		lBits:   uint(lBits),
 		gBits:   uint(gBits),
-		pht:     newCounters(phtEntries),
-		idxBits: idxBits,
+		// The kernel sees one merged history field: global bits above local
+		// bits, address bits filling the remainder.
+		pht: kernelConcat(phtEntries, gBits+lBits),
 	}
 }
 
@@ -54,30 +54,37 @@ func (a *Alloyed) Name() string { return a.name }
 // GHist returns the speculative global history (for tests).
 func (a *Alloyed) GHist() uint64 { return a.ghist }
 
+//bp:hotpath
 func (a *Alloyed) bhtIndex(pc uint64) int32 { return int32((pc >> 2) & a.bhtMask) }
 
+// merged packs the global and local history components into the kernel's
+// single history field: global bits above local bits.
+//
+//bp:hotpath
+func (a *Alloyed) merged(local uint32) uint64 {
+	return (a.ghist&(1<<a.gBits-1))<<a.lBits | uint64(local)&(1<<a.lBits-1)
+}
+
 func (a *Alloyed) index(pc uint64, local uint32) int32 {
-	g := a.ghist & (1<<a.gBits - 1)
-	l := uint64(local) & (1<<a.lBits - 1)
-	pcBits := a.idxBits - a.gBits - a.lBits
-	idx := (g << (a.lBits + pcBits)) | (l << pcBits) | ((pc >> 2) & (1<<pcBits - 1))
-	return int32(idx)
+	return int32(a.pht.index(pc, a.merged(local)))
 }
 
 // Lookup predicts the branch at pc and speculatively updates both history
 // components with the prediction.
+//
+//bp:hotpath
 func (a *Alloyed) Lookup(pc uint64) Prediction {
 	bi := a.bhtIndex(pc)
 	local := a.bht[bi]
-	i := a.index(pc, local)
-	taken := a.pht.taken(i)
+	i := a.pht.index(pc, a.merged(local))
+	bit := a.pht.bit(i)
 	p := Prediction{
-		PC: pc, Taken: taken,
-		Index0: i, Index1: -1, Index2: -1, BHTIdx: bi,
+		PC: pc, Taken: bit != 0,
+		Index0: int32(i), Index1: -1, Index2: -1, BHTIdx: bi,
 		GHistPrior: a.ghist, LocalPrior: local,
 	}
-	a.ghist = a.ghist<<1 | b2u64(taken)
-	a.bht[bi] = (local<<1 | b2u32(taken)) & (1<<a.lBits - 1)
+	a.ghist = a.ghist<<1 | uint64(bit)
+	a.bht[bi] = (local<<1 | uint32(bit)) & (1<<a.lBits - 1)
 	return p
 }
 
@@ -100,12 +107,12 @@ func (a *Alloyed) Update(p *Prediction, taken bool) { a.pht.train(p.Index0, take
 func (a *Alloyed) Tables() []TableSpec {
 	return []TableSpec{
 		{Name: "bht", Kind: TableBHT, Entries: len(a.bht), Width: int(a.lBits)},
-		{Name: "pht", Kind: TablePHT, Entries: len(a.pht), Width: 2},
+		{Name: "pht", Kind: TablePHT, Entries: a.pht.entries(), Width: 2},
 	}
 }
 
 // TotalBits returns the predictor storage in bits.
-func (a *Alloyed) TotalBits() int { return len(a.bht)*int(a.lBits) + len(a.pht)*2 }
+func (a *Alloyed) TotalBits() int { return len(a.bht)*int(a.lBits) + a.pht.entries()*2 }
 
 // Reset restores power-on state.
 func (a *Alloyed) Reset() {

@@ -179,6 +179,10 @@ func log2(n int) uint {
 // isPow2 reports whether n is a positive power of two.
 func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
 
+// b2u64 is the branchless-intent bool-to-int conversion used by the
+// history-update kernels.
+//
+//bp:hotpath
 func b2u64(b bool) uint64 {
 	if b {
 		return 1
@@ -186,6 +190,7 @@ func b2u64(b bool) uint64 {
 	return 0
 }
 
+//bp:hotpath
 func b2u32(b bool) uint32 {
 	if b {
 		return 1

@@ -69,11 +69,9 @@ func NewGAg(name string, histBits int) *TwoLevelGlobal {
 // found gselect slightly worse than gshare at equal size; it is provided for
 // that comparison.
 type Gselect struct {
-	name     string
-	pht      counters
-	idxBits  uint
-	histBits uint
-	ghist    uint64
+	name  string
+	pht   ctrKernel
+	ghist uint64
 }
 
 // NewGselect builds a gselect predictor with the given PHT entry count and
@@ -82,29 +80,26 @@ func NewGselect(name string, entries, histBits int) *Gselect {
 	if !isPow2(entries) {
 		panic(fmt.Sprintf("bpred: gselect entries %d not a power of two", entries))
 	}
-	idxBits := log2(entries)
-	if uint(histBits) > idxBits {
-		panic(fmt.Sprintf("bpred: gselect history %d exceeds index %d bits", histBits, idxBits))
+	if uint(histBits) > log2(entries) {
+		panic(fmt.Sprintf("bpred: gselect history %d exceeds index %d bits", histBits, log2(entries)))
 	}
-	return &Gselect{name: name, pht: newCounters(entries), idxBits: idxBits, histBits: uint(histBits)}
+	// History in the LOW bits, address in the high bits (the mirror of GAs).
+	return &Gselect{name: name, pht: kernelGselect(entries, histBits)}
 }
 
 // Name returns the configuration name.
 func (g *Gselect) Name() string { return g.name }
 
-func (g *Gselect) index(pc uint64) int32 {
-	h := g.ghist & (1<<g.histBits - 1)
-	pcBits := g.idxBits - g.histBits
-	// History in the LOW bits, address in the high bits (the mirror of GAs).
-	return int32((((pc >> 2) & (1<<pcBits - 1)) << g.histBits) | h)
-}
+func (g *Gselect) index(pc uint64) int32 { return int32(g.pht.index(pc, g.ghist)) }
 
 // Lookup predicts and speculatively updates history.
+//
+//bp:hotpath
 func (g *Gselect) Lookup(pc uint64) Prediction {
-	i := g.index(pc)
-	taken := g.pht.taken(i)
-	p := Prediction{PC: pc, Taken: taken, Index0: i, Index1: -1, Index2: -1, BHTIdx: -1, GHistPrior: g.ghist}
-	g.ghist = g.ghist<<1 | b2u64(taken)
+	i := g.pht.index(pc, g.ghist)
+	bit := g.pht.bit(i)
+	p := Prediction{PC: pc, Taken: bit != 0, Index0: int32(i), Index1: -1, Index2: -1, BHTIdx: -1, GHistPrior: g.ghist}
+	g.ghist = g.ghist<<1 | uint64(bit)
 	return p
 }
 
@@ -119,11 +114,11 @@ func (g *Gselect) Update(p *Prediction, taken bool) { g.pht.train(p.Index0, take
 
 // Tables describes the PHT.
 func (g *Gselect) Tables() []TableSpec {
-	return []TableSpec{{Name: "pht", Kind: TablePHT, Entries: len(g.pht), Width: 2}}
+	return []TableSpec{{Name: "pht", Kind: TablePHT, Entries: g.pht.entries(), Width: 2}}
 }
 
 // TotalBits returns the storage in bits.
-func (g *Gselect) TotalBits() int { return len(g.pht) * 2 }
+func (g *Gselect) TotalBits() int { return g.pht.entries() * 2 }
 
 // Reset restores power-on state.
 func (g *Gselect) Reset() {
@@ -139,7 +134,7 @@ type PAg struct {
 	bht      []uint32
 	bhtMask  uint64
 	bhtWidth uint
-	pht      counters
+	pht      ctrKernel
 }
 
 // NewPAg builds a PAg with bhtEntries history registers of histBits bits and
@@ -156,7 +151,7 @@ func NewPAg(name string, bhtEntries, histBits int) *PAg {
 		bht:      make([]uint32, bhtEntries),
 		bhtMask:  uint64(bhtEntries - 1),
 		bhtWidth: uint(histBits),
-		pht:      newCounters(1 << uint(histBits)),
+		pht:      kernelConcat(1<<uint(histBits), histBits),
 	}
 }
 
@@ -164,13 +159,15 @@ func NewPAg(name string, bhtEntries, histBits int) *PAg {
 func (p *PAg) Name() string { return p.name }
 
 // Lookup predicts and speculatively updates the branch's local history.
+//
+//bp:hotpath
 func (p *PAg) Lookup(pc uint64) Prediction {
 	bi := int32((pc >> 2) & p.bhtMask)
 	hist := p.bht[bi]
-	pi := int32(hist & (1<<p.bhtWidth - 1))
-	taken := p.pht.taken(pi)
-	pr := Prediction{PC: pc, Taken: taken, Index0: pi, Index1: -1, Index2: -1, BHTIdx: bi, LocalPrior: hist}
-	p.bht[bi] = (hist<<1 | b2u32(taken)) & (1<<p.bhtWidth - 1)
+	pi := p.pht.index(pc, uint64(hist))
+	bit := p.pht.bit(pi)
+	pr := Prediction{PC: pc, Taken: bit != 0, Index0: int32(pi), Index1: -1, Index2: -1, BHTIdx: bi, LocalPrior: hist}
+	p.bht[bi] = (hist<<1 | uint32(bit)) & (1<<p.bhtWidth - 1)
 	return pr
 }
 
@@ -189,12 +186,12 @@ func (p *PAg) Update(pr *Prediction, taken bool) { p.pht.train(pr.Index0, taken)
 func (p *PAg) Tables() []TableSpec {
 	return []TableSpec{
 		{Name: "bht", Kind: TableBHT, Entries: len(p.bht), Width: int(p.bhtWidth)},
-		{Name: "pht", Kind: TablePHT, Entries: len(p.pht), Width: 2},
+		{Name: "pht", Kind: TablePHT, Entries: p.pht.entries(), Width: 2},
 	}
 }
 
 // TotalBits returns the storage in bits.
-func (p *PAg) TotalBits() int { return len(p.bht)*int(p.bhtWidth) + len(p.pht)*2 }
+func (p *PAg) TotalBits() int { return len(p.bht)*int(p.bhtWidth) + p.pht.entries()*2 }
 
 // Reset restores power-on state.
 func (p *PAg) Reset() {

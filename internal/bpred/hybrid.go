@@ -35,30 +35,26 @@ type HybridGeometry struct {
 // Hybrid is a McFarling combining predictor: two component predictors run in
 // parallel and a selector PHT of 2-bit counters learns, per branch, which
 // component to trust. One shared speculative global history register feeds
-// the selector and the global component.
+// the selector and the global component. All four counter tables are
+// instances of the shared counter kernel; the selected direction and the
+// "both strong" estimate are computed bitwise, with no data-dependent branch.
 type Hybrid struct {
 	name string
 	geo  HybridGeometry
 
 	ghist uint64
 
-	sel        counters
-	selIdxBits uint
-	selHist    uint
-
-	gpht      counters
-	gIdxBits  uint
-	gHistBits uint
+	sel  ctrKernel
+	gpht ctrKernel
 
 	// Local component (HybridLocal).
 	lbht     []uint32
 	lbhtMask uint64
 	lWidth   uint
-	lpht     counters
-	lIdxBits uint
+	lpht     ctrKernel
 
 	// Bimodal component (HybridBimodal).
-	bim counters
+	bim ctrKernel
 }
 
 func init() {
@@ -70,21 +66,17 @@ func NewHybrid(name string, geo HybridGeometry) *Hybrid {
 	if !isPow2(geo.SelEntries) || !isPow2(geo.GlobalEntries) {
 		panic(fmt.Sprintf("bpred: hybrid %s selector/global entries must be powers of two", name))
 	}
+	if uint(geo.SelHistBits) > log2(geo.SelEntries) {
+		panic(fmt.Sprintf("bpred: hybrid %s selector history %d exceeds index %d bits", name, geo.SelHistBits, log2(geo.SelEntries)))
+	}
+	if uint(geo.GlobalHistBits) > log2(geo.GlobalEntries) {
+		panic(fmt.Sprintf("bpred: hybrid %s global history %d exceeds index %d bits", name, geo.GlobalHistBits, log2(geo.GlobalEntries)))
+	}
 	h := &Hybrid{
-		name:       name,
-		geo:        geo,
-		sel:        newCounters(geo.SelEntries),
-		selIdxBits: log2(geo.SelEntries),
-		selHist:    uint(geo.SelHistBits),
-		gpht:       newCounters(geo.GlobalEntries),
-		gIdxBits:   log2(geo.GlobalEntries),
-		gHistBits:  uint(geo.GlobalHistBits),
-	}
-	if h.selHist > h.selIdxBits {
-		panic(fmt.Sprintf("bpred: hybrid %s selector history %d exceeds index %d bits", name, geo.SelHistBits, h.selIdxBits))
-	}
-	if h.gHistBits > h.gIdxBits {
-		panic(fmt.Sprintf("bpred: hybrid %s global history %d exceeds index %d bits", name, geo.GlobalHistBits, h.gIdxBits))
+		name: name,
+		geo:  geo,
+		sel:  kernelConcat(geo.SelEntries, geo.SelHistBits),
+		gpht: kernelConcat(geo.GlobalEntries, geo.GlobalHistBits),
 	}
 	switch geo.Second {
 	case HybridLocal:
@@ -97,13 +89,12 @@ func NewHybrid(name string, geo HybridGeometry) *Hybrid {
 		h.lbht = make([]uint32, geo.LocalBHTEntries)
 		h.lbhtMask = uint64(geo.LocalBHTEntries - 1)
 		h.lWidth = uint(geo.LocalBHTWidth)
-		h.lpht = newCounters(geo.LocalPHTEntries)
-		h.lIdxBits = log2(geo.LocalPHTEntries)
+		h.lpht = kernelConcat(geo.LocalPHTEntries, geo.LocalBHTWidth)
 	case HybridBimodal:
 		if !isPow2(geo.BimodalEntries) {
 			panic(fmt.Sprintf("bpred: hybrid %s bimodal entries must be a power of two", name))
 		}
-		h.bim = newCounters(geo.BimodalEntries)
+		h.bim = kernelBimodal(geo.BimodalEntries)
 	default:
 		panic("bpred: unknown hybrid component kind")
 	}
@@ -119,63 +110,53 @@ func (h *Hybrid) Geometry() HybridGeometry { return h.geo }
 // GHist returns the current speculative global history (for tests).
 func (h *Hybrid) GHist() uint64 { return h.ghist }
 
-// concatIndex forms (hist:histBits | pc bits) into an idxBits-wide index.
-func concatIndex(pc, ghist uint64, idxBits, histBits uint) int32 {
-	hm := uint64(1)<<histBits - 1
-	pcBits := idxBits - histBits
-	return int32(((ghist & hm) << pcBits) | ((pc >> 2) & (uint64(1)<<pcBits - 1)))
-}
-
 // Lookup runs the selector and both components, chooses a direction, and
 // speculatively updates the shared global history and the local BHT.
+//
+//bp:hotpath
 func (h *Hybrid) Lookup(pc uint64) Prediction {
-	selIdx := concatIndex(pc, h.ghist, h.selIdxBits, h.selHist)
-	gIdx := concatIndex(pc, h.ghist, h.gIdxBits, h.gHistBits)
-	gTaken := h.gpht.taken(gIdx)
-	gStrong := h.gpht.strong(gIdx)
+	selIdx := h.sel.index(pc, h.ghist)
+	gIdx := h.gpht.index(pc, h.ghist)
+	gCtr := h.gpht.raw(gIdx)
+	gBit := gCtr >> 1
 
 	var (
-		sIdx    int32
-		sTaken  bool
-		sStrong bool
-		bhtIdx  int32 = -1
-		lPrior  uint32
+		sIdx   uint32
+		sCtr   uint8
+		bhtIdx int32 = -1
+		lPrior uint32
 	)
 	switch h.geo.Second {
 	case HybridLocal:
 		bhtIdx = int32((pc >> 2) & h.lbhtMask)
 		lPrior = h.lbht[bhtIdx]
-		hbits := uint64(lPrior) & (uint64(1)<<h.lWidth - 1)
-		pcBits := h.lIdxBits - h.lWidth
-		sIdx = int32((hbits << pcBits) | ((pc >> 2) & (uint64(1)<<pcBits - 1)))
-		sTaken = h.lpht.taken(sIdx)
-		sStrong = h.lpht.strong(sIdx)
+		sIdx = h.lpht.index(pc, uint64(lPrior))
+		sCtr = h.lpht.raw(sIdx)
 	case HybridBimodal:
-		sIdx = int32((pc >> 2) & uint64(len(h.bim)-1))
-		sTaken = h.bim.taken(sIdx)
-		sStrong = h.bim.strong(sIdx)
+		sIdx = h.bim.index(pc, 0)
+		sCtr = h.bim.raw(sIdx)
 	}
+	sBit := sCtr >> 1
 
-	useGlobal := h.sel.taken(selIdx) // counter >= 2 means "trust global"
-	taken := sTaken
-	if useGlobal {
-		taken = gTaken
-	}
+	u := h.sel.bit(selIdx) // 1 means "trust global"
+	takenBit := sBit ^ (u & (gBit ^ sBit))
 	p := Prediction{
-		PC: pc, Taken: taken,
-		Index0: gIdx, Index1: sIdx, Index2: selIdx, BHTIdx: bhtIdx,
+		PC: pc, Taken: takenBit != 0,
+		Index0: int32(gIdx), Index1: int32(sIdx), Index2: int32(selIdx), BHTIdx: bhtIdx,
 		GHistPrior: h.ghist, LocalPrior: lPrior,
-		GlobalTaken: gTaken, LocalTaken: sTaken, UsedGlobal: useGlobal,
-		BothStrong: gStrong && sStrong && gTaken == sTaken,
+		GlobalTaken: gBit != 0, LocalTaken: sBit != 0, UsedGlobal: u != 0,
+		BothStrong: strongBit(gCtr)&strongBit(sCtr)&(1^gBit^sBit) != 0,
 	}
-	h.ghist = h.ghist<<1 | b2u64(taken)
+	h.ghist = h.ghist<<1 | uint64(takenBit)
 	if bhtIdx >= 0 {
-		h.lbht[bhtIdx] = (lPrior<<1 | b2u32(taken)) & (uint32(1)<<h.lWidth - 1)
+		h.lbht[bhtIdx] = (lPrior<<1 | uint32(takenBit)) & (uint32(1)<<h.lWidth - 1)
 	}
 	return p
 }
 
 // Unwind restores the global history and local BHT entry touched by p.
+//
+//bp:hotpath
 func (h *Hybrid) Unwind(p *Prediction) {
 	h.ghist = p.GHistPrior
 	if p.BHTIdx >= 0 {
@@ -184,6 +165,8 @@ func (h *Hybrid) Unwind(p *Prediction) {
 }
 
 // Redirect repairs histories with the resolved outcome.
+//
+//bp:hotpath
 func (h *Hybrid) Redirect(p *Prediction, taken bool) {
 	h.ghist = p.GHistPrior<<1 | b2u64(taken)
 	if p.BHTIdx >= 0 {
@@ -193,6 +176,8 @@ func (h *Hybrid) Redirect(p *Prediction, taken bool) {
 
 // Update trains both components and, when they disagreed, the selector
 // toward whichever component was right.
+//
+//bp:hotpath
 func (h *Hybrid) Update(p *Prediction, taken bool) {
 	h.gpht.train(p.Index0, taken)
 	switch h.geo.Second {
@@ -209,17 +194,17 @@ func (h *Hybrid) Update(p *Prediction, taken bool) {
 // Tables describes all component tables for the power model.
 func (h *Hybrid) Tables() []TableSpec {
 	ts := []TableSpec{
-		{Name: "selector", Kind: TableSelector, Entries: len(h.sel), Width: 2},
-		{Name: "gpht", Kind: TablePHT, Entries: len(h.gpht), Width: 2},
+		{Name: "selector", Kind: TableSelector, Entries: h.sel.entries(), Width: 2},
+		{Name: "gpht", Kind: TablePHT, Entries: h.gpht.entries(), Width: 2},
 	}
 	switch h.geo.Second {
 	case HybridLocal:
 		ts = append(ts,
 			TableSpec{Name: "lbht", Kind: TableBHT, Entries: len(h.lbht), Width: int(h.lWidth)},
-			TableSpec{Name: "lpht", Kind: TablePHT, Entries: len(h.lpht), Width: 2},
+			TableSpec{Name: "lpht", Kind: TablePHT, Entries: h.lpht.entries(), Width: 2},
 		)
 	case HybridBimodal:
-		ts = append(ts, TableSpec{Name: "bimodal", Kind: TablePHT, Entries: len(h.bim), Width: 2})
+		ts = append(ts, TableSpec{Name: "bimodal", Kind: TablePHT, Entries: h.bim.entries(), Width: 2})
 	}
 	return ts
 }
@@ -244,7 +229,7 @@ func (h *Hybrid) Reset() {
 		}
 		h.lpht.reset()
 	}
-	if h.bim != nil {
+	if h.bim.ctr != nil {
 		h.bim.reset()
 	}
 }

@@ -1,0 +1,134 @@
+package bpred
+
+// The shared counter kernel. Every pattern-history table in the package —
+// bimodal, GAs, gshare, gselect, GAg, PAs, PAg, alloyed, and the hybrid's
+// selector/global/local/bimodal components — is one power-of-two array of
+// 2-bit saturating counters addressed by the same index formula:
+//
+//	idx = (((hist & hmask) << hshift) ^ (((pc >> 2) & pmask) << pshift)) & imask
+//
+// The two shifted fields never overlap (the constructors place history and
+// address bits in disjoint ranges, or hshift == pshift == 0 for the gshare
+// XOR), so XOR doubles as concatenation: GAs-style "history high, address
+// low", gselect's mirror "address high, history low", gshare's full-width
+// XOR, bimodal's pure address indexing, and GAg/PAg's pure history indexing
+// are all instances of the one expression with different masks. Direction is
+// the counter's top bit (ctr >> 1) and training is a table-driven saturating
+// step, so a lookup or an update executes no data-dependent branch and — with
+// the masked index against a power-of-two-length slice — no bounds check.
+type ctrKernel struct {
+	ctr    counters
+	hmask  uint64
+	hshift uint
+	pmask  uint64
+	pshift uint
+	imask  uint32
+}
+
+// ctrNext is the saturating 2-bit counter transition table, indexed by
+// (counter<<1 | outcome).
+var ctrNext = [8]uint8{0, 1, 0, 2, 1, 3, 2, 3}
+
+// kernelBimodal indexes purely by branch address: idx = (pc>>2) & mask.
+func kernelBimodal(entries int) ctrKernel {
+	mustPow2(entries, "bimodal pht")
+	m := uint64(entries - 1)
+	return ctrKernel{ctr: newCounters(entries), pmask: m, imask: uint32(m)}
+}
+
+// kernelXOR is gshare: idx = (hist ^ (pc>>2)) & mask, history as wide as the
+// full index.
+func kernelXOR(entries, histBits int) ctrKernel {
+	mustPow2(entries, "gshare pht")
+	m := uint64(entries - 1)
+	return ctrKernel{
+		ctr:   newCounters(entries),
+		hmask: uint64(1)<<uint(histBits) - 1,
+		pmask: m,
+		imask: uint32(m),
+	}
+}
+
+// kernelConcat is GAs/PAs/GAg-style concatenation: history in the high bits,
+// address bits filling the low ones (pcBits == 0 degenerates to pure-history
+// indexing).
+func kernelConcat(entries, histBits int) ctrKernel {
+	mustPow2(entries, "concat pht")
+	idxBits := log2(entries)
+	pcBits := idxBits - uint(histBits)
+	return ctrKernel{
+		ctr:    newCounters(entries),
+		hmask:  uint64(1)<<uint(histBits) - 1,
+		hshift: pcBits,
+		pmask:  uint64(1)<<pcBits - 1,
+		imask:  uint32(entries - 1),
+	}
+}
+
+// kernelGselect mirrors kernelConcat: address bits high, history low.
+func kernelGselect(entries, histBits int) ctrKernel {
+	mustPow2(entries, "gselect pht")
+	idxBits := log2(entries)
+	pcBits := idxBits - uint(histBits)
+	return ctrKernel{
+		ctr:    newCounters(entries),
+		hmask:  uint64(1)<<uint(histBits) - 1,
+		pmask:  uint64(1)<<pcBits - 1,
+		pshift: uint(histBits),
+		imask:  uint32(entries - 1),
+	}
+}
+
+func mustPow2(n int, what string) {
+	if !isPow2(n) {
+		panic("bpred: " + what + " size not a power of two")
+	}
+}
+
+// index forms the table index for pc under the given history value.
+//
+//bp:hotpath
+func (k *ctrKernel) index(pc, hist uint64) uint32 {
+	return uint32(((hist&k.hmask)<<k.hshift)^(((pc>>2)&k.pmask)<<k.pshift)) & k.imask
+}
+
+// bit returns the predicted direction bit (the counter's MSB) at index i.
+//
+//bp:hotpath
+func (k *ctrKernel) bit(i uint32) uint8 {
+	return k.raw(i) >> 1
+}
+
+// raw returns the counter value at index i. The empty-table guard is the
+// only branch: it teaches the compiler len > 0 so the masked access below
+// needs no bounds check, and every constructor makes a non-empty table.
+//
+//bp:hotpath
+func (k *ctrKernel) raw(i uint32) uint8 {
+	c := k.ctr
+	if len(c) == 0 {
+		return 0
+	}
+	return c[int(i)&(len(c)-1)]
+}
+
+// strongBit reports saturation (counter 0 or 3) as a 0/1 bit.
+//
+//bp:hotpath
+func strongBit(ctr uint8) uint8 { return (ctr>>1 ^ ctr ^ 1) & 1 }
+
+// train saturating-steps the counter at i toward the outcome.
+//
+//bp:hotpath
+func (k *ctrKernel) train(i int32, taken bool) {
+	c := k.ctr
+	if len(c) == 0 {
+		return
+	}
+	j := int(uint32(i)) & (len(c) - 1)
+	c[j] = ctrNext[(c[j]<<1|uint8(b2u32(taken)))&7]
+}
+
+func (k *ctrKernel) entries() int { return len(k.ctr) }
+
+func (k *ctrKernel) reset() { k.ctr.reset() }

@@ -17,8 +17,7 @@ type PAs struct {
 	bht      []uint32
 	bhtMask  uint64
 	bhtWidth uint
-	pht      counters
-	phtBits  uint
+	pht      ctrKernel
 }
 
 func init() {
@@ -43,59 +42,61 @@ func NewPAs(name string, bhtEntries, bhtWidth, phtEntries int) *PAs {
 		bht:      make([]uint32, bhtEntries),
 		bhtMask:  uint64(bhtEntries - 1),
 		bhtWidth: uint(bhtWidth),
-		pht:      newCounters(phtEntries),
-		phtBits:  log2(phtEntries),
+		pht:      kernelConcat(phtEntries, bhtWidth),
 	}
 }
 
 // Name returns the configuration name.
 func (p *PAs) Name() string { return p.name }
 
+//bp:hotpath
 func (p *PAs) bhtIndex(pc uint64) int32 { return int32((pc >> 2) & p.bhtMask) }
-
-func (p *PAs) phtIndex(pc uint64, hist uint32) int32 {
-	h := uint64(hist) & ((1 << p.bhtWidth) - 1)
-	pcBits := p.phtBits - p.bhtWidth
-	return int32((h << pcBits) | ((pc >> 2) & ((1 << pcBits) - 1)))
-}
 
 // Lookup predicts the branch at pc and shifts the prediction into its local
 // history register.
+//
+//bp:hotpath
 func (p *PAs) Lookup(pc uint64) Prediction {
 	bi := p.bhtIndex(pc)
 	hist := p.bht[bi]
-	pi := p.phtIndex(pc, hist)
-	taken := p.pht.taken(pi)
+	pi := p.pht.index(pc, uint64(hist))
+	bit := p.pht.bit(pi)
 	pr := Prediction{
-		PC: pc, Taken: taken,
-		Index0: pi, Index1: -1, Index2: -1, BHTIdx: bi,
+		PC: pc, Taken: bit != 0,
+		Index0: int32(pi), Index1: -1, Index2: -1, BHTIdx: bi,
 		LocalPrior: hist,
 	}
-	p.bht[bi] = (hist<<1 | b2u32(taken)) & ((1 << p.bhtWidth) - 1)
+	p.bht[bi] = (hist<<1 | uint32(bit)) & ((1 << p.bhtWidth) - 1)
 	return pr
 }
 
 // Unwind restores the branch's local history register.
+//
+//bp:hotpath
 func (p *PAs) Unwind(pr *Prediction) { p.bht[pr.BHTIdx] = pr.LocalPrior }
 
 // Redirect repairs the branch's local history with the resolved outcome.
+//
+//bp:hotpath
 func (p *PAs) Redirect(pr *Prediction, taken bool) {
 	p.bht[pr.BHTIdx] = (pr.LocalPrior<<1 | b2u32(taken)) & ((1 << p.bhtWidth) - 1)
 }
 
 // Update trains the counter selected at lookup time.
+//
+//bp:hotpath
 func (p *PAs) Update(pr *Prediction, taken bool) { p.pht.train(pr.Index0, taken) }
 
 // Tables describes the BHT and PHT for the power model.
 func (p *PAs) Tables() []TableSpec {
 	return []TableSpec{
 		{Name: "bht", Kind: TableBHT, Entries: len(p.bht), Width: int(p.bhtWidth)},
-		{Name: "pht", Kind: TablePHT, Entries: len(p.pht), Width: 2},
+		{Name: "pht", Kind: TablePHT, Entries: p.pht.entries(), Width: 2},
 	}
 }
 
 // TotalBits returns the predictor storage in bits.
-func (p *PAs) TotalBits() int { return len(p.bht)*int(p.bhtWidth) + len(p.pht)*2 }
+func (p *PAs) TotalBits() int { return len(p.bht)*int(p.bhtWidth) + p.pht.entries()*2 }
 
 // Reset restores power-on state.
 func (p *PAs) Reset() {

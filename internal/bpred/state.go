@@ -1,0 +1,111 @@
+package bpred
+
+import "fmt"
+
+// State is an opaque deep copy of a predictor's mutable state: its counter
+// tables, local-history registers, and global-history register(s). Like
+// Devirt, capture and restore are a single type switch over the package's
+// concrete predictors, so the Predictor interface itself stays minimal and
+// external implementations keep working (they simply cannot be checkpointed).
+type State struct {
+	// ctrs holds deep copies of every 2-bit counter table, in a fixed
+	// per-kind order.
+	ctrs [][]uint8
+	// bhts holds deep copies of local-history register files.
+	bhts [][]uint32
+	// regs holds scalar history registers.
+	regs []uint64
+}
+
+// CaptureState snapshots p's mutable state. It panics for predictor types it
+// does not know — every predictor constructed through this package's
+// registry is supported.
+func CaptureState(p Predictor) State {
+	switch t := p.(type) {
+	case *Static:
+		return State{}
+	case *Bimodal:
+		return State{ctrs: [][]uint8{cloneCtr(t.pht.ctr)}}
+	case *TwoLevelGlobal:
+		return State{ctrs: [][]uint8{cloneCtr(t.pht.ctr)}, regs: []uint64{t.ghist}}
+	case *Gselect:
+		return State{ctrs: [][]uint8{cloneCtr(t.pht.ctr)}, regs: []uint64{t.ghist}}
+	case *PAg:
+		return State{ctrs: [][]uint8{cloneCtr(t.pht.ctr)}, bhts: [][]uint32{cloneBHT(t.bht)}}
+	case *PAs:
+		return State{ctrs: [][]uint8{cloneCtr(t.pht.ctr)}, bhts: [][]uint32{cloneBHT(t.bht)}}
+	case *Alloyed:
+		return State{
+			ctrs: [][]uint8{cloneCtr(t.pht.ctr)},
+			bhts: [][]uint32{cloneBHT(t.bht)},
+			regs: []uint64{t.ghist},
+		}
+	case *Hybrid:
+		return State{
+			ctrs: [][]uint8{cloneCtr(t.sel.ctr), cloneCtr(t.gpht.ctr), cloneCtr(t.lpht.ctr), cloneCtr(t.bim.ctr)},
+			bhts: [][]uint32{cloneBHT(t.lbht)},
+			regs: []uint64{t.ghist},
+		}
+	}
+	panic(fmt.Sprintf("bpred: cannot capture state of predictor type %T", p))
+}
+
+// RestoreState applies a State previously captured from a predictor of the
+// same configuration.
+func RestoreState(p Predictor, s State) {
+	switch t := p.(type) {
+	case *Static:
+		return
+	case *Bimodal:
+		restoreCtr(t.pht.ctr, s.ctrs, 0)
+		return
+	case *TwoLevelGlobal:
+		restoreCtr(t.pht.ctr, s.ctrs, 0)
+		t.ghist = s.regs[0]
+		return
+	case *Gselect:
+		restoreCtr(t.pht.ctr, s.ctrs, 0)
+		t.ghist = s.regs[0]
+		return
+	case *PAg:
+		restoreCtr(t.pht.ctr, s.ctrs, 0)
+		restoreBHT(t.bht, s.bhts, 0)
+		return
+	case *PAs:
+		restoreCtr(t.pht.ctr, s.ctrs, 0)
+		restoreBHT(t.bht, s.bhts, 0)
+		return
+	case *Alloyed:
+		restoreCtr(t.pht.ctr, s.ctrs, 0)
+		restoreBHT(t.bht, s.bhts, 0)
+		t.ghist = s.regs[0]
+		return
+	case *Hybrid:
+		restoreCtr(t.sel.ctr, s.ctrs, 0)
+		restoreCtr(t.gpht.ctr, s.ctrs, 1)
+		restoreCtr(t.lpht.ctr, s.ctrs, 2)
+		restoreCtr(t.bim.ctr, s.ctrs, 3)
+		restoreBHT(t.lbht, s.bhts, 0)
+		t.ghist = s.regs[0]
+		return
+	}
+	panic(fmt.Sprintf("bpred: cannot restore state of predictor type %T", p))
+}
+
+func cloneCtr(c counters) []uint8 { return append([]uint8(nil), c...) }
+
+func cloneBHT(b []uint32) []uint32 { return append([]uint32(nil), b...) }
+
+func restoreCtr(dst counters, src [][]uint8, i int) {
+	if len(src[i]) != len(dst) {
+		panic("bpred: state counter-table size mismatch")
+	}
+	copy(dst, src[i])
+}
+
+func restoreBHT(dst []uint32, src [][]uint32, i int) {
+	if len(src[i]) != len(dst) {
+		panic("bpred: state history-table size mismatch")
+	}
+	copy(dst, src[i])
+}

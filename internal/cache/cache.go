@@ -8,7 +8,10 @@
 // used for the predictor tables.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Level is anything that can service a memory access and report its latency.
 type Level interface {
@@ -101,6 +104,13 @@ type Cache struct {
 	clock uint64
 	stats Stats
 
+	// blockShift/setMask/setShift are the precomputed power-of-two geometry
+	// (Validate enforces it), so the per-access set/tag split is two shifts
+	// and a mask instead of two 64-bit divisions.
+	blockShift uint
+	setShift   uint
+	setMask    uint64
+
 	// OnRefill, if non-nil, is invoked with the block-aligned address and
 	// the physical line index (set*ways + way) of every line filled on a
 	// miss. The PPD hooks I-cache refills here to install pre-decode bits
@@ -112,6 +122,34 @@ type Cache struct {
 	lastLine int
 }
 
+// linePools recycles line storage across cache constructions, one sync.Pool
+// per exact length. The line arrays dominate a simulator's footprint (the L2
+// alone is hundreds of kilobytes), and figure sweeps build hundreds of
+// simulators with identical geometry, so reuse turns that from steady
+// allocation into a handful of arrays cycling through the pools. Recycled
+// storage is zeroed before use — a pooled cache is indistinguishable from a
+// freshly allocated one.
+var linePools sync.Map // int (len) -> *sync.Pool of *[]line
+
+func newLines(n int) []line {
+	if p, ok := linePools.Load(n); ok {
+		if v := p.(*sync.Pool).Get(); v != nil {
+			ls := *v.(*[]line)
+			clear(ls)
+			return ls
+		}
+	}
+	return make([]line, n)
+}
+
+func freeLines(ls []line) {
+	if len(ls) == 0 {
+		return
+	}
+	p, _ := linePools.LoadOrStore(len(ls), &sync.Pool{})
+	p.(*sync.Pool).Put(&ls)
+}
+
 // New builds a cache level backed by next (which must not be nil).
 func New(cfg Config, next Level) *Cache {
 	if err := cfg.Validate(); err != nil {
@@ -121,10 +159,30 @@ func New(cfg Config, next Level) *Cache {
 		panic(fmt.Sprintf("cache %s: nil next level", cfg.Name))
 	}
 	return &Cache{
-		cfg:   cfg,
-		next:  next,
-		lines: make([]line, cfg.Sets()*cfg.Ways),
+		cfg:        cfg,
+		next:       next,
+		lines:      newLines(cfg.Sets() * cfg.Ways),
+		blockShift: log2u(uint64(cfg.BlockBytes)),
+		setShift:   log2u(uint64(cfg.Sets())),
+		setMask:    uint64(cfg.Sets() - 1),
 	}
+}
+
+// Free returns the cache's line storage to the package pool for reuse by a
+// later New. The cache must not be used afterwards.
+func (c *Cache) Free() {
+	freeLines(c.lines)
+	c.lines = nil
+}
+
+// log2u returns log2 of a power of two.
+func log2u(v uint64) uint {
+	n := uint(0)
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
 }
 
 // Config returns the cache's configuration.
@@ -137,9 +195,8 @@ func (c *Cache) Stats() Stats { return c.stats }
 
 //bp:hotpath
 func (c *Cache) set(addr uint64) (base int, tag uint64) {
-	block := addr / uint64(c.cfg.BlockBytes)
-	sets := uint64(c.cfg.Sets())
-	return int(block%sets) * c.cfg.Ways, block / sets
+	block := addr >> c.blockShift
+	return int(block&c.setMask) * c.cfg.Ways, block >> c.setShift
 }
 
 // Access services a read or write, filling on miss, and returns the total
@@ -229,6 +286,40 @@ func (c *Cache) Reset() {
 	c.stats = Stats{}
 }
 
+// State is a deep copy of a cache's mutable contents (tags, LRU, dirty bits,
+// statistics) — everything Restore needs to resume a simulation mid-run.
+// It is opaque: only SetState consumes it.
+type State struct {
+	lines    []line
+	clock    uint64
+	stats    Stats
+	lastLine int
+}
+
+// State captures the cache's mutable state. OnRefill is deliberately not
+// captured: it is configuration (a closure bound to the owning simulator),
+// not simulation state.
+func (c *Cache) State() State {
+	return State{
+		lines:    append([]line(nil), c.lines...),
+		clock:    c.clock,
+		stats:    c.stats,
+		lastLine: c.lastLine,
+	}
+}
+
+// SetState restores state previously captured from a cache with the same
+// geometry.
+func (c *Cache) SetState(s State) {
+	if len(s.lines) != len(c.lines) {
+		panic(fmt.Sprintf("cache %s: state has %d lines, cache has %d", c.cfg.Name, len(s.lines), len(c.lines)))
+	}
+	copy(c.lines, s.lines)
+	c.clock = s.clock
+	c.stats = s.stats
+	c.lastLine = s.lastLine
+}
+
 // TLB is a fully-associative translation lookaside buffer with LRU
 // replacement and a fixed miss penalty.
 type TLB struct {
@@ -258,7 +349,14 @@ func NewTLB(entries int, pageBytes uint64, missPenalty int) *TLB {
 	for p := pageBytes; p > 1; p >>= 1 {
 		bits++
 	}
-	return &TLB{entries: make([]line, entries), pageBits: bits, missPen: missPenalty}
+	return &TLB{entries: newLines(entries), pageBits: bits, missPen: missPenalty}
+}
+
+// Free returns the TLB's entry storage to the package pool for reuse by a
+// later NewTLB. The TLB must not be used afterwards.
+func (t *TLB) Free() {
+	freeLines(t.entries)
+	t.entries = nil
 }
 
 // Access translates addr, returning the added latency (0 on hit, the miss
@@ -306,4 +404,33 @@ func (t *TLB) Reset() {
 	t.clock = 0
 	t.stats = Stats{}
 	t.mru = 0
+}
+
+// TLBState is a deep copy of a TLB's mutable contents; see Cache.State.
+type TLBState struct {
+	entries []line
+	clock   uint64
+	stats   Stats
+	mru     int
+}
+
+// State captures the TLB's mutable state.
+func (t *TLB) State() TLBState {
+	return TLBState{
+		entries: append([]line(nil), t.entries...),
+		clock:   t.clock,
+		stats:   t.stats,
+		mru:     t.mru,
+	}
+}
+
+// SetState restores state previously captured from a TLB of the same size.
+func (t *TLB) SetState(s TLBState) {
+	if len(s.entries) != len(t.entries) {
+		panic(fmt.Sprintf("cache: TLB state has %d entries, TLB has %d", len(s.entries), len(t.entries)))
+	}
+	copy(t.entries, s.entries)
+	t.clock = s.clock
+	t.stats = s.stats
+	t.mru = s.mru
 }

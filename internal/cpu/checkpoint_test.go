@@ -1,0 +1,131 @@
+package cpu
+
+import (
+	"testing"
+
+	"bpredpower/internal/bpred"
+	"bpredpower/internal/gating"
+	"bpredpower/internal/ppd"
+)
+
+// assertSameState fails unless the two sims agree on every statistic, the
+// cycle clock, and all energy readings, bit for bit.
+func assertSameState(t *testing.T, label string, a, b *Sim) {
+	t.Helper()
+	if *a.Stats() != *b.Stats() {
+		t.Errorf("%s: stats diverged:\n  monolithic %+v\n  segmented  %+v", label, *a.Stats(), *b.Stats())
+	}
+	if a.Cycle() != b.Cycle() {
+		t.Errorf("%s: cycle %d != %d", label, a.Cycle(), b.Cycle())
+	}
+	if ea, eb := a.Meter().TotalEnergy(), b.Meter().TotalEnergy(); ea != eb {
+		t.Errorf("%s: total energy %v != %v", label, ea, eb)
+	}
+	if pa, pb := a.Meter().PredictorEnergy(), b.Meter().PredictorEnergy(); pa != pb {
+		t.Errorf("%s: predictor energy %v != %v", label, pa, pb)
+	}
+	ra := a.Meter().BreakdownSorted()
+	rb := b.Meter().BreakdownSorted()
+	if len(ra) != len(rb) {
+		t.Fatalf("%s: breakdown rows %d != %d", label, len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Errorf("%s: breakdown row %d: %+v != %+v", label, i, ra[i], rb[i])
+		}
+	}
+}
+
+// TestCheckpointRoundTripAllConfigs runs, for every registered predictor
+// configuration, a monolithic simulation and a paused one — checkpointed
+// mid-run and restored into a *fresh* Sim that finishes the rest — and
+// requires bit-identical statistics and energies.
+func TestCheckpointRoundTripAllConfigs(t *testing.T) {
+	const half, full = 12000, 24000
+	prog := testProgram(11)
+	for _, spec := range bpred.AllConfigs() {
+		opt := Options{Predictor: spec}
+		mono := MustNew(prog, opt)
+		mono.RunTo(full)
+
+		first := MustNew(prog, opt)
+		first.RunTo(half)
+		cp := first.Checkpoint()
+
+		second := MustNew(prog, opt)
+		second.Restore(cp)
+		if second.Stats().Committed < half {
+			t.Fatalf("%s: restored sim reports %d committed, want >= %d", spec.Name, second.Stats().Committed, half)
+		}
+		second.RunTo(full)
+		assertSameState(t, spec.Name, mono, second)
+	}
+}
+
+// TestCheckpointIsNonDestructive verifies that taking a checkpoint does not
+// perturb the running simulation, and that one checkpoint can seed several
+// resumed runs.
+func TestCheckpointIsNonDestructive(t *testing.T) {
+	prog := testProgram(13)
+	opt := Options{Predictor: bpred.Hybrid1}
+
+	mono := MustNew(prog, opt)
+	mono.RunTo(20000)
+
+	paused := MustNew(prog, opt)
+	paused.RunTo(9000)
+	cp := paused.Checkpoint()
+	paused.RunTo(20000) // original keeps running after the snapshot
+	assertSameState(t, "original-after-checkpoint", mono, paused)
+
+	for i := 0; i < 2; i++ {
+		r := MustNew(prog, opt)
+		r.Restore(cp)
+		r.RunTo(20000)
+		assertSameState(t, "restored", mono, r)
+	}
+}
+
+// TestCheckpointWithFrontEndOptions exercises the option-dependent state:
+// PPD (and its I-cache refill hook), pipeline gating with a JRS table, and
+// the 21264-style line predictor.
+func TestCheckpointWithFrontEndOptions(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  Options
+	}{
+		{"ppd", Options{Predictor: bpred.Hybrid1, PPD: ppd.Scenario1}},
+		{"gating-jrs", Options{Predictor: bpred.Gsh16k12, Gating: gating.Config{Enabled: true, Threshold: 1, Estimator: gating.EstimatorJRS}}},
+		{"linepred", Options{Predictor: bpred.Hybrid1, LinePredictor: true, PPD: ppd.Scenario2}},
+	}
+	prog := testProgram(17)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mono := MustNew(prog, tc.opt)
+			mono.RunTo(16000)
+
+			first := MustNew(prog, tc.opt)
+			first.RunTo(7000)
+			cp := first.Checkpoint()
+			second := MustNew(prog, tc.opt)
+			second.Restore(cp)
+			second.RunTo(16000)
+			assertSameState(t, tc.name, mono, second)
+		})
+	}
+}
+
+// TestRestoreRejectsMismatchedOptions checks the geometry guards.
+func TestRestoreRejectsMismatchedOptions(t *testing.T) {
+	prog := testProgram(19)
+	src := MustNew(prog, Options{Predictor: bpred.Hybrid1, PPD: ppd.Scenario1})
+	src.RunTo(2000)
+	cp := src.Checkpoint()
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("restoring a PPD checkpoint into a PPD-less sim did not panic")
+		}
+	}()
+	MustNew(prog, Options{Predictor: bpred.Hybrid1}).Restore(cp)
+}

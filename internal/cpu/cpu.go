@@ -79,43 +79,12 @@ type Options struct {
 	ChargeLookupsPerBranch bool
 }
 
-type entryState uint8
-
+// Entry lifecycle states stored in entryStore.state.
 const (
-	stDispatched entryState = iota
+	stDispatched uint8 = iota
 	stIssued
 	stDone
 )
-
-// robEntry is one in-flight instruction (also used for fetch-queue slots).
-type robEntry struct {
-	si        *isa.StaticInst
-	wrongPath bool
-	fetchSeq  uint64
-	readyAt   uint64 // cycle the front-end pipe delivers it to dispatch
-
-	// Control-flow bookkeeping.
-	isCond, isCtl bool
-	hasPred       bool
-	pred          bpred.Prediction
-	hasRAS        bool
-	rasSnap       ras.Snapshot
-	predTaken     bool
-	predNext      uint64 // where fetch proceeded after this instruction
-	actualTaken   bool
-	actualNext    uint64
-	lowConf       bool
-	resolved      bool
-
-	// Execution bookkeeping.
-	state    entryState
-	doneAt   uint64
-	dep1     int64 // rob IDs of producers (-1 = ready)
-	dep2     int64
-	prevProd int64 // previous producer of si.Dest, for rename rollback
-	isMem    bool
-	memAddr  uint64
-}
 
 // Sim is one simulated machine bound to one program.
 type Sim struct {
@@ -150,22 +119,43 @@ type Sim struct {
 	fetchStallUntil uint64
 	fetchSeq        uint64
 
-	// Fetch queue as a fixed-capacity ring buffer sized to the front end
-	// (fetch buffer plus the per-stage decode/rename latches), so steady-state
-	// fetch never allocates. fqHead indexes the oldest entry; fqLen counts
-	// occupied slots.
-	fq     []robEntry
+	// Fetch queue as a fixed-capacity structure-of-arrays ring buffer sized
+	// to the front end (fetch buffer plus the per-stage decode/rename
+	// latches), so steady-state fetch never allocates. fqHead indexes the
+	// oldest entry; fqLen counts occupied slots.
+	fq     entryStore
+	fqCap  int
 	fqHead int
 	fqLen  int
 
-	// ROB (RUU) as a ring buffer sized to the next power of two above
-	// RUUSize, so the slot map is a single AND with robMask instead of a
-	// 64-bit modulo on every access (the modulo dominated the profile).
-	// Occupancy is still capped at cfg.RUUSize by dispatch.
-	rob      []robEntry
-	robMask  int64
-	headID   int64
-	tailID   int64
+	// ROB (RUU) as a structure-of-arrays ring sized to the next power of two
+	// above RUUSize (and at least 64, so the scheduler bitmaps below are
+	// whole words), so the slot map is a single AND with robMask. Occupancy
+	// is still capped at cfg.RUUSize by dispatch.
+	rob     entryStore
+	robMask int64
+	nw      int // bitmap words per ring: size/64 (a power of two)
+	headID  int64
+	tailID  int64
+
+	// Scheduler state as packed per-slot bitmaps, scanned branch-free with
+	// bits.TrailingZeros64 in ring-age order instead of walking every
+	// in-flight entry:
+	//
+	//	readyBits — dispatched, all operands available, not yet issued
+	//	doneBits  — completed; the contiguous run at headID is committable
+	//	wheel     — completion event wheel: row (doneAt & wheelMask) holds
+	//	            the slots whose results arrive that cycle
+	//	wakers    — per producer slot, the consumer slots waiting on it
+	//	depCount  — per consumer slot, outstanding producer count
+	readyBits []uint64
+	doneBits  []uint64
+	wheel     []uint64
+	wheelMask uint64
+	wheelRows uint64
+	wakers    []uint64
+	depCount  []uint8
+
 	lsqUsed  int
 	regProd  [isa.NumArchRegs]int64
 	divBusy  uint64 // integer divider busy-until cycle
@@ -200,6 +190,10 @@ func New(prog *program.Program, opt Options) (*Sim, error) {
 		return nil, fmt.Errorf("cpu: 'both strong' confidence estimation requires a hybrid predictor (use the JRS or perfect estimator for other kinds)")
 	}
 
+	if cfg.CommitWidth > 64 {
+		return nil, fmt.Errorf("cpu: commit width %d exceeds the 64-entry done-bitmap scan", cfg.CommitWidth)
+	}
+
 	s := &Sim{
 		opt:    opt,
 		cfg:    cfg,
@@ -210,9 +204,25 @@ func New(prog *program.Program, opt Options) (*Sim, error) {
 		ras:    ras.New(cfg.RASEntries),
 		gate:   gating.New(opt.Gating),
 		mem:    &cache.MainMemory{Latency: cfg.MemLatency},
-		rob:    make([]robEntry, ceilPow2(cfg.RUUSize)),
 	}
-	s.robMask = int64(len(s.rob) - 1)
+	ringSize := ceilPow2(cfg.RUUSize)
+	if ringSize < 64 {
+		ringSize = 64 // bitmaps stay whole words; occupancy is capped below
+	}
+	s.rob = pooledEntryStore(ringSize)
+	s.robMask = int64(ringSize - 1)
+	s.nw = ringSize / 64
+	s.readyBits = make([]uint64, s.nw)
+	s.doneBits = make([]uint64, s.nw)
+	s.wakers = make([]uint64, ringSize*s.nw)
+	s.depCount = make([]uint8, ringSize)
+	// The event wheel must span the longest possible issue-to-writeback
+	// latency: a load missing every level plus a TLB miss, with margin for
+	// the functional-unit latency on top.
+	rows := ceilPow2(cfg.DL1.HitLatency + cfg.L2.HitLatency + cfg.MemLatency + cfg.TLBMissPenalty + 64)
+	s.wheel = make([]uint64, rows*s.nw)
+	s.wheelRows = uint64(rows)
+	s.wheelMask = uint64(rows - 1)
 	s.predFn = bpred.Devirt(s.pred)
 	s.l2 = cache.New(cfg.L2, s.mem)
 	s.il1 = cache.New(cfg.IL1, s.l2)
@@ -240,7 +250,8 @@ func New(prog *program.Program, opt Options) (*Sim, error) {
 	// the decode and extra rename/enqueue stages (DecodeWidth per stage).
 	// Modelling the capacity without the per-stage latches would let
 	// Little's law cap throughput at FetchBuffer / pipe-depth.
-	s.fq = make([]robEntry, cfg.FetchBuffer+cfg.DecodeWidth*(1+cfg.ExtraStages))
+	s.fqCap = cfg.FetchBuffer + cfg.DecodeWidth*(1+cfg.ExtraStages)
+	s.fq = pooledEntryStore(s.fqCap)
 
 	s.fetchPC = prog.Entry
 	for i := range s.regProd {
@@ -355,9 +366,6 @@ func ceilPow2(n int) int {
 //
 //bp:hotpath
 func (s *Sim) robCount() int { return int(s.tailID - s.headID) }
-
-//bp:hotpath
-func (s *Sim) slot(id int64) *robEntry { return &s.rob[id&s.robMask] }
 
 // runBlockCycles is the cycle-block granularity of Run: the inner loop runs
 // up to this many cycles against a precomputed bound so the per-cycle

@@ -28,7 +28,7 @@ func (s *Sim) fetch() {
 		return
 	}
 	// The fetch-queue ring is sized to the front-end capacity (see New).
-	if s.fqLen >= len(s.fq) {
+	if s.fqLen >= s.fqCap {
 		return
 	}
 
@@ -49,7 +49,7 @@ func (s *Sim) fetch() {
 	lineEnd := (s.fetchPC &^ (lineBytes - 1)) + lineBytes
 	budget := s.cfg.FetchWidth
 
-	for budget > 0 && s.fqLen < len(s.fq) && s.fetchPC < lineEnd {
+	for budget > 0 && s.fqLen < s.fqCap && s.fetchPC < lineEnd {
 		stop := s.fetchOne()
 		budget--
 		if stop {
@@ -63,103 +63,113 @@ func (s *Sim) fetch() {
 // It returns true when fetch must end this cycle (taken prediction,
 // misfetch bubble, or wrong path running off the image).
 //
-// The entry is built directly in its fetch-queue slot (the slot past the
-// occupied span is free by construction), so the ~170-byte robEntry is
-// never copied; on the one early return the slot is simply left unclaimed.
+// The entry is built directly in its fetch-queue slot's lanes (the slot past
+// the occupied span is free by construction); on the one early return the
+// slot is simply left unclaimed.
 //
 //bp:hotpath
 func (s *Sim) fetchOne() (stop bool) {
 	fqi := s.fqHead + s.fqLen
-	if fqi >= len(s.fq) {
-		fqi -= len(s.fq)
+	if fqi >= s.fqCap {
+		fqi -= s.fqCap
 	}
-	e := &s.fq[fqi]
-	*e = robEntry{
-		fetchSeq: s.fetchSeq,
-		readyAt:  s.cycle + 1 + uint64(s.cfg.ExtraStages),
-		dep1:     -1, dep2: -1, prevProd: -1,
-	}
+	fq := &s.fq
+	seq := s.fetchSeq
+	fq.readyAt[fqi] = s.cycle + 1 + uint64(s.cfg.ExtraStages)
 	s.fetchSeq++
 
+	var si *isa.StaticInst
+	flags := uint16(0)
 	if s.onWrongPath {
-		si := s.prog.InstAt(s.fetchPC)
+		si = s.prog.InstAt(s.fetchPC)
 		if si == nil {
 			// Wrong path left the code image: fetch idles until redirect.
 			s.fetchHalted = true
 			return true
 		}
-		e.si = si
-		e.wrongPath = true
+		fq.si[fqi] = si
+		flags |= fWrongPath
 		s.stats.WrongPathFetched++
 	} else {
 		if s.walker.PC() != s.fetchPC {
 			panic("cpu: correct-path fetch diverged from the architectural walker")
 		}
 		st := s.walker.Step()
-		e.si = st.SI
-		e.actualTaken = st.Taken
-		e.actualNext = st.NextPC
-		e.memAddr = st.MemAddr
+		si = st.SI
+		fq.si[fqi] = si
+		if st.Taken {
+			flags |= fActualTaken
+		}
+		fq.actualNext[fqi] = st.NextPC
+		fq.memAddr[fqi] = st.MemAddr
 	}
 	s.stats.Fetched++
+	fq.op[fqi] = uint32(si.Class) | uint32(si.Dest)<<8 | uint32(si.Src1)<<16 | uint32(si.Src2)<<24
 
-	si := e.si
-	e.isCond = si.Class.IsCondBranch()
-	e.isCtl = si.Class.IsControl()
-	e.isMem = si.Class.IsMem()
-	if e.wrongPath && e.isMem {
-		e.memAddr = program.WrongPathMemAddr(s.prog, si, e.fetchSeq)
+	cm := classTab[si.Class].flags
+	flags |= cm
+	isCond := cm&fIsCond != 0
+	isCtl := cm&fIsCtl != 0
+	isMem := cm&fIsMem != 0
+	wrongPath := flags&fWrongPath != 0
+	if wrongPath && isMem {
+		fq.memAddr[fqi] = program.WrongPathMemAddr(s.prog, si, seq)
 	}
+	fq.flags[fqi] = flags
 
 	next := si.NextPC()
 	stopAfter := false
-	if e.isCtl {
-		next, stopAfter = s.predictControl(e)
+	if isCtl {
+		next, stopAfter = s.predictControl(fqi)
+		flags = fq.flags[fqi] // predictControl sets prediction flags
 	}
-	e.predNext = next
+	fq.predNext[fqi] = next
 
 	// Wrong-path control flow: synthesize plausible outcomes so wrong-path
 	// branches resolve and can re-redirect within the wrong path.
-	if e.wrongPath {
+	if wrongPath {
 		switch {
-		case e.isCond:
-			e.actualTaken = program.WrongPathOutcome(s.prog.Seed, si.PC, e.fetchSeq)
-			if e.actualTaken {
-				e.actualNext = si.Target
+		case isCond:
+			if program.WrongPathOutcome(s.prog.Seed, si.PC, seq) {
+				flags |= fActualTaken
+				fq.actualNext[fqi] = si.Target
 			} else {
-				e.actualNext = si.NextPC()
+				fq.actualNext[fqi] = si.NextPC()
 			}
 		case si.Class == isa.ClassReturn:
 			// No architectural stack to consult; treat the RAS prediction
 			// as correct so wrong-path returns never re-redirect.
-			e.actualTaken = true
-			e.actualNext = e.predNext
-		case e.isCtl:
-			e.actualTaken = true
-			e.actualNext = si.Target
+			flags |= fActualTaken
+			fq.actualNext[fqi] = next
+		case isCtl:
+			flags |= fActualTaken
+			fq.actualNext[fqi] = si.Target
 		default:
-			e.actualNext = si.NextPC()
+			fq.actualNext[fqi] = si.NextPC()
 		}
+		fq.flags[fqi] = flags
 	}
 
 	// Detect fetch leaving the correct path.
-	if !e.wrongPath && e.predNext != e.actualNext {
+	if !wrongPath && next != fq.actualNext[fqi] {
 		s.onWrongPath = true
 	}
 
 	s.fqLen++
-	s.fetchPC = e.predNext
-	return stopAfter || (e.isCtl && e.predNext != si.NextPC())
+	s.fetchPC = next
+	return stopAfter || (isCtl && next != si.NextPC())
 }
 
-// predictControl runs the front-end prediction machinery for a control
-// instruction: direction predictor for conditional branches, BTB for taken
-// targets, RAS for calls and returns. It returns the next fetch PC and
-// whether fetch must stop after this instruction.
+// predictControl runs the front-end prediction machinery for the control
+// instruction in fetch-queue slot fqi: direction predictor for conditional
+// branches, BTB for taken targets, RAS for calls and returns. It returns the
+// next fetch PC and whether fetch must stop after this instruction, and adds
+// the prediction flags to the slot.
 //
 //bp:hotpath
-func (s *Sim) predictControl(e *robEntry) (next uint64, stop bool) {
-	si := e.si
+func (s *Sim) predictControl(fqi int) (next uint64, stop bool) {
+	fq := &s.fq
+	si := fq.si[fqi]
 	pc := si.PC
 	if s.opt.ChargeLookupsPerBranch && si.Class.IsControl() {
 		if si.Class.IsCondBranch() {
@@ -174,16 +184,19 @@ func (s *Sim) predictControl(e *robEntry) (next uint64, stop bool) {
 	switch si.Class {
 	case isa.ClassBranch:
 		pr := s.predFn.Lookup(pc)
-		e.pred = pr
-		e.hasPred = true
-		e.predTaken = pr.Taken
-		e.rasSnap = s.ras.Checkpoint()
-		e.hasRAS = true
-		e.lowConf = s.gate.Enabled() && !s.highConfidence(e, pr)
-		s.gate.OnFetchBranch(!e.lowConf)
-		if e.lowConf {
+		fq.pred[fqi] = pr
+		flags := fq.flags[fqi] | fHasPred | fHasRAS
+		if pr.Taken {
+			flags |= fPredTaken
+		}
+		fq.rasSnap[fqi] = s.ras.Checkpoint()
+		lowConf := s.gate.Enabled() && !s.highConfidence(fqi, flags, pr)
+		if lowConf {
+			flags |= fLowConf
 			s.stats.LowConfFetched++
 		}
+		fq.flags[fqi] = flags
+		s.gate.OnFetchBranch(!lowConf)
 		if !pr.Taken {
 			return si.NextPC(), false
 		}
@@ -197,7 +210,7 @@ func (s *Sim) predictControl(e *robEntry) (next uint64, stop bool) {
 		return si.Target, true
 
 	case isa.ClassJump:
-		e.predTaken = true
+		fq.flags[fqi] |= fPredTaken
 		if target, hit := s.targetLookup(pc); hit && target == si.Target {
 			return si.Target, true
 		}
@@ -205,7 +218,7 @@ func (s *Sim) predictControl(e *robEntry) (next uint64, stop bool) {
 		return si.Target, true
 
 	case isa.ClassCall:
-		e.predTaken = true
+		fq.flags[fqi] |= fPredTaken
 		s.ras.Push(si.NextPC())
 		s.pw.rasUnit.Write(1)
 		if target, hit := s.targetLookup(pc); hit && target == si.Target {
@@ -215,9 +228,8 @@ func (s *Sim) predictControl(e *robEntry) (next uint64, stop bool) {
 		return si.Target, true
 
 	case isa.ClassReturn:
-		e.predTaken = true
-		e.rasSnap = s.ras.Checkpoint()
-		e.hasRAS = true
+		fq.flags[fqi] |= fPredTaken | fHasRAS
+		fq.rasSnap[fqi] = s.ras.Checkpoint()
 		target := s.ras.Pop()
 		s.pw.rasUnit.Read(1)
 		return target, true
@@ -229,15 +241,15 @@ func (s *Sim) predictControl(e *robEntry) (next uint64, stop bool) {
 // conditional branch prediction.
 //
 //bp:hotpath
-func (s *Sim) highConfidence(e *robEntry, pr bpred.Prediction) bool {
+func (s *Sim) highConfidence(fqi int, flags uint16, pr bpred.Prediction) bool {
 	switch s.gate.Config().Estimator {
 	case gating.EstimatorJRS:
-		return s.gate.JRSTable().HighConfidence(e.si.PC)
+		return s.gate.JRSTable().HighConfidence(s.fq.si[fqi].PC)
 	case gating.EstimatorPerfect:
 		// Oracle: for wrong-path branches the actual outcome is not yet
 		// synthesized at this point; treat them as low confidence, which is
 		// what a perfect estimator would effectively do on a wrong path.
-		return !e.wrongPath && pr.Taken == e.actualTaken
+		return flags&fWrongPath == 0 && pr.Taken == (flags&fActualTaken != 0)
 	default:
 		return pr.BothStrong
 	}

@@ -99,11 +99,20 @@ type Job struct {
 // concurrency-safe cache (see RunCache): several harnesses — one per server
 // request, say — then deduplicate identical simulations across goroutines
 // via its singleflight and share one LRU budget.
+//
+// Segments, when > 1, splits each simulation's warm-up and measurement
+// phases into that many fixed instruction-count segments stitched through
+// cpu.Checkpoint/Restore (see simulateSegmentedCtx). Results are
+// byte-identical at any value — segmentation only tightens cancellation
+// latency from one run to one segment — so segmented and monolithic runs
+// legitimately share RunCache entries. Set it before the first simulation;
+// like Parallel it is read concurrently by Prefetch workers.
 type Harness struct {
 	RC       RunConfig
 	Parallel int
 	Ctx      context.Context
 	Cache    *RunCache
+	Segments int
 
 	err   error
 	progs map[string]*program.Program
@@ -243,15 +252,15 @@ func (h *Harness) PrefetchCtx(ctx context.Context, jobs []Job) error {
 	results := make([]Run, len(pending))
 	errs := make([]error, len(pending))
 	done := make([]bool, len(pending))
-	rc := h.RC
+	rc, segments := h.RC, h.Segments
 	ferr := ForEachCtx(ctx, h.Workers(), len(pending), func(i int) {
 		if h.Cache != nil {
 			results[i], errs[i] = h.Cache.Do(ctx, pending[i].Bench.Name, pending[i].Opt, rc,
 				func(cctx context.Context) (Run, error) {
-					return simulateCtx(cctx, progs[i], pending[i].Bench, pending[i].Opt, rc)
+					return simulateSegmentedCtx(cctx, progs[i], pending[i].Bench, pending[i].Opt, rc, segments)
 				})
 		} else {
-			results[i], errs[i] = simulateCtx(ctx, progs[i], pending[i].Bench, pending[i].Opt, rc)
+			results[i], errs[i] = simulateSegmentedCtx(ctx, progs[i], pending[i].Bench, pending[i].Opt, rc, segments)
 		}
 		done[i] = true
 	})
@@ -376,10 +385,10 @@ func (h *Harness) Simulate(b workload.Benchmark, opt cpu.Options) Run {
 	var err error
 	if h.Cache != nil {
 		r, err = h.Cache.Do(ctx, b.Name, opt, h.RC, func(cctx context.Context) (Run, error) {
-			return simulateCtx(cctx, h.programFor(b), b, opt, h.RC)
+			return simulateSegmentedCtx(cctx, h.programFor(b), b, opt, h.RC, h.Segments)
 		})
 	} else {
-		r, err = simulateCtx(ctx, h.programFor(b), b, opt, h.RC)
+		r, err = simulateSegmentedCtx(ctx, h.programFor(b), b, opt, h.RC, h.Segments)
 	}
 	if err != nil {
 		h.noteErr(err)
@@ -399,6 +408,7 @@ func simulateCtx(ctx context.Context, p *program.Program, b workload.Benchmark, 
 		return Run{}, err
 	}
 	sim := cpu.MustNew(p, opt)
+	defer sim.Release()
 	sim.Run(rc.WarmupInsts)
 	if st := sim.Stats(); st.CycleLimitHit {
 		return Run{}, fmt.Errorf("experiments: %s on %s: warm-up hit the cycle safety limit after %d of %d instructions", b.Name, machineLabel(opt), st.Committed, rc.WarmupInsts)
@@ -409,10 +419,16 @@ func simulateCtx(ctx context.Context, p *program.Program, b workload.Benchmark, 
 	sim.ResetMeasurement()
 	sim.Run(rc.MeasureInsts)
 
-	st := sim.Stats()
-	if st.CycleLimitHit {
+	if st := sim.Stats(); st.CycleLimitHit {
 		return Run{}, fmt.Errorf("experiments: %s on %s: measurement hit the cycle safety limit after %d of %d instructions", b.Name, machineLabel(opt), st.Committed, rc.MeasureInsts)
 	}
+	return runRecord(b, opt, sim), nil
+}
+
+// runRecord reads one finished simulation into a Run. Shared by the
+// monolithic and segmented paths so the two can never drift apart.
+func runRecord(b workload.Benchmark, opt cpu.Options, sim *cpu.Sim) Run {
+	st := sim.Stats()
 	m := sim.Meter()
 	return Run{
 		Benchmark:     b.Name,
@@ -434,7 +450,7 @@ func simulateCtx(ctx context.Context, p *program.Program, b workload.Benchmark, 
 		Committed:     st.Committed,
 		GatedCycles:   st.GatedCycles,
 		BTBMisfetches: st.BTBMisfetches,
-	}, nil
+	}
 }
 
 // SimulateAll runs a benchmark list on one machine variant.

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"bpredpower/internal/cpu"
+	"bpredpower/internal/program"
+	"bpredpower/internal/workload"
+)
+
+// DefaultSegmentInsts is the segment length SegmentsFor aims for when the
+// caller does not pick one: long enough that checkpoint hand-off cost is
+// noise, short enough that cancellation latency stays in the tens of
+// milliseconds at paper-scale speeds.
+const DefaultSegmentInsts = 250_000
+
+// SegmentsFor returns the segment count that bounds any single uninterrupted
+// simulation stretch of rc to roughly maxInsts instructions (0 means
+// DefaultSegmentInsts). Short runs get 1 — segmentation is free to skip
+// because segmented and monolithic runs are byte-identical by construction.
+func SegmentsFor(rc RunConfig, maxInsts uint64) int {
+	if maxInsts == 0 {
+		maxInsts = DefaultSegmentInsts
+	}
+	phase := rc.WarmupInsts
+	if rc.MeasureInsts > phase {
+		phase = rc.MeasureInsts
+	}
+	return int((phase + maxInsts - 1) / maxInsts)
+}
+
+// simulateSegmentedCtx is simulateCtx with both simulation phases split into
+// fixed instruction-count segments. At every interior boundary the run is
+// checkpointed (cpu.Checkpoint) and handed off to a second, independently
+// constructed simulator (cpu.Restore), so each segment executes from an
+// architectural+predictor state snapshot rather than from live shared state —
+// the stitching path is exercised on every boundary, not just in tests.
+//
+// Because Run's stop checks never mutate machine state, the stitched result
+// is bit-for-bit the monolithic one: same Stats, same energies, same output
+// bytes, at any segment count. What segmentation buys is bounded
+// cancellation latency — the context is consulted between segments, so a
+// canceled long run stops within one segment instead of one run.
+func simulateSegmentedCtx(ctx context.Context, p *program.Program, b workload.Benchmark, opt cpu.Options, rc RunConfig, segments int) (Run, error) {
+	if segments <= 1 {
+		return simulateCtx(ctx, p, b, opt, rc)
+	}
+	if err := ctx.Err(); err != nil {
+		return Run{}, err
+	}
+	cur := cpu.MustNew(p, opt)
+	spare := cpu.MustNew(p, opt)
+	defer func() {
+		cur.Release()
+		spare.Release()
+	}()
+	advance := func(total uint64) error {
+		base := cur.Stats().Committed
+		for i := 1; i <= segments; i++ {
+			cur.RunTo(base + total*uint64(i)/uint64(segments))
+			if cur.Stats().CycleLimitHit {
+				return nil // the phase-end check reports it
+			}
+			if i < segments {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				spare.Restore(cur.Checkpoint())
+				cur, spare = spare, cur
+			}
+		}
+		return nil
+	}
+	if err := advance(rc.WarmupInsts); err != nil {
+		return Run{}, err
+	}
+	if st := cur.Stats(); st.CycleLimitHit {
+		return Run{}, fmt.Errorf("experiments: %s on %s: warm-up hit the cycle safety limit after %d of %d instructions", b.Name, machineLabel(opt), st.Committed, rc.WarmupInsts)
+	}
+	if err := ctx.Err(); err != nil {
+		return Run{}, err
+	}
+	cur.ResetMeasurement()
+	if err := advance(rc.MeasureInsts); err != nil {
+		return Run{}, err
+	}
+	if st := cur.Stats(); st.CycleLimitHit {
+		return Run{}, fmt.Errorf("experiments: %s on %s: measurement hit the cycle safety limit after %d of %d instructions", b.Name, machineLabel(opt), st.Committed, rc.MeasureInsts)
+	}
+	return runRecord(b, opt, cur), nil
+}

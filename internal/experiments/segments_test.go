@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"bpredpower/internal/bpred"
+	"bpredpower/internal/cpu"
+	"bpredpower/internal/program"
+	"bpredpower/internal/workload"
+)
+
+// TestSegmentedMatchesSerial is the segmentation determinism property: for
+// every segment count × worker count combination, regenerated figure output
+// must be byte-identical to the serial monolithic run. Each interior segment
+// boundary hands the simulation to a freshly constructed Sim via
+// cpu.Checkpoint/Restore, so this exercises the stitching path end to end —
+// through the harness, the worker pool, and the figure printers.
+func TestSegmentedMatchesSerial(t *testing.T) {
+	rc := RunConfig{WarmupInsts: 2000, MeasureInsts: 5000}
+	// Program images are deterministic and immutable during simulation, so
+	// sharing them across harnesses only removes regeneration cost — every
+	// render still simulates every run from scratch.
+	progs := map[string]*program.Program{}
+	for _, b := range workload.Subset7() {
+		progs[b.Name] = b.Program()
+	}
+	render := func(segments, workers int) string {
+		h := NewHarness(rc)
+		h.Parallel = workers
+		h.Segments = segments
+		for k, v := range progs {
+			h.progs[k] = v
+		}
+		var buf bytes.Buffer
+		Figure19(h, &buf)
+		return buf.String()
+	}
+	serial := render(1, 1)
+	if serial == "" {
+		t.Fatal("empty figure output")
+	}
+	for _, segments := range []int{2, 4, 7} {
+		for _, workers := range []int{1, 2, 4} {
+			if got := render(segments, workers); got != serial {
+				t.Errorf("segments=%d workers=%d: output differs from serial monolithic run:\n--- serial ---\n%s\n--- segmented ---\n%s",
+					segments, workers, serial, got)
+			}
+		}
+	}
+}
+
+// TestSegmentedRunBitEqual checks the numeric half of the contract directly:
+// every field of a segmented Run — including the float64 energy totals and
+// the energy-delay product — is bit-equal to the monolithic one. Run is a
+// comparable struct, so != is exact, not approximate.
+func TestSegmentedRunBitEqual(t *testing.T) {
+	rc := RunConfig{WarmupInsts: 3000, MeasureInsts: 7001} // odd on purpose: uneven segment boundaries
+	b, err := workload.ByName("164.gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := cpu.Options{Predictor: bpred.Hybrid1, BankedPredictor: true}
+
+	mono := NewHarness(rc)
+	want := mono.Simulate(b, opt)
+	if err := mono.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, segments := range []int{2, 4, 7} {
+		h := NewHarness(rc)
+		h.Segments = segments
+		got := h.Simulate(b, opt)
+		if err := h.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("segments=%d: run differs from monolithic:\n  mono %+v\n  seg  %+v", segments, want, got)
+		}
+	}
+}
+
+// TestSegmentsFor pins the segment-count arithmetic the service layer relies
+// on to bound cancellation latency.
+func TestSegmentsFor(t *testing.T) {
+	for _, tc := range []struct {
+		rc       RunConfig
+		maxInsts uint64
+		want     int
+	}{
+		{RunConfig{WarmupInsts: 1000, MeasureInsts: 1000}, 0, 1},
+		{Default, 0, 1},
+		{RunConfig{WarmupInsts: 200000, MeasureInsts: 1_000_000}, 0, 4},
+		{RunConfig{WarmupInsts: 200000, MeasureInsts: 1_000_001}, 0, 5},
+		{RunConfig{WarmupInsts: 5_000_000, MeasureInsts: 100}, 0, 20},
+		{RunConfig{WarmupInsts: 100, MeasureInsts: 1000}, 100, 10},
+	} {
+		if got := SegmentsFor(tc.rc, tc.maxInsts); got != tc.want {
+			t.Errorf("SegmentsFor(%+v, %d) = %d, want %d", tc.rc, tc.maxInsts, got, tc.want)
+		}
+	}
+}
+
+// TestSegmentedCancellation verifies the latency win segmentation buys: a
+// context canceled up front stops a segmented simulation at the first
+// boundary check, nothing is memoized, and the harness records the error.
+func TestSegmentedCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	h := NewHarness(RunConfig{WarmupInsts: 2000, MeasureInsts: 4000})
+	h.Ctx = ctx
+	h.Segments = 4
+	b, err := workload.ByName("164.gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := h.Simulate(b, cpu.Options{Predictor: bpred.Bim4k}); r != (Run{}) {
+		t.Errorf("canceled segmented Simulate returned a non-zero Run: %+v", r)
+	}
+	if h.Err() == nil {
+		t.Error("canceled segmented Simulate did not record a context error")
+	}
+	if len(h.runs) != 0 {
+		t.Errorf("canceled segmented Simulate memoized %d runs", len(h.runs))
+	}
+}

@@ -2,12 +2,30 @@ package frontend
 
 import (
 	"fmt"
+	"sync"
 
 	"bpredpower/internal/array"
 	"bpredpower/internal/atime"
 	"bpredpower/internal/power"
 	"bpredpower/internal/ppd"
 )
+
+// orgKey identifies one squarification decision completely: the spec being
+// organized, the strategy, and the (comparable, all-value) energy and timing
+// models the min-EDP criterion consults. Two Builds with equal keys must
+// choose equal organizations, so the result can be shared globally.
+type orgKey struct {
+	spec    array.Spec
+	closest bool
+	model   array.Model
+	time    atime.Model
+}
+
+// orgCache memoizes organization choices across Builds. A figure sweep
+// rebuilds the same few dozen arrays for every simulator it constructs;
+// without the cache each Build re-enumerates and re-costs every candidate
+// organization (the dominant allocation source in front-end construction).
+var orgCache sync.Map // orgKey -> array.Org
 
 // Transforms are the paper's whole-front-end knobs, applied uniformly to
 // every structure during Build rather than hand-threaded through individual
@@ -108,15 +126,24 @@ func (r Registry) Build(sp Spec, m *power.Meter) (*Result, error) {
 	counterModel := am
 	counterModel.Tech.CBitCell *= CounterCellBitlineFactor
 	organize := func(s array.Spec) array.Org {
-		if sp.Transforms.SquarifyClosest {
-			return array.ChooseClosestSquare(s)
+		key := orgKey{spec: s, closest: sp.Transforms.SquarifyClosest, model: am, time: r.Time}
+		if o, ok := orgCache.Load(key); ok {
+			return o.(array.Org)
 		}
-		return array.ChooseMinEDP(am, s, r.Time.Delay)
+		var o array.Org
+		if sp.Transforms.SquarifyClosest {
+			o = array.ChooseClosestSquare(s)
+		} else {
+			o = array.ChooseMinEDP(am, s, r.Time.Delay)
+		}
+		orgCache.Store(key, o)
+		return o
 	}
 
 	res := &Result{
-		units:       map[string]*power.Unit{},
-		byStructure: map[string][]*power.Unit{},
+		units:       make(map[string]*power.Unit, 4*len(sp.Structures)),
+		byStructure: make(map[string][]*power.Unit, len(sp.Structures)),
+		arrays:      make([]BuiltArray, 0, 2*len(sp.Structures)),
 	}
 	for _, st := range sp.Structures {
 		if _, isPPD := st.(PPD); isPPD && sp.Transforms.PPD == ppd.Off {

@@ -178,8 +178,10 @@ type Unit struct {
 	meter *Meter
 	maxE  float64 //bp:unit J/cycle
 
-	reads, writes, partials uint64 //bp:unit 1
-	touched                 bool   // on the meter's active list this cycle
+	// lastActive is the meter cycle number of this unit's most recent access
+	// (^0 = never), so counting an active cycle is a compare against the
+	// meter clock on first touch — EndCycle has no per-unit work at all.
+	lastActive uint64 //bp:unit cycle
 
 	// Lifetime activity. These integers are the unit's entire accounting
 	// state: active-cycle energy is their closed-form fold (activeEnergy),
@@ -199,14 +201,14 @@ type Unit struct {
 //bp:unit J/cycle
 func (u *Unit) maxCycleEnergy() float64 { return float64(u.Ports) * u.ERead }
 
-// touch puts the unit on its meter's active list on the first access of the
-// cycle, so EndCycle folds only the units that actually moved.
+// touch counts an active cycle on the unit's first access of the cycle;
+// repeat accesses in the same cycle see the matching stamp and fall through.
 //
 //bp:hotpath
 func (u *Unit) touch() {
-	if !u.touched && u.meter != nil {
-		u.touched = true
-		u.meter.active = append(u.meter.active, u) //bplint:allow hotreach -- capacity preallocated in Add for all registered units; never grows
+	if m := u.meter; m != nil && u.lastActive != m.cycles {
+		u.lastActive = m.cycles
+		u.activeCycles++
 	}
 }
 
@@ -218,7 +220,7 @@ func (u *Unit) Read(n int) {
 		return
 	}
 	u.touch()
-	u.reads += uint64(n)
+	u.totalReads += uint64(n)
 }
 
 // Write records n write accesses this cycle.
@@ -229,7 +231,7 @@ func (u *Unit) Write(n int) {
 		return
 	}
 	u.touch()
-	u.writes += uint64(n)
+	u.totalWrites += uint64(n)
 }
 
 // Partial records n cancelled (Scenario 2) accesses this cycle.
@@ -240,7 +242,7 @@ func (u *Unit) Partial(n int) {
 		return
 	}
 	u.touch()
-	u.partials += uint64(n)
+	u.totalPartials += uint64(n)
 }
 
 // idleRate is the energy the unit burns in a cycle with no accesses, under
@@ -367,11 +369,6 @@ type Meter struct {
 	units  []*Unit
 	byName map[string]*Unit
 
-	// active is the dense list of units accessed in the current cycle, in
-	// first-touch order. EndCycle folds exactly these units; everything else
-	// is covered by the precomputed idle-floor constant.
-	active []*Unit
-
 	cycles      uint64  //bp:unit cycle
 	maxPerCycle float64 //bp:unit J/cycle
 
@@ -390,7 +387,10 @@ func NewMeter(cycleSeconds float64) *Meter {
 		CycleSeconds:          cycleSeconds,
 		ClockBaseFraction:     0.08,
 		ClockActivityFraction: 0.22,
-		byName:                map[string]*Unit{},
+		// Pre-sized for the full machine model (~40 units) so registration
+		// never regrows either container.
+		units:  make([]*Unit, 0, 48),
+		byName: make(map[string]*Unit, 48),
 	}
 }
 
@@ -401,14 +401,10 @@ func (m *Meter) Add(u *Unit) *Unit {
 	}
 	u.meter = m
 	u.maxE = u.maxCycleEnergy()
+	u.lastActive = ^uint64(0)
 	m.units = append(m.units, u)
 	m.byName[u.Name] = u
 	m.maxPerCycle += u.maxE
-	// Keep active's backing array sized for every registered unit, so the
-	// hot-path append in touch() never grows it mid-run.
-	if cap(m.active) < len(m.units) {
-		m.active = append(make([]*Unit, 0, 2*len(m.units)), m.active...)
-	}
 	return u
 }
 
@@ -439,27 +435,15 @@ func (m *Meter) idlePerCycle() float64 {
 	}
 }
 
-// EndCycle folds the cycle's activity into the lifetime counters and resets
-// the per-cycle state. Only the units actually accessed this cycle (the dense
-// active list built by Read/Write/Partial) are visited; idle units are
-// covered by the precomputed idle-floor constant and accounted lazily in
-// Unit.Energy.
-//
-// Under AccountDeferred (the default) this is integer-only: no float math
-// runs in the simulator hot loop, and energy is recovered in closed form at
-// read time. The other modes additionally refresh the eager folds.
+// EndCycle advances the accounting clock. Access counts accumulate straight
+// into the lifetime totals and active cycles are counted at first touch
+// against that clock, so under AccountDeferred (the default) this is a single
+// increment: no per-unit work runs in the simulator hot loop at all, and
+// energy is recovered in closed form at read time. The other modes
+// additionally refresh the eager folds.
 //
 //bp:hotpath
 func (m *Meter) EndCycle() {
-	for _, u := range m.active {
-		u.activeCycles++
-		u.totalReads += u.reads
-		u.totalWrites += u.writes
-		u.totalPartials += u.partials
-		u.reads, u.writes, u.partials = 0, 0, 0
-		u.touched = false
-	}
-	m.active = m.active[:0]
 	m.cycles++
 	if m.Accounting != AccountDeferred {
 		// Reference accounting: eagerly recompute, every cycle, exactly the
@@ -593,13 +577,73 @@ func (m *Meter) Reset() {
 	for _, u := range m.units {
 		u.energy = 0
 		u.activeCycles = 0
-		u.reads, u.writes, u.partials = 0, 0, 0
 		u.totalReads, u.totalWrites, u.totalPartials = 0, 0, 0
-		u.touched = false
+		u.lastActive = ^uint64(0)
 	}
-	m.active = m.active[:0]
 	m.clockEnergy = 0
 	m.cycles = 0
+}
+
+// unitState is one unit's accounting integers (plus the eager fold) inside a
+// MeterState.
+type unitState struct {
+	lastActive   uint64
+	activeCycles uint64
+	reads        uint64
+	writes       uint64
+	partials     uint64
+	energy       float64
+}
+
+// MeterState is a deep copy of the meter's lifetime accounting: every unit's
+// activity counters and the meter clock. Because energy is a pure closed-form
+// fold of these integers, restoring a MeterState reproduces every energy
+// reading bit-for-bit.
+type MeterState struct {
+	units       []unitState
+	cycles      uint64
+	clockEnergy float64
+}
+
+// State captures the meter's accounting state. Units are recorded in
+// registration order, which is identical across meters built by the same
+// construction sequence.
+func (m *Meter) State() MeterState {
+	s := MeterState{
+		units:       make([]unitState, len(m.units)),
+		cycles:      m.cycles,
+		clockEnergy: m.clockEnergy,
+	}
+	for i, u := range m.units {
+		s.units[i] = unitState{
+			lastActive:   u.lastActive,
+			activeCycles: u.activeCycles,
+			reads:        u.totalReads,
+			writes:       u.totalWrites,
+			partials:     u.totalPartials,
+			energy:       u.energy,
+		}
+	}
+	return s
+}
+
+// SetState restores accounting previously captured from a meter with the
+// same registered units.
+func (m *Meter) SetState(s MeterState) {
+	if len(s.units) != len(m.units) {
+		panic(fmt.Sprintf("power: state has %d units, meter has %d", len(s.units), len(m.units)))
+	}
+	for i, u := range m.units {
+		us := s.units[i]
+		u.lastActive = us.lastActive
+		u.activeCycles = us.activeCycles
+		u.totalReads = us.reads
+		u.totalWrites = us.writes
+		u.totalPartials = us.partials
+		u.energy = us.energy
+	}
+	m.cycles = s.cycles
+	m.clockEnergy = s.clockEnergy
 }
 
 // Breakdown returns per-group energies in joules, keyed by group name, with

@@ -19,6 +19,7 @@ package program
 
 import (
 	"fmt"
+	"math/bits"
 
 	"bpredpower/internal/xrand"
 )
@@ -128,11 +129,5 @@ func (s *Site) Outcome(seed uint64, occ uint64, ghist uint64) bool {
 //
 //bp:hotpath
 func parity(x uint64) bool {
-	x ^= x >> 32
-	x ^= x >> 16
-	x ^= x >> 8
-	x ^= x >> 4
-	x ^= x >> 2
-	x ^= x >> 1
-	return x&1 == 1
+	return bits.OnesCount64(x)&1 == 1
 }

@@ -39,6 +39,12 @@ type Config struct {
 	// request (0 = 2 minutes). A request may tighten it with timeout_ms but
 	// never loosen it.
 	RequestTimeout time.Duration
+	// SegmentInsts bounds how many instructions a simulation runs between
+	// cancellation checks: long runs are split into checkpoint-stitched
+	// segments of roughly this length (0 = experiments.DefaultSegmentInsts),
+	// so an abandoned request frees its worker within one segment instead of
+	// one run. Results are byte-identical at any value.
+	SegmentInsts uint64
 	// Logger receives structured request logs (nil = slog.Default()).
 	Logger *slog.Logger
 }
@@ -120,5 +126,6 @@ func (s *Server) harness(ctx context.Context, rc experiments.RunConfig) *experim
 	h.Parallel = s.cfg.Parallel
 	h.Ctx = ctx
 	h.Cache = s.Cache
+	h.Segments = experiments.SegmentsFor(rc, s.cfg.SegmentInsts)
 	return h
 }

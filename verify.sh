@@ -66,8 +66,8 @@ trap 'rm -rf "$tmp"' EXIT
 go test -run '^$' -bench 'BenchmarkSimulatorThroughput$|BenchmarkSimulatorStep$|BenchmarkMeterEndCycle' -benchtime 100x .
 
 # Performance gate: rerun the microbenchmarks and compare against the
-# committed baseline; fail on >25% ns/op regressions or new allocations.
-go run ./cmd/bpbench -skip-figures -o "$tmp/bench.json" -compare BENCH_results.json -threshold 0.25
+# committed baseline; fail on >15% ns/op regressions or new allocations.
+go run ./cmd/bpbench -skip-figures -o "$tmp/bench.json" -compare BENCH_results.json -threshold 0.15
 
 # Figure-output byte identity: regenerating the full experiment suite must
 # reproduce the committed experiments_output.txt exactly — the accounting
@@ -83,6 +83,12 @@ go run ./cmd/bpexperiments -quick -warmup 4000 -measure 8000 -parallel 1 > "$tmp
 go run ./cmd/bpexperiments -quick -warmup 4000 -measure 8000 -parallel 4 > "$tmp/parallel.txt"
 diff "$tmp/serial.txt" "$tmp/parallel.txt"
 echo "parallel smoke: output identical at -parallel 1 and -parallel 4"
+
+# Segmentation smoke: checkpoint-stitched runs must be byte-identical to
+# monolithic ones (DESIGN.md §9f) — uneven boundaries and workers included.
+go run ./cmd/bpexperiments -quick -warmup 4000 -measure 8000 -parallel 2 -segments 3 > "$tmp/segmented.txt"
+diff "$tmp/serial.txt" "$tmp/segmented.txt"
+echo "segmentation smoke: output identical monolithic vs -segments 3"
 
 # Service smoke: boot bpserved, hit the discovery and simulate endpoints at
 # two worker counts, require byte-identical responses across worker counts

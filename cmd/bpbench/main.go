@@ -235,7 +235,7 @@ func main() {
 		fmt.Printf("lookup %-11s %8.2f ns/op    %d allocs/op\n", spec.Name, r.NsPerOp, r.AllocsPerOp)
 	}
 
-	for _, spec := range []bpred.Spec{bpred.Bim4k, bpred.Gsh16k12, bpred.PAs4k16k8, bpred.Hybrid1} {
+	for _, spec := range []bpred.Spec{bpred.Bim4k, bpred.Gsh16k12, bpred.PAs4k16k8, bpred.Hybrid1, bpred.TAGE64k, bpred.Perceptron64k} {
 		spec := spec
 		r := measureBest(func(b *testing.B) {
 			d := bpred.Devirt(spec.Build())
@@ -249,7 +249,7 @@ func main() {
 			}
 		})
 		rep.KernelLookup[spec.Name] = r
-		fmt.Printf("kernel %-11s %8.2f ns/op    %d allocs/op\n", spec.Name, r.NsPerOp, r.AllocsPerOp)
+		fmt.Printf("kernel %-14s %8.2f ns/op    %d allocs/op\n", spec.Name, r.NsPerOp, r.AllocsPerOp)
 	}
 
 	rep.SoACommitScan = measureBest(func(b *testing.B) {

@@ -19,7 +19,7 @@ import (
 
 func main() {
 	table := flag.Int("table", 0, "print only this table (1, 2, or 3)")
-	figure := flag.Int("figure", 0, "print only this figure (2,3,5..14,16,17,19; 20=confidence, 21=line-predictor extension)")
+	figure := flag.Int("figure", 0, "print only this figure (2,3,5..14,16,17,19; 20=confidence, 21=line-predictor, 22=modern-predictor extension)")
 	quick := flag.Bool("quick", false, "use short simulation windows")
 	warm := flag.Uint64("warmup", 0, "override warm-up instruction count")
 	measure := flag.Uint64("measure", 0, "override measured instruction count")
@@ -82,6 +82,8 @@ func main() {
 		experiments.ExtensionConfidence(h, w)
 	case *figure == 21:
 		experiments.ExtensionLinePredictor(h, w)
+	case *figure == 22:
+		experiments.ExtensionModernPredictors(h, w)
 	case *figure != 0:
 		fmt.Fprintf(os.Stderr, "unknown figure %d\n", *figure)
 		os.Exit(2)

@@ -25,6 +25,8 @@ func TestPredReportGolden(t *testing.T) {
 		{name: "hybrid1", pred: "Hybrid_1", banked: false},
 		{name: "hybrid1_banked", pred: "Hybrid_1", banked: true},
 		{name: "gshare", pred: "Gsh_1_16k_12", banked: false},
+		{name: "tage", pred: "TAGE_64k", banked: false},
+		{name: "perceptron", pred: "Perceptron_64k", banked: false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

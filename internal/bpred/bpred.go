@@ -32,9 +32,18 @@ const (
 	TableBHT
 	// TableSelector is a hybrid chooser table of 2-bit counters.
 	TableSelector
+	// TableTagged is a tagged geometric-history table whose entries carry a
+	// partial tag alongside prediction state (TAGE components).
+	TableTagged
+	// TableWeight is a table of signed multi-bit weight vectors (perceptron
+	// rows).
+	TableWeight
 )
 
-var tableKindNames = [...]string{TablePHT: "pht", TableBHT: "bht", TableSelector: "selector"}
+var tableKindNames = [...]string{
+	TablePHT: "pht", TableBHT: "bht", TableSelector: "selector",
+	TableTagged: "tagged", TableWeight: "weight",
+}
 
 // String returns the table kind name.
 func (k TableKind) String() string {
@@ -54,13 +63,17 @@ type TableSpec struct {
 	Kind TableKind
 	// Entries is the number of logical entries.
 	Entries int
-	// Width is the bits per entry (2 for counters, the history width for
-	// BHTs).
+	// Width is the data bits per entry (2 for counters, the history width
+	// for BHTs, ctr+useful bits for tagged tables, the packed weight-vector
+	// width for weight tables).
 	Width int
+	// Tag is the partial-tag bits stored per entry (tagged tables only;
+	// zero elsewhere).
+	Tag int
 }
 
-// Bits returns the table's total storage in bits.
-func (t TableSpec) Bits() int { return t.Entries * t.Width }
+// Bits returns the table's total storage in bits, tags included.
+func (t TableSpec) Bits() int { return t.Entries * (t.Width + t.Tag) }
 
 // Prediction carries a direction prediction together with everything needed
 // to train, unwind, and repair it later: the table indices used, the

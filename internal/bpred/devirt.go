@@ -19,36 +19,34 @@ type Funcs struct {
 	Redirect func(p *Prediction, taken bool)
 	// Update trains the pattern tables at commit.
 	Update func(p *Prediction, taken bool)
-	// Concrete reports whether Devirt matched a known concrete type (as
-	// opposed to falling back to interface-bound methods). Every predictor
-	// registered in this package devirtualizes concretely; the field exists
-	// so tests can enforce that.
+	// Concrete reports whether the predictor provided its own bindings via
+	// the HotBinder capability (as opposed to Devirt falling back to
+	// interface-bound methods). Every predictor family in this package
+	// implements HotBinder; the field exists so tests can enforce that.
 	Concrete bool
 }
 
-// Devirt resolves p's hot-path methods to concrete bound functions via a
-// type switch over every predictor family in this package. Unknown
-// implementations (e.g. test doubles) fall back to interface-bound method
-// values, which are still resolved once rather than per call.
+// HotBinder is the hot-path binding capability. A predictor family
+// implements it by returning its own methods as bound function values, which
+// lets Devirt resolve the per-branch call set without a central type switch:
+// adding a family never touches this file.
+//
+//	func (t *TAGE) BindHot() Funcs {
+//		return Funcs{t.Lookup, t.Unwind, t.Redirect, t.Update, true}
+//	}
+type HotBinder interface {
+	// BindHot returns the predictor's hot-path methods as bound functions,
+	// with Concrete set.
+	BindHot() Funcs
+}
+
+// Devirt resolves p's hot-path methods to bound functions. Predictors
+// implementing the HotBinder capability supply their own concrete bindings;
+// unknown implementations (e.g. test doubles) fall back to interface-bound
+// method values, which are still resolved once rather than per call.
 func Devirt(p Predictor) Funcs {
-	switch c := p.(type) {
-	case *Bimodal:
-		return Funcs{c.Lookup, c.Unwind, c.Redirect, c.Update, true}
-	case *TwoLevelGlobal:
-		return Funcs{c.Lookup, c.Unwind, c.Redirect, c.Update, true}
-	case *PAs:
-		return Funcs{c.Lookup, c.Unwind, c.Redirect, c.Update, true}
-	case *Hybrid:
-		return Funcs{c.Lookup, c.Unwind, c.Redirect, c.Update, true}
-	case *Alloyed:
-		return Funcs{c.Lookup, c.Unwind, c.Redirect, c.Update, true}
-	case *Static:
-		return Funcs{c.Lookup, c.Unwind, c.Redirect, c.Update, true}
-	case *Gselect:
-		return Funcs{c.Lookup, c.Unwind, c.Redirect, c.Update, true}
-	case *PAg:
-		return Funcs{c.Lookup, c.Unwind, c.Redirect, c.Update, true}
-	default:
-		return Funcs{p.Lookup, p.Unwind, p.Redirect, p.Update, false}
+	if hb, ok := p.(HotBinder); ok {
+		return hb.BindHot()
 	}
+	return Funcs{p.Lookup, p.Unwind, p.Redirect, p.Update, false}
 }

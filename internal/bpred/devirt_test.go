@@ -10,7 +10,7 @@ func TestDevirtCoversAllRegisteredConfigs(t *testing.T) {
 		p := spec.Build()
 		fns := Devirt(p)
 		if !fns.Concrete {
-			t.Errorf("%s (%T): Devirt fell back to interface dispatch; add the concrete type to the type switch", spec.Name, p)
+			t.Errorf("%s (%T): Devirt fell back to interface dispatch; implement the HotBinder capability (BindHot)", spec.Name, p)
 		}
 		if fns.Lookup == nil || fns.Unwind == nil || fns.Redirect == nil || fns.Update == nil {
 			t.Fatalf("%s: Devirt returned nil function(s)", spec.Name)

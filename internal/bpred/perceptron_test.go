@@ -1,0 +1,124 @@
+package bpred
+
+import "testing"
+
+func newTestPerceptron() *Perceptron {
+	return NewPerceptron(Perceptron64k.Name, Perceptron64k.Perceptron)
+}
+
+// Theta must follow the paper's fitted threshold: floor(1.93*h + 14).
+func TestPerceptronTheta(t *testing.T) {
+	for _, tc := range []struct {
+		h    int
+		want int32
+	}{{12, 37}, {15, 42}, {31, 73}, {62, 133}} {
+		p := NewPerceptron("theta_test", PerceptronGeometry{Rows: 16, HistBits: tc.h})
+		if p.Theta() != tc.want {
+			t.Errorf("h=%d: theta = %d, want %d", tc.h, p.Theta(), tc.want)
+		}
+	}
+}
+
+// Storage must be rows * (h+1) signed 8-bit weights, and the power model
+// must see it as one weight-SRAM row per entry.
+func TestPerceptronStorageAccounting(t *testing.T) {
+	p := newTestPerceptron()
+	geo := Perceptron64k.Perceptron
+	want := geo.Rows * (geo.HistBits + 1) * 8
+	if got := p.TotalBits(); got != want {
+		t.Errorf("TotalBits = %d, want %d", got, want)
+	}
+	ts := p.Tables()
+	if len(ts) != 1 || ts[0].Kind != TableWeight {
+		t.Fatalf("Tables() = %v, want one weight table", ts)
+	}
+	if ts[0].Bits() != want {
+		t.Errorf("weight table Bits() = %d, want %d", ts[0].Bits(), want)
+	}
+}
+
+// A perceptron must learn any linearly separable history function; XOR-like
+// functions of two history bits are its classic blind spot. Train on a
+// single-bit correlation and require near-perfect accuracy.
+func TestPerceptronLearnsLinearlySeparable(t *testing.T) {
+	p := newTestPerceptron()
+	correct, total := 0, 0
+	for i := 0; i < 20000; i++ {
+		pr := p.Lookup(0x1000)
+		// Outcome = the resolved direction of the branch five lookups back
+		// (bit 5 of the post-lookup history register).
+		taken := p.GHist()>>5&1 == 1
+		if pr.Taken != taken {
+			p.Redirect(&pr, taken)
+		}
+		p.Update(&pr, taken)
+		if i >= 1000 {
+			total++
+			if pr.Taken == taken {
+				correct++
+			}
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.99 {
+		t.Errorf("accuracy on linearly separable pattern = %.4f, want >= 0.99", acc)
+	}
+}
+
+// Training must saturate at the int8 limits rather than wrap: drive one
+// branch always-taken far past 127 steps and check the bias stays put.
+func TestPerceptronWeightSaturation(t *testing.T) {
+	p := newTestPerceptron()
+	for i := 0; i < 1000; i++ {
+		pr := p.Lookup(0x40)
+		if !pr.Taken {
+			p.Redirect(&pr, true)
+		}
+		p.Update(&pr, true)
+	}
+	stride := int(p.stride)
+	row := p.w[int(0x40>>2&uint64(p.geo.Rows-1))*stride:][:stride]
+	for j, w := range row {
+		if w < -128 || w > 127 {
+			t.Fatalf("weight %d = %d out of int8 range", j, w)
+		}
+	}
+	if row[0] <= 0 {
+		t.Errorf("bias = %d after persistent taken training, want positive", row[0])
+	}
+}
+
+// Lookup and Update must stay allocation-free in the hot loop.
+func TestPerceptronHotPathAllocationFree(t *testing.T) {
+	p := newTestPerceptron()
+	seq := uint64(1)
+	if allocs := testing.AllocsPerRun(2000, func() {
+		seq = seq*6364136223846793005 + 1
+		pr := p.Lookup((seq >> 33) & 0xfff * 4)
+		taken := seq&0x10000 != 0
+		if pr.Taken != taken {
+			p.Redirect(&pr, taken)
+		}
+		p.Update(&pr, taken)
+	}); allocs != 0 {
+		t.Errorf("perceptron hot path allocates %.1f times per branch, want 0", allocs)
+	}
+}
+
+// The output magnitude carried through the prediction must round-trip its
+// sign (it is bit-cast through a uint32 field).
+func TestPerceptronOutputSignRoundTrip(t *testing.T) {
+	p := newTestPerceptron()
+	// Push the bias negative, then check the carried y is negative.
+	for i := 0; i < 50; i++ {
+		pr := p.Lookup(0x40)
+		p.Redirect(&pr, false)
+		p.Update(&pr, false)
+	}
+	pr := p.Lookup(0x40)
+	if y := int32(pr.LocalPrior); y >= 0 {
+		t.Errorf("carried output = %d after not-taken training, want negative", y)
+	}
+	if pr.Taken {
+		t.Error("prediction taken after persistent not-taken training")
+	}
+}

@@ -16,6 +16,7 @@ func TestRegistryRoundTrip(t *testing.T) {
 		Bim128, Bim4k, Bim8k, Bim16k, GAs4k5, GAs32k8, Gsh16k12, Gsh32k12,
 		Hybrid0, Hybrid1, Hybrid2, Hybrid3, Hybrid4, PAs1k2k4, PAs4k16k8,
 		StaticNotTaken, StaticTaken, GAg14, Gsel16k6, PAg4k12, Alloyed16k,
+		TAGE64k, Perceptron64k,
 	} {
 		direct[s.Name] = s
 	}

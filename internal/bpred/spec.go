@@ -30,6 +30,12 @@ const (
 	// KindAlloyed merges global and local history into one PHT index
 	// (Skadron et al., the paper's reference [22]; extension).
 	KindAlloyed
+	// KindTAGE is a tagged geometric-history-length predictor (Seznec &
+	// Michaud; modern-accuracy extension).
+	KindTAGE
+	// KindPerceptron is the Jiménez & Lin perceptron predictor
+	// (modern-accuracy extension).
+	KindPerceptron
 )
 
 var kindNames = [...]string{
@@ -44,6 +50,8 @@ var kindNames = [...]string{
 	KindStaticTaken:    "static-taken",
 	KindStaticNotTaken: "static-nottaken",
 	KindAlloyed:        "alloyed",
+	KindTAGE:           "tage",
+	KindPerceptron:     "perceptron",
 }
 
 // String returns the family name.
@@ -69,6 +77,10 @@ type Spec struct {
 	BHTEntries, BHTWidth int
 	// Hybrid is the full hybrid geometry for KindHybrid.
 	Hybrid HybridGeometry
+	// TAGE is the full tagged-table geometry for KindTAGE.
+	TAGE TAGEGeometry
+	// Perceptron is the weight-table geometry for KindPerceptron.
+	Perceptron PerceptronGeometry
 }
 
 // Build constructs the predictor the spec describes, through the family
@@ -164,6 +176,16 @@ var (
 	// 4 local + 5 global + 5 address index bits).
 	Alloyed16k = Spec{Name: "Alloyed_16k", Kind: KindAlloyed,
 		BHTEntries: 1024, BHTWidth: 4, HistBits: 5, Entries: 16384}
+	// TAGE64k is a ~64-Kbit TAGE: a 4K-entry bimodal base plus four 1K-entry
+	// tagged tables (9-bit tags) over a 5..48 geometric history series.
+	TAGE64k = Spec{Name: "TAGE_64k", Kind: KindTAGE, TAGE: TAGEGeometry{
+		BaseEntries: 4096, Tables: 4, TableEntries: 1024, TagBits: 9,
+		MinHist: 5, MaxHist: 48, UsefulResetPeriod: 131072,
+	}}
+	// Perceptron64k is a 64-Kbit perceptron: 256 rows of 31 history weights
+	// plus bias, 8 bits each.
+	Perceptron64k = Spec{Name: "Perceptron_64k", Kind: KindPerceptron,
+		Perceptron: PerceptronGeometry{Rows: 256, HistBits: 31}}
 )
 
 // init registers every named configuration with the registry. The paper
@@ -180,7 +202,7 @@ func init() {
 		RegisterConfig(ClassPaper, s)
 	}
 	RegisterConfig(ClassSpecial, Hybrid0)
-	for _, s := range []Spec{StaticNotTaken, StaticTaken, GAg14, Gsel16k6, PAg4k12, Alloyed16k} {
+	for _, s := range []Spec{StaticNotTaken, StaticTaken, GAg14, Gsel16k6, PAg4k12, Alloyed16k, TAGE64k, Perceptron64k} {
 		RegisterConfig(ClassExtension, s)
 	}
 }

@@ -2,110 +2,112 @@ package bpred
 
 import "fmt"
 
-// State is an opaque deep copy of a predictor's mutable state: its counter
-// tables, local-history registers, and global-history register(s). Like
-// Devirt, capture and restore are a single type switch over the package's
-// concrete predictors, so the Predictor interface itself stays minimal and
-// external implementations keep working (they simply cannot be checkpointed).
+// State is an opaque deep copy of a predictor's mutable state. It is a
+// sealed carrier: the payload is a per-family snapshot value produced by the
+// predictor's own Checkpointer capability, so the package never needs to
+// know every family's state shape centrally. Counter tables, tagged
+// geometric-history tables, signed weight vectors, history registers, and
+// allocator state all round-trip through the same type.
 type State struct {
-	// ctrs holds deep copies of every 2-bit counter table, in a fixed
-	// per-kind order.
-	ctrs [][]uint8
-	// bhts holds deep copies of local-history register files.
-	bhts [][]uint32
-	// regs holds scalar history registers.
-	regs []uint64
+	snap snapshot
 }
 
-// CaptureState snapshots p's mutable state. It panics for predictor types it
-// does not know — every predictor constructed through this package's
-// registry is supported.
-func CaptureState(p Predictor) State {
-	switch t := p.(type) {
-	case *Static:
-		return State{}
-	case *Bimodal:
-		return State{ctrs: [][]uint8{cloneCtr(t.pht.ctr)}}
-	case *TwoLevelGlobal:
-		return State{ctrs: [][]uint8{cloneCtr(t.pht.ctr)}, regs: []uint64{t.ghist}}
-	case *Gselect:
-		return State{ctrs: [][]uint8{cloneCtr(t.pht.ctr)}, regs: []uint64{t.ghist}}
-	case *PAg:
-		return State{ctrs: [][]uint8{cloneCtr(t.pht.ctr)}, bhts: [][]uint32{cloneBHT(t.bht)}}
-	case *PAs:
-		return State{ctrs: [][]uint8{cloneCtr(t.pht.ctr)}, bhts: [][]uint32{cloneBHT(t.bht)}}
-	case *Alloyed:
-		return State{
-			ctrs: [][]uint8{cloneCtr(t.pht.ctr)},
-			bhts: [][]uint32{cloneBHT(t.bht)},
-			regs: []uint64{t.ghist},
-		}
-	case *Hybrid:
-		return State{
-			ctrs: [][]uint8{cloneCtr(t.sel.ctr), cloneCtr(t.gpht.ctr), cloneCtr(t.lpht.ctr), cloneCtr(t.bim.ctr)},
-			bhts: [][]uint32{cloneBHT(t.lbht)},
-			regs: []uint64{t.ghist},
-		}
+// snapshot seals the per-family payload types: only this package's
+// predictor families can define them.
+type snapshot interface {
+	isSnapshot()
+}
+
+// Checkpointer is the checkpoint capability. A predictor family implements
+// it by deep-copying its mutable state into a State and restoring from one;
+// cpu.Checkpoint/Restore require it. CaptureState must deep-copy (the
+// snapshot must stay valid while the live predictor keeps mutating) and
+// RestoreState must be bit-exact (checkpoint-stitched runs diff final
+// statistics byte-for-byte against monolithic ones).
+type Checkpointer interface {
+	// CaptureState deep-copies the predictor's mutable state.
+	CaptureState() State
+	// RestoreState applies a State previously captured from a predictor of
+	// the same configuration.
+	RestoreState(State)
+}
+
+// CaptureState snapshots p's mutable state via its Checkpointer capability.
+// It returns an error naming the concrete type and the missing capability
+// for predictors that do not implement it (e.g. external test doubles) —
+// every predictor constructed through this package's registry is supported.
+func CaptureState(p Predictor) (State, error) {
+	c, ok := p.(Checkpointer)
+	if !ok {
+		return State{}, fmt.Errorf("bpred: predictor type %T does not implement bpred.Checkpointer (CaptureState/RestoreState); checkpoint and run segmentation require the capability", p)
 	}
-	panic(fmt.Sprintf("bpred: cannot capture state of predictor type %T", p))
+	return c.CaptureState(), nil
 }
 
 // RestoreState applies a State previously captured from a predictor of the
-// same configuration.
-func RestoreState(p Predictor, s State) {
-	switch t := p.(type) {
-	case *Static:
-		return
-	case *Bimodal:
-		restoreCtr(t.pht.ctr, s.ctrs, 0)
-		return
-	case *TwoLevelGlobal:
-		restoreCtr(t.pht.ctr, s.ctrs, 0)
-		t.ghist = s.regs[0]
-		return
-	case *Gselect:
-		restoreCtr(t.pht.ctr, s.ctrs, 0)
-		t.ghist = s.regs[0]
-		return
-	case *PAg:
-		restoreCtr(t.pht.ctr, s.ctrs, 0)
-		restoreBHT(t.bht, s.bhts, 0)
-		return
-	case *PAs:
-		restoreCtr(t.pht.ctr, s.ctrs, 0)
-		restoreBHT(t.bht, s.bhts, 0)
-		return
-	case *Alloyed:
-		restoreCtr(t.pht.ctr, s.ctrs, 0)
-		restoreBHT(t.bht, s.bhts, 0)
-		t.ghist = s.regs[0]
-		return
-	case *Hybrid:
-		restoreCtr(t.sel.ctr, s.ctrs, 0)
-		restoreCtr(t.gpht.ctr, s.ctrs, 1)
-		restoreCtr(t.lpht.ctr, s.ctrs, 2)
-		restoreCtr(t.bim.ctr, s.ctrs, 3)
-		restoreBHT(t.lbht, s.bhts, 0)
-		t.ghist = s.regs[0]
-		return
+// same configuration, via p's Checkpointer capability.
+func RestoreState(p Predictor, s State) error {
+	c, ok := p.(Checkpointer)
+	if !ok {
+		return fmt.Errorf("bpred: predictor type %T does not implement bpred.Checkpointer (CaptureState/RestoreState); checkpoint and run segmentation require the capability", p)
 	}
-	panic(fmt.Sprintf("bpred: cannot restore state of predictor type %T", p))
+	c.RestoreState(s)
+	return nil
 }
+
+// MustCaptureState is CaptureState for callers with no error path (the cpu
+// checkpoint machinery): it panics with the capability error instead.
+func MustCaptureState(p Predictor) State {
+	s, err := CaptureState(p)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// MustRestoreState is RestoreState for callers with no error path.
+func MustRestoreState(p Predictor, s State) {
+	if err := RestoreState(p, s); err != nil {
+		panic(err)
+	}
+}
+
+// tableSnap is the shared snapshot payload of the classic counter-table
+// families (bimodal, two-level, gselect, PAg, PAs, alloyed, hybrid): 2-bit
+// counter tables, local-history register files, and scalar history
+// registers, in a fixed per-family order.
+type tableSnap struct {
+	ctrs [][]uint8
+	bhts [][]uint32
+	regs []uint64
+}
+
+func (*tableSnap) isSnapshot() {}
 
 func cloneCtr(c counters) []uint8 { return append([]uint8(nil), c...) }
 
 func cloneBHT(b []uint32) []uint32 { return append([]uint32(nil), b...) }
 
-func restoreCtr(dst counters, src [][]uint8, i int) {
-	if len(src[i]) != len(dst) {
-		panic("bpred: state counter-table size mismatch")
+// tables unwraps a State captured by a counter-table family, panicking on a
+// cross-family State (a configuration mismatch the caller promised away).
+func (s State) tables() *tableSnap {
+	t, ok := s.snap.(*tableSnap)
+	if !ok {
+		panic(fmt.Sprintf("bpred: state payload %T is not a counter-table snapshot", s.snap))
 	}
-	copy(dst, src[i])
+	return t
 }
 
-func restoreBHT(dst []uint32, src [][]uint32, i int) {
-	if len(src[i]) != len(dst) {
+func (t *tableSnap) restoreCtr(dst counters, i int) {
+	if len(t.ctrs[i]) != len(dst) {
+		panic("bpred: state counter-table size mismatch")
+	}
+	copy(dst, t.ctrs[i])
+}
+
+func (t *tableSnap) restoreBHT(dst []uint32, i int) {
+	if len(t.bhts[i]) != len(dst) {
 		panic("bpred: state history-table size mismatch")
 	}
-	copy(dst, src[i])
+	copy(dst, t.bhts[i])
 }

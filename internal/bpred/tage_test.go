@@ -1,0 +1,149 @@
+package bpred
+
+import "testing"
+
+func newTestTAGE() *TAGE {
+	return NewTAGE(TAGE64k.Name, TAGE64k.TAGE)
+}
+
+// The history-length series must be geometric: strictly increasing from
+// MinHist to MaxHist.
+func TestTAGEHistoryLengths(t *testing.T) {
+	p := newTestTAGE()
+	ls := p.HistoryLengths()
+	if len(ls) != TAGE64k.TAGE.Tables {
+		t.Fatalf("HistoryLengths has %d entries, want %d", len(ls), TAGE64k.TAGE.Tables)
+	}
+	if ls[0] != TAGE64k.TAGE.MinHist || ls[len(ls)-1] != TAGE64k.TAGE.MaxHist {
+		t.Errorf("series %v does not span %d..%d", ls, TAGE64k.TAGE.MinHist, TAGE64k.TAGE.MaxHist)
+	}
+	for i := 1; i < len(ls); i++ {
+		if ls[i] <= ls[i-1] {
+			t.Errorf("series %v not strictly increasing at %d", ls, i)
+		}
+	}
+}
+
+// TotalBits must account for base counters plus tag+ctr+useful of every
+// tagged entry, and agree with the Tables() description.
+func TestTAGEStorageAccounting(t *testing.T) {
+	p := newTestTAGE()
+	geo := TAGE64k.TAGE
+	want := geo.BaseEntries*2 + geo.Tables*geo.TableEntries*(3+2+geo.TagBits)
+	if got := p.TotalBits(); got != want {
+		t.Errorf("TotalBits = %d, want %d", got, want)
+	}
+	sum := 0
+	for _, ts := range p.Tables() {
+		sum += ts.Bits()
+	}
+	if sum != want {
+		t.Errorf("sum of Tables().Bits() = %d, want %d", sum, want)
+	}
+	tagged := 0
+	for _, ts := range p.Tables() {
+		if ts.Kind == TableTagged {
+			tagged++
+			if ts.Tag != geo.TagBits {
+				t.Errorf("tagged table %s Tag = %d, want %d", ts.Name, ts.Tag, geo.TagBits)
+			}
+		}
+	}
+	if tagged != geo.Tables {
+		t.Errorf("Tables() reports %d tagged tables, want %d", tagged, geo.Tables)
+	}
+}
+
+// A long history-correlated pattern that defeats a bimodal table must
+// become predictable once TAGE allocates tagged entries: branch B is taken
+// iff branch A eight branches earlier was taken, with A alternating.
+func TestTAGELearnsHistoryCorrelation(t *testing.T) {
+	p := newTestTAGE()
+	commit := func(pc uint64, taken bool) bool {
+		pr := p.Lookup(pc)
+		if pr.Taken != taken {
+			p.Redirect(&pr, taken)
+		}
+		p.Update(&pr, taken)
+		return pr.Taken == taken
+	}
+	phase := false
+	correct, total := 0, 0
+	for i := 0; i < 30000; i++ {
+		phase = !phase
+		commit(0x1000, phase) // branch A alternates
+		for pc := uint64(0x2000); pc < 0x2000+7*4; pc += 4 {
+			commit(pc, true) // filler branches
+		}
+		ok := commit(0x4000, phase) // B repeats A, 8 branches back
+		if i >= 20000 {
+			total++
+			if ok {
+				correct++
+			}
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.99 {
+		t.Errorf("TAGE accuracy on history-correlated branch = %.4f, want >= 0.99", acc)
+	}
+}
+
+// Lookup and Update must stay allocation-free: they run once per control
+// instruction inside the simulator's hot loop.
+func TestTAGEHotPathAllocationFree(t *testing.T) {
+	p := newTestTAGE()
+	seq := uint64(1)
+	if allocs := testing.AllocsPerRun(2000, func() {
+		seq = seq*6364136223846793005 + 1
+		pr := p.Lookup((seq >> 33) & 0xfff * 4)
+		taken := seq&0x10000 != 0
+		if pr.Taken != taken {
+			p.Redirect(&pr, taken)
+		}
+		p.Update(&pr, taken)
+	}); allocs != 0 {
+		t.Errorf("TAGE hot path allocates %.1f times per branch, want 0", allocs)
+	}
+}
+
+// Unwind must exactly restore the speculative history, and Redirect must
+// re-seed it with the outcome, matching the generic contract.
+func TestTAGESpeculativeRepair(t *testing.T) {
+	p := newTestTAGE()
+	for i := 0; i < 100; i++ {
+		pr := p.Lookup(uint64(i) * 4)
+		p.Update(&pr, i%3 == 0)
+	}
+	before := p.GHist()
+	pr := p.Lookup(0x40)
+	if p.GHist() != before<<1|b2u64(pr.Taken) {
+		t.Errorf("Lookup did not shift the prediction into history")
+	}
+	p.Unwind(&pr)
+	if p.GHist() != before {
+		t.Errorf("Unwind: ghist = %#x, want %#x", p.GHist(), before)
+	}
+	pr = p.Lookup(0x40)
+	p.Redirect(&pr, !pr.Taken)
+	if p.GHist() != before<<1|b2u64(!pr.Taken) {
+		t.Errorf("Redirect: ghist = %#x, want outcome-seeded %#x", p.GHist(), before<<1|b2u64(!pr.Taken))
+	}
+}
+
+// Useful-counter aging must eventually halve useful counters so stale
+// entries become reclaimable; verify the tick sweep fires and clears a
+// saturated counter within two periods.
+func TestTAGEUsefulAging(t *testing.T) {
+	geo := TAGE64k.TAGE
+	geo.UsefulResetPeriod = 1024
+	p := NewTAGE("tage_age_test", geo)
+	// Saturate one entry's useful counter by hand.
+	p.tab[0] = tageUMask
+	pr := Prediction{PC: 0x40, Index0: -1, Index1: -1, Index2: -1, BHTIdx: -1, Taken: true}
+	for i := 0; i < 2*geo.UsefulResetPeriod+1; i++ {
+		p.Update(&pr, true)
+	}
+	if u := p.tab[0] & tageUMask; u != 0 {
+		t.Errorf("useful counter = %d after two aging periods, want 0", u>>tageUShift)
+	}
+}

@@ -97,3 +97,26 @@ func (t *TwoLevelGlobal) Reset() {
 	t.pht.reset()
 	t.ghist = 0
 }
+
+// BindHot implements the HotBinder capability.
+func (t *TwoLevelGlobal) BindHot() Funcs {
+	return Funcs{t.Lookup, t.Unwind, t.Redirect, t.Update, true}
+}
+
+// CaptureState implements the Checkpointer capability.
+func (t *TwoLevelGlobal) CaptureState() State {
+	return State{snap: &tableSnap{ctrs: [][]uint8{cloneCtr(t.pht.ctr)}, regs: []uint64{t.ghist}}}
+}
+
+// RestoreState implements the Checkpointer capability.
+func (t *TwoLevelGlobal) RestoreState(s State) {
+	ts := s.tables()
+	ts.restoreCtr(t.pht.ctr, 0)
+	t.ghist = ts.regs[0]
+}
+
+var (
+	_ Predictor    = (*TwoLevelGlobal)(nil)
+	_ HotBinder    = (*TwoLevelGlobal)(nil)
+	_ Checkpointer = (*TwoLevelGlobal)(nil)
+)

@@ -108,7 +108,7 @@ func (s *Sim) Checkpoint() *Checkpoint {
 		stats: s.stats,
 
 		walker: s.walker.State(),
-		pred:   bpred.CaptureState(s.pred),
+		pred:   bpred.MustCaptureState(s.pred),
 		btb:    s.btb.State(),
 		ras:    s.ras.State(),
 		gate:   s.gate.State(),
@@ -181,7 +181,7 @@ func (s *Sim) Restore(cp *Checkpoint) {
 	s.stats = cp.stats
 
 	s.walker.SetState(cp.walker)
-	bpred.RestoreState(s.pred, cp.pred)
+	bpred.MustRestoreState(s.pred, cp.pred)
 	s.btb.SetState(cp.btb)
 	s.ras.SetState(cp.ras)
 	s.gate.SetState(cp.gate)

@@ -395,6 +395,8 @@ func All(h *Harness, w io.Writer) {
 	ExtensionConfidence(h, w)
 	fmt.Fprintln(w)
 	ExtensionLinePredictor(h, w)
+	fmt.Fprintln(w)
+	ExtensionModernPredictors(h, w)
 }
 
 // ExtensionConfidence is the study the paper calls for in Section 4.3
@@ -448,5 +450,70 @@ func ExtensionLinePredictor(h *Harness, w io.Writer) {
 				b.Name, label, r.IPC, r.Accuracy, r.BpredPower, r.TotalPower,
 				per1k(r.BTBMisfetches, r.Committed))
 		}
+	}
+}
+
+// modernSweepSpecs is the ExtensionModernPredictors configuration list: the
+// paper's three strongest 2002-era points next to the ~64-Kbit TAGE and
+// perceptron extension families.
+func modernSweepSpecs() []bpred.Spec {
+	return []bpred.Spec{bpred.Gsh32k12, bpred.PAs4k16k8, bpred.Hybrid3, bpred.TAGE64k, bpred.Perceptron64k}
+}
+
+// ExtensionModernPredictors replays the Figure 5/6 accuracy-vs-energy study
+// with modern predictor families: TAGE and perceptron, registered through
+// the same per-family contract as the paper's configurations, against the
+// paper's best 2002-era points. It stress-tests the headline claim — more
+// accurate predictors reduce chip-wide energy even when the predictor
+// itself costs more locally — at 97%+ accuracy.
+func ExtensionModernPredictors(h *Harness, w io.Writer) {
+	h.Prefetch(planExtensionModern())
+	bs := workload.Subset7()
+	specs := modernSweepSpecs()
+	sweep := make([][]Run, len(specs))
+	for i, spec := range specs {
+		sweep[i] = h.SimulateAll(bs, cpu.Options{Predictor: spec})
+	}
+
+	fmt.Fprintln(w, "Extension: modern predictor families (TAGE, perceptron) vs the paper's best (7-benchmark subset)")
+	metrics := []struct {
+		title  string
+		f      func(Run) float64
+		format string
+	}{
+		{"Extension 22a: direction-prediction rate", func(r Run) float64 { return r.Accuracy }, "%9.4f"},
+		{"Extension 22b: IPC", func(r Run) float64 { return r.IPC }, "%9.3f"},
+		{"Extension 22c: branch-predictor energy, uJ", func(r Run) float64 { return r.BpredEnergy * 1e6 }, "%9.2f"},
+		{"Extension 22d: overall energy, uJ", func(r Run) float64 { return r.TotalEnergy * 1e6 }, "%9.1f"},
+	}
+	for _, m := range metrics {
+		fmt.Fprintf(w, "\n%s\n", m.title)
+		fmt.Fprintf(w, "%-15s", "predictor")
+		for _, b := range bs {
+			fmt.Fprintf(w, " %9s", trunc(shortName(b.Name), 9))
+		}
+		fmt.Fprintf(w, " %9s\n", "Average")
+		for i, spec := range specs {
+			fmt.Fprintf(w, "%-15s", spec.Name)
+			for _, r := range sweep[i] {
+				fmt.Fprintf(w, " "+m.format, m.f(r))
+			}
+			fmt.Fprintf(w, " "+m.format+"\n", mean(sweep[i], m.f))
+		}
+	}
+
+	// The headline view: per-predictor averages of accuracy against local
+	// and chip-wide cost, Figure 5-on-the-X / Figure 6-on-the-Y style.
+	fmt.Fprintf(w, "\nExtension 22e: accuracy vs chip energy (subset averages)\n")
+	fmt.Fprintf(w, "%-15s %6s %9s %8s %12s %12s %14s\n",
+		"predictor", "kbits", "acc", "IPC", "bpred uJ", "total uJ", "ED uJ*ms")
+	for i, spec := range specs {
+		fmt.Fprintf(w, "%-15s %6d %9.4f %8.3f %12.2f %12.1f %14.4f\n",
+			spec.Name, spec.TotalBits()/1024,
+			mean(sweep[i], func(r Run) float64 { return r.Accuracy }),
+			mean(sweep[i], func(r Run) float64 { return r.IPC }),
+			mean(sweep[i], func(r Run) float64 { return r.BpredEnergy * 1e6 }),
+			mean(sweep[i], func(r Run) float64 { return r.TotalEnergy * 1e6 }),
+			mean(sweep[i], func(r Run) float64 { return r.EnergyDelay * 1e9 }))
 	}
 }

@@ -112,6 +112,14 @@ func planExtensionLinePredictor() []Job {
 		cpu.Options{Predictor: bpred.Hybrid1, LinePredictor: true})
 }
 
+func planExtensionModern() []Job {
+	opts := make([]cpu.Options, 0, len(modernSweepSpecs()))
+	for _, spec := range modernSweepSpecs() {
+		opts = append(opts, cpu.Options{Predictor: spec})
+	}
+	return cross(workload.Subset7(), opts...)
+}
+
 // planAll is the union of every figure's plan, in figure order, so All can
 // keep the worker pool saturated across the whole regeneration instead of
 // draining it at each figure boundary.
@@ -128,6 +136,7 @@ func planAll() []Job {
 		planFigure19(),
 		planExtensionConfidence(),
 		planExtensionLinePredictor(),
+		planExtensionModern(),
 	} {
 		jobs = append(jobs, p...)
 	}

@@ -88,11 +88,16 @@ type Predictor struct {
 // Name implements Structure.
 func (Predictor) Name() string { return "bpred" }
 
-// Arrays implements Structure: one counter array per predictor table.
+// Arrays implements Structure: one SRAM array per predictor table, shaped
+// by the table's kind. Counter and history tables (PHT/BHT/selector) are
+// small-cell counter arrays; tagged geometric-history tables add an
+// associative tag path (comparators and match drivers) over the stored
+// partial tag; weight tables are plain multi-bit SRAMs reading a full
+// signed-weight row per access.
 func (p Predictor) Arrays() []Array {
 	out := make([]Array, len(p.Tables))
 	for i, t := range p.Tables {
-		out[i] = Array{
+		a := Array{
 			Name:         "bpred." + t.Name,
 			Group:        power.GroupBpred,
 			Spec:         array.Spec{Entries: t.Entries, Width: t.Width, OutBits: t.Width},
@@ -100,6 +105,20 @@ func (p Predictor) Arrays() []Array {
 			CounterCells: true,
 			Bankable:     true,
 		}
+		switch t.Kind {
+		case bpred.TableTagged:
+			// Tag bits are stored alongside the prediction state and
+			// compared on every access; full-swing tag cells, so no
+			// counter-cell bitline scaling.
+			a.Spec.Width = t.Width + t.Tag
+			a.Spec.OutBits = t.Width + t.Tag
+			a.Spec.TagBits = t.Tag
+			a.Spec.Assoc = 1
+			a.CounterCells = false
+		case bpred.TableWeight:
+			a.CounterCells = false
+		}
+		out[i] = a
 	}
 	return out
 }

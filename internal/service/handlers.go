@@ -26,9 +26,21 @@ const maxBodyBytes = 1 << 20
 
 // PredictorInfo is one row of GET /v1/predictors.
 type PredictorInfo struct {
-	Name  string `json:"name"`
-	Class string `json:"class"` // "paper", "special", or "extension"
-	KBits int    `json:"kbits"`
+	Name   string      `json:"name"`
+	Class  string      `json:"class"` // "paper", "special", or "extension"
+	KBits  int         `json:"kbits"`
+	Tables []TableInfo `json:"tables,omitempty"`
+}
+
+// TableInfo is one hardware array of a predictor: the geometry the power
+// model charges for. Tag is the per-entry tag width and is only nonzero for
+// tagged tables (e.g. TAGE's partially tagged components).
+type TableInfo struct {
+	Name    string `json:"name"`
+	Kind    string `json:"kind"`
+	Entries int    `json:"entries"`
+	Width   int    `json:"width"`
+	Tag     int    `json:"tag,omitempty"`
 }
 
 // WorkloadInfo is one row of GET /v1/workloads.
@@ -113,7 +125,17 @@ func (s *Server) handlePredictors(w http.ResponseWriter, r *http.Request) {
 		if !ok {
 			class = "special"
 		}
-		out = append(out, PredictorInfo{Name: name, Class: class, KBits: spec.TotalBits() / 1024})
+		var tables []TableInfo
+		for _, t := range spec.Build().Tables() {
+			tables = append(tables, TableInfo{
+				Name:    t.Name,
+				Kind:    t.Kind.String(),
+				Entries: t.Entries,
+				Width:   t.Width,
+				Tag:     t.Tag,
+			})
+		}
+		out = append(out, PredictorInfo{Name: name, Class: class, KBits: spec.TotalBits() / 1024, Tables: tables})
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -238,7 +260,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 }
 
 // figureHandlers maps figure numbers to the CLI's figure printers. Figures
-// 12/13 and 16/17 print together, mirroring cmd/bpexperiments; 20 and 21 are
+// 12/13 and 16/17 print together, mirroring cmd/bpexperiments; 20-22 are
 // the extension studies.
 var figureHandlers = map[int]func(*experiments.Harness, io.Writer){
 	2:  experiments.Figure2,
@@ -258,6 +280,7 @@ var figureHandlers = map[int]func(*experiments.Harness, io.Writer){
 	19: experiments.Figure19,
 	20: experiments.ExtensionConfidence,
 	21: experiments.ExtensionLinePredictor,
+	22: experiments.ExtensionModernPredictors,
 }
 
 func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
@@ -268,7 +291,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	}
 	fig, ok := figureHandlers[n]
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown figure %d (have 2,3,5-14,16,17,19,20,21)", n))
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown figure %d (have 2,3,5-14,16,17,19,20,21,22)", n))
 		return
 	}
 	q := r.URL.Query()

@@ -354,6 +354,28 @@ func TestPredictorsAndWorkloads(t *testing.T) {
 	if p, ok := byName["Hybrid_0"]; !ok || p.Class != "special" {
 		t.Errorf("Hybrid_0 should be class special, got %+v (present %v)", p, ok)
 	}
+	if p, ok := byName["TAGE_64k"]; !ok || p.Class != "extension" {
+		t.Errorf("TAGE_64k should be class extension, got %+v (present %v)", p, ok)
+	} else {
+		tagged := 0
+		for _, tb := range p.Tables {
+			if tb.Kind == "tagged" {
+				tagged++
+				if tb.Tag == 0 || tb.Entries == 0 || tb.Width == 0 {
+					t.Errorf("TAGE_64k tagged table %q missing geometry: %+v", tb.Name, tb)
+				}
+			}
+		}
+		if tagged == 0 {
+			t.Errorf("TAGE_64k listing reports no tagged tables: %+v", p.Tables)
+		}
+	}
+	if p, ok := byName["Perceptron_64k"]; !ok || len(p.Tables) != 1 || p.Tables[0].Kind != "weight" {
+		t.Errorf("Perceptron_64k should expose one weight table, got %+v (present %v)", p, ok)
+	}
+	if p := byName["Bim_4k"]; len(p.Tables) != 1 || p.Tables[0].Kind != "pht" || p.Tables[0].Tag != 0 {
+		t.Errorf("Bim_4k table geometry wrong: %+v", p.Tables)
+	}
 
 	resp, data = get(t, ts, "/v1/workloads")
 	if resp.StatusCode != http.StatusOK {

@@ -90,6 +90,16 @@ go run ./cmd/bpexperiments -quick -warmup 4000 -measure 8000 -parallel 2 -segmen
 diff "$tmp/serial.txt" "$tmp/segmented.txt"
 echo "segmentation smoke: output identical monolithic vs -segments 3"
 
+# Extension-family smoke: the modern-predictor sweep (TAGE + perceptron,
+# Figure 22) must run end to end at quick fidelity, and the frontend must
+# produce array organizations for the tagged and weight table kinds.
+go run ./cmd/bpexperiments -quick -warmup 4000 -measure 8000 -figure 22 > "$tmp/modern.txt"
+grep -q "TAGE_64k" "$tmp/modern.txt"
+grep -q "Perceptron_64k" "$tmp/modern.txt"
+go run ./cmd/bpsweep -pred TAGE_64k | grep -q "tage4"
+go run ./cmd/bpsweep -pred Perceptron_64k | grep -q "weights"
+echo "extension smoke: modern-predictor sweep and per-table reports run"
+
 # Service smoke: boot bpserved, hit the discovery and simulate endpoints at
 # two worker counts, require byte-identical responses across worker counts
 # and against the committed goldens, then shut down cleanly.

@@ -1,0 +1,388 @@
+// Command bpload drives a running bpserved with concurrent mixed traffic —
+// single simulations, sweep jobs, and deliberate client cancellations — and
+// reports latency percentiles and outcome counts, the numbers that tell an
+// operator whether the serving tier holds up under load.
+//
+//	bpload -addr 127.0.0.1:8149 -requests 2000 -concurrency 64
+//	bpload -addr 127.0.0.1:8149 -smoke -o /tmp/load.json
+//
+// The request mix is generated deterministically from -seed with
+// internal/xrand, so two bpload invocations against equivalent servers issue
+// the same request sequence; only the latencies differ. Results are written
+// as JSON (shaped like BENCH_results.json's sibling) to -o.
+//
+// Exit status is nonzero if any request fails for a reason other than a
+// deliberate cancellation, which is what lets verify.sh use -smoke as a
+// service health gate.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bpredpower/internal/xrand"
+)
+
+// request classes in the generated mix.
+const (
+	classSimulate = "simulate"
+	classSweep    = "sweep"
+)
+
+// genRequest is one planned request.
+type genRequest struct {
+	class  string
+	body   string
+	cancel bool // abandon the request mid-flight
+}
+
+// outcome is one completed request's record.
+type outcome struct {
+	class    string
+	ok       bool
+	canceled bool
+	latency  time.Duration
+}
+
+// classReport aggregates one class's outcomes.
+type classReport struct {
+	Requests  int     `json:"requests"`
+	OK        int     `json:"ok"`
+	Errors    int     `json:"errors"`
+	Canceled  int     `json:"canceled"`
+	P50Ms     float64 `json:"p50_ms"`
+	P90Ms     float64 `json:"p90_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MaxMs     float64 `json:"max_ms"`
+	MeanMs    float64 `json:"mean_ms"`
+	Throughpt float64 `json:"requests_per_sec"`
+}
+
+// report is the JSON written to -o.
+type report struct {
+	Target      string                 `json:"target"`
+	Requests    int                    `json:"requests"`
+	Concurrency int                    `json:"concurrency"`
+	Seed        uint64                 `json:"seed"`
+	WallSeconds float64                `json:"wall_seconds"`
+	Total       classReport            `json:"total"`
+	Classes     map[string]classReport `json:"classes"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "bpserved address (host:port); required")
+	requests := flag.Int("requests", 1000, "total requests to issue")
+	concurrency := flag.Int("concurrency", 32, "concurrent client workers")
+	sweepFrac := flag.Float64("sweep-frac", 0.25, "fraction of requests that are sweep jobs")
+	cancelFrac := flag.Float64("cancel-frac", 0.1, "fraction of requests deliberately abandoned mid-flight")
+	warmup := flag.Uint64("warmup", 2000, "warmup_insts for generated requests")
+	measure := flag.Uint64("measure", 4000, "measure_insts for generated requests")
+	seed := flag.Uint64("seed", 1, "mix-generator seed; the request sequence is a pure function of it")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request client timeout")
+	out := flag.String("o", "LOAD_results.json", "output path for the JSON report (\"-\" = stdout)")
+	smoke := flag.Bool("smoke", false, "short health-gate run: 40 requests at concurrency 8 unless overridden")
+	flag.Parse()
+
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "bpload: -addr is required")
+		os.Exit(2)
+	}
+	if *smoke {
+		if flag.Lookup("requests").Value.String() == "1000" {
+			*requests = 40
+		}
+		if flag.Lookup("concurrency").Value.String() == "32" {
+			*concurrency = 8
+		}
+	}
+	base := "http://" + *addr
+
+	preds, benches, err := discover(base, *timeout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bpload: discovering registries: %v\n", err)
+		os.Exit(1)
+	}
+
+	plan := buildPlan(*requests, *seed, *sweepFrac, *cancelFrac, *warmup, *measure, preds, benches)
+	outcomes := make([]outcome, len(plan))
+	client := &http.Client{Timeout: *timeout}
+
+	start := time.Now() //bplint:allow wallclock -- load-generator latency measurement is host observability, never simulation state
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(plan) {
+					return
+				}
+				outcomes[i] = issue(client, base, plan[i])
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start) //bplint:allow wallclock -- load-generator latency measurement is host observability, never simulation state
+
+	rep := summarize(*addr, *requests, *concurrency, *seed, wall, outcomes)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bpload: encoding report: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bpload: writing %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bpload: %d requests (%d ok, %d canceled, %d errors) in %.2fs — p50 %.1f ms, p99 %.1f ms\n",
+		rep.Total.Requests, rep.Total.OK, rep.Total.Canceled, rep.Total.Errors,
+		rep.WallSeconds, rep.Total.P50Ms, rep.Total.P99Ms)
+	if rep.Total.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// discover pulls predictor and benchmark names from the target so the mix
+// always names entities the server has registered.
+func discover(base string, timeout time.Duration) (preds, benches []string, err error) {
+	client := &http.Client{Timeout: timeout}
+	var infos []struct {
+		Name  string `json:"name"`
+		Class string `json:"class"`
+	}
+	if err := getJSON(client, base+"/v1/predictors", &infos); err != nil {
+		return nil, nil, err
+	}
+	for _, p := range infos {
+		if p.Class == "paper" {
+			preds = append(preds, p.Name)
+		}
+	}
+	var wl struct {
+		Benchmarks []struct {
+			Name string `json:"name"`
+		} `json:"benchmarks"`
+	}
+	if err := getJSON(client, base+"/v1/workloads", &wl); err != nil {
+		return nil, nil, err
+	}
+	for _, b := range wl.Benchmarks {
+		benches = append(benches, b.Name)
+	}
+	if len(preds) < 2 || len(benches) == 0 {
+		return nil, nil, fmt.Errorf("registries too small: %d predictors, %d benchmarks", len(preds), len(benches))
+	}
+	return preds, benches, nil
+}
+
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// buildPlan generates the deterministic request mix. A bounded pool of
+// distinct (predictor, benchmark) pairs keeps the cache-hit/miss ratio
+// realistic: early requests simulate, repeats hit the cache, exactly like a
+// figure-regeneration workload.
+func buildPlan(n int, seed uint64, sweepFrac, cancelFrac float64, warmup, measure uint64, preds, benches []string) []genRequest {
+	rng := xrand.NewSplitMix(seed)
+	frac := func(f float64) bool {
+		if f <= 0 {
+			return false
+		}
+		return float64(rng.Intn(1<<20))/float64(1<<20) < f
+	}
+	plan := make([]genRequest, n)
+	for i := range plan {
+		pred := preds[rng.Intn(len(preds))]
+		bench := benches[rng.Intn(len(benches))]
+		if frac(sweepFrac) {
+			second := preds[rng.Intn(len(preds))]
+			list := `"` + pred + `"`
+			if second != pred {
+				list += `,"` + second + `"`
+			}
+			plan[i] = genRequest{
+				class: classSweep,
+				body: fmt.Sprintf(`{"predictors":[%s],"workload":%q,"warmup_insts":%d,"measure_insts":%d}`,
+					list, bench, warmup, measure),
+			}
+		} else {
+			plan[i] = genRequest{
+				class: classSimulate,
+				body: fmt.Sprintf(`{"predictor":%q,"workload":%q,"warmup_insts":%d,"measure_insts":%d}`,
+					pred, bench, warmup, measure),
+			}
+		}
+		plan[i].cancel = frac(cancelFrac)
+	}
+	return plan
+}
+
+// issue fires one request and classifies the result. A planned cancellation
+// aborts the request shortly after issue and is recorded as canceled, not as
+// an error — it exists to exercise the server's disconnect handling.
+func issue(client *http.Client, base string, g genRequest) outcome {
+	path := "/v1/simulate"
+	if g.class == classSweep {
+		path = "/v1/sweeps"
+	}
+	ctx := context.Background()
+	cancelCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	if g.cancel {
+		// Abandon quickly: long enough to usually reach the server, short
+		// enough to usually interrupt the work.
+		go func() { //bplint:allow goroutine -- abandon timer is joined by the deferred cancel: it exits on cancelCtx.Done at the latest
+			t := time.NewTimer(2 * time.Millisecond) //bplint:allow wallclock -- deliberate client-abandon jitter, host-side only
+			defer t.Stop()
+			select {
+			case <-t.C:
+				cancel()
+			case <-cancelCtx.Done():
+			}
+		}()
+	}
+	req, err := http.NewRequestWithContext(cancelCtx, http.MethodPost, base+path, strings.NewReader(g.body))
+	if err != nil {
+		return outcome{class: g.class}
+	}
+	req.Header.Set("Content-Type", "application/json")
+
+	start := time.Now() //bplint:allow wallclock -- load-generator latency measurement is host observability, never simulation state
+	resp, err := client.Do(req)
+	var o outcome
+	o.class = g.class
+	if err != nil {
+		o.canceled = g.cancel && cancelCtx.Err() != nil
+	} else {
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case rerr != nil:
+			o.canceled = g.cancel && cancelCtx.Err() != nil
+		case resp.StatusCode != http.StatusOK:
+			// non-200 is an error outcome
+		case g.class == classSweep && !sweepComplete(body):
+			// A sweep whose trailer is a failure line: canceled if we asked
+			// for it, an error otherwise.
+			o.canceled = g.cancel
+		default:
+			o.ok = true
+		}
+	}
+	o.latency = time.Since(start) //bplint:allow wallclock -- load-generator latency measurement is host observability, never simulation state
+	return o
+}
+
+// sweepComplete reports whether an NDJSON sweep body ends in the success
+// trailer.
+func sweepComplete(body []byte) bool {
+	lines := bytes.Split(bytes.TrimSpace(body), []byte("\n"))
+	if len(lines) == 0 {
+		return false
+	}
+	var trailer struct {
+		Done bool `json:"done"`
+	}
+	if err := json.Unmarshal(lines[len(lines)-1], &trailer); err != nil {
+		return false
+	}
+	return trailer.Done
+}
+
+// summarize folds outcomes into the report.
+func summarize(addr string, requests, concurrency int, seed uint64, wall time.Duration, outcomes []outcome) report {
+	classes := map[string][]outcome{}
+	for _, o := range outcomes {
+		classes[o.class] = append(classes[o.class], o)
+	}
+	rep := report{
+		Target:      addr,
+		Requests:    requests,
+		Concurrency: concurrency,
+		Seed:        seed,
+		WallSeconds: wall.Seconds(),
+		Total:       foldClass(outcomes, wall),
+		Classes:     map[string]classReport{},
+	}
+	names := make([]string, 0, len(classes))
+	for name := range classes { //bplint:allow maprange -- keys are sorted before rendering
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rep.Classes[name] = foldClass(classes[name], wall)
+	}
+	return rep
+}
+
+// foldClass computes one classReport. Percentiles are over successful
+// requests only — a deliberately canceled request's latency measures the
+// cancel timer, not the server.
+func foldClass(outcomes []outcome, wall time.Duration) classReport {
+	var r classReport
+	var lat []float64
+	var sum float64
+	for _, o := range outcomes {
+		r.Requests++
+		switch {
+		case o.ok:
+			r.OK++
+			ms := float64(o.latency.Microseconds()) / 1000
+			lat = append(lat, ms)
+			sum += ms
+		case o.canceled:
+			r.Canceled++
+		default:
+			r.Errors++
+		}
+	}
+	if len(lat) > 0 {
+		sort.Float64s(lat)
+		r.P50Ms = percentile(lat, 0.50)
+		r.P90Ms = percentile(lat, 0.90)
+		r.P99Ms = percentile(lat, 0.99)
+		r.MaxMs = lat[len(lat)-1]
+		r.MeanMs = sum / float64(len(lat))
+	}
+	if s := wall.Seconds(); s > 0 {
+		r.Throughpt = float64(r.Requests) / s
+	}
+	return r
+}
+
+// percentile reads the nearest-rank percentile from sorted values.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -6,6 +6,8 @@
 //	GET  /v1/predictors            registered predictor configurations
 //	GET  /v1/workloads             benchmarks and suite names
 //	POST /v1/simulate              {"predictor":"Hybrid_1","workload":"SPECint2000","fidelity":"quick"}
+//	POST /v1/sweeps                {"predictors":[...],"workload":"Subset7"} → streamed NDJSON grid results
+//	GET  /v1/sweeps/{id}           replay a finished sweep or follow an in-flight one
 //	GET  /v1/figures/{n}           a paper figure, rendered by the CLI code path
 //	GET  /metrics                  Prometheus text format
 //	GET  /debug/pprof/             live profiles
@@ -28,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"bpredpower/internal/resultstore"
 	"bpredpower/internal/service"
 )
 
@@ -39,15 +42,27 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "server-side deadline per /v1 request")
 	drain := flag.Duration("drain", 15*time.Second, "inflight-request drain budget on shutdown")
 	segmentInsts := flag.Uint64("segment-insts", 0, "instructions per checkpoint-stitched run segment, bounding cancellation latency (0 = default); responses are identical at any value")
+	storeDir := flag.String("store-dir", "", "directory for the persistent result store (empty = memory-only); replicas and restarts sharing it start warm, responses are identical either way")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0, "result-store size bound in bytes before GC (0 = 256 MiB, negative = unbounded)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	var store *resultstore.Store
+	if *storeDir != "" {
+		var err error
+		if store, err = resultstore.Open(*storeDir, resultstore.Config{MaxBytes: *storeMaxBytes}); err != nil {
+			logger.Error("opening result store", slog.String("error", err.Error()))
+			os.Exit(1)
+		}
+		logger.Info("result store open", slog.String("dir", *storeDir), slog.Int("entries", store.Stats().Entries))
+	}
 	srv := service.New(service.Config{
 		Parallel:       *parallel,
 		MaxConcurrent:  *maxConcurrent,
 		CacheEntries:   *cacheEntries,
 		RequestTimeout: *timeout,
 		SegmentInsts:   *segmentInsts,
+		Store:          store,
 		Logger:         logger,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}

@@ -37,6 +37,12 @@ type RunCache struct {
 	Gate chan struct{}
 	// Hooks observe compute lifecycle; see RunCacheHooks.
 	Hooks RunCacheHooks
+	// Store, when non-nil, is a second, persistent result layer under the
+	// in-memory LRU (see RunStore). A memory miss consults it before
+	// simulating, and every successful compute is written through, so
+	// restarts and replicas sharing one store start warm. Store loads do
+	// not fire Hooks (no simulation ran) and do not consume a Gate slot.
+	Store RunStore
 
 	mu         sync.Mutex
 	maxEntries int
@@ -45,10 +51,23 @@ type RunCache struct {
 	hits       uint64
 	misses     uint64
 	evictions  uint64
+	storeHits  uint64
+	storeMiss  uint64
 	bytes      int64
 
 	progMu sync.Mutex
 	progs  map[string]*progEntry
+}
+
+// RunStore is a persistent second cache layer keyed exactly like the
+// in-memory entries: benchmark name, the full comparable cpu.Options, and
+// the RunConfig. Implementations must be safe for concurrent use and must
+// only ever return runs previously Saved for the identical key — results
+// are deterministic, so a load is bit-identical to recomputing.
+// internal/resultstore provides the on-disk implementation.
+type RunStore interface {
+	Load(bench string, opt cpu.Options, rc RunConfig) (Run, bool)
+	Save(bench string, opt cpu.Options, rc RunConfig, r Run)
 }
 
 // RunCacheHooks are optional instrumentation points. BeforeRun runs on the
@@ -88,10 +107,13 @@ type progEntry struct {
 // CacheStats is a point-in-time snapshot of cache occupancy and traffic.
 type CacheStats struct {
 	Hits, Misses, Evictions uint64
-	Entries                 int   // completed, resident entries
-	Inflight                int   // computes in progress
-	Bytes                   int64 // approximate resident result bytes
-	Programs                int   // memoized program images
+	// StoreHits/StoreMisses count memory misses answered by (or falling
+	// through) the persistent Store layer; both stay zero without one.
+	StoreHits, StoreMisses uint64
+	Entries                int   // completed, resident entries
+	Inflight               int   // computes in progress
+	Bytes                  int64 // approximate resident result bytes
+	Programs               int   // memoized program images
 }
 
 // NewRunCache builds a cache bounded to maxEntries completed results
@@ -147,7 +169,24 @@ func (c *RunCache) Do(ctx context.Context, bench string, opt cpu.Options, rc Run
 	c.misses++
 	c.mu.Unlock()
 
-	run, err := c.compute(ctx, compute)
+	// Memory miss: consult the persistent layer before simulating. A store
+	// hit finalizes the inflight entry exactly like a compute would, so
+	// waiters blocked on e.done share it; no hooks fire and no Gate slot is
+	// taken, because no simulation runs.
+	fromStore := false
+	var run Run
+	var err error
+	if c.Store != nil {
+		if r, ok := c.Store.Load(bench, opt, rc); ok {
+			c.count(func() { c.storeHits++ })
+			run, fromStore = r, true
+		} else {
+			c.count(func() { c.storeMiss++ })
+		}
+	}
+	if !fromStore {
+		run, err = c.compute(ctx, compute)
+	}
 
 	c.mu.Lock()
 	e.run, e.err = run, err
@@ -161,7 +200,19 @@ func (c *RunCache) Do(ctx context.Context, bench string, opt cpu.Options, rc Run
 	}
 	c.mu.Unlock()
 	close(e.done)
+	if err == nil && !fromStore && c.Store != nil {
+		// Write-through after waking waiters: persistence is off the
+		// response path, and an interrupted write just means a recompute.
+		c.Store.Save(bench, opt, rc, run)
+	}
 	return run, err
+}
+
+// count runs a counter mutation under the lock.
+func (c *RunCache) count(fn func()) {
+	c.mu.Lock()
+	fn()
+	c.mu.Unlock()
 }
 
 // compute runs one cache-miss simulation: acquire a Gate slot (bounded
@@ -224,12 +275,14 @@ func (c *RunCache) Program(b workload.Benchmark) *program.Program {
 func (c *RunCache) Stats() CacheStats {
 	c.mu.Lock()
 	s := CacheStats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Entries:   c.lru.Len(),
-		Inflight:  len(c.entries) - c.lru.Len(),
-		Bytes:     c.bytes,
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Evictions:   c.evictions,
+		StoreHits:   c.storeHits,
+		StoreMisses: c.storeMiss,
+		Entries:     c.lru.Len(),
+		Inflight:    len(c.entries) - c.lru.Len(),
+		Bytes:       c.bytes,
 	}
 	c.mu.Unlock()
 	c.progMu.Lock()

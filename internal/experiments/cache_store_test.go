@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"bpredpower/internal/bpred"
+	"bpredpower/internal/cpu"
+)
+
+// fakeStore is an in-memory RunStore that records its traffic, standing in
+// for internal/resultstore so the layering contract can be tested without
+// disk.
+type fakeStore struct {
+	mu    sync.Mutex
+	m     map[string]Run
+	loads int
+	saves int
+}
+
+func newFakeStore() *fakeStore { return &fakeStore{m: map[string]Run{}} }
+
+func (f *fakeStore) key(bench string, opt cpu.Options, rc RunConfig) string {
+	return fmt.Sprintf("%s|%#v|%#v", bench, opt, rc)
+}
+
+func (f *fakeStore) Load(bench string, opt cpu.Options, rc RunConfig) (Run, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.loads++
+	r, ok := f.m[f.key(bench, opt, rc)]
+	return r, ok
+}
+
+func (f *fakeStore) Save(bench string, opt cpu.Options, rc RunConfig, r Run) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.saves++
+	f.m[f.key(bench, opt, rc)] = r
+}
+
+func (f *fakeStore) counts() (loads, saves int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.loads, f.saves
+}
+
+// TestStoreWriteThroughAndWarmStart is the layering contract end to end:
+// a cold cache over an empty store computes once and writes through; a
+// second cold cache over the same store answers from it without computing;
+// and the loaded run is identical to the computed one.
+func TestStoreWriteThroughAndWarmStart(t *testing.T) {
+	opt := cpu.Options{Predictor: bpred.Bim4k}
+	store := newFakeStore()
+
+	c1 := NewRunCache(8)
+	c1.Store = store
+	computes := 0
+	compute := func(context.Context) (Run, error) {
+		computes++
+		return Run{Benchmark: "164.gzip", Machine: "m", Accuracy: 0.875, Committed: 60000}, nil
+	}
+	want, err := c1.Do(context.Background(), "164.gzip", opt, Quick, compute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if computes != 1 {
+		t.Fatalf("computes = %d, want 1", computes)
+	}
+	if loads, saves := store.counts(); loads != 1 || saves != 1 {
+		t.Fatalf("store traffic = %d loads / %d saves, want 1/1", loads, saves)
+	}
+
+	// Same cache again: memory hit, the store is not consulted a second time.
+	if _, err := c1.Do(context.Background(), "164.gzip", opt, Quick, compute); err != nil {
+		t.Fatal(err)
+	}
+	if computes != 1 {
+		t.Fatalf("memory hit recomputed: computes = %d", computes)
+	}
+	if loads, _ := store.counts(); loads != 1 {
+		t.Fatalf("memory hit consulted the store: loads = %d", loads)
+	}
+
+	// A fresh cache over the same store: store hit, no compute.
+	c2 := NewRunCache(8)
+	c2.Store = store
+	got, err := c2.Do(context.Background(), "164.gzip", opt, Quick, func(context.Context) (Run, error) {
+		t.Fatal("warm-start consulted compute")
+		return Run{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("store round trip changed the run:\n got %+v\nwant %+v", got, want)
+	}
+	cs := c2.Stats()
+	if cs.StoreHits != 1 || cs.StoreMisses != 0 {
+		t.Fatalf("warm cache stats = %+v, want 1 store hit", cs)
+	}
+	if cs1 := c1.Stats(); cs1.StoreHits != 0 || cs1.StoreMisses != 1 {
+		t.Fatalf("cold cache stats = %+v, want 1 store miss", cs1)
+	}
+}
+
+// TestStoreHitSkipsHooksAndGate: answering from the store runs no
+// simulation, so lifecycle hooks must not fire and no Gate slot may be
+// taken (a store hit with a full Gate must not block).
+func TestStoreHitSkipsHooksAndGate(t *testing.T) {
+	opt := cpu.Options{Predictor: bpred.Bim4k}
+	store := newFakeStore()
+	store.Save("164.gzip", opt, Quick, Run{Benchmark: "164.gzip", Machine: "m"})
+
+	c := NewRunCache(8)
+	c.Store = store
+	c.Gate = make(chan struct{}, 1)
+	c.Gate <- struct{}{} // saturate: any Gate acquisition would block forever
+	c.Hooks = RunCacheHooks{
+		BeforeRun: func(context.Context) { t.Error("BeforeRun fired on a store hit") },
+		AfterRun:  func(Run, error) { t.Error("AfterRun fired on a store hit") },
+	}
+	if _, err := c.Do(context.Background(), "164.gzip", opt, Quick, func(context.Context) (Run, error) {
+		t.Fatal("store hit consulted compute")
+		return Run{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreErrorNotSaved: a failed compute (cancellation) must not be
+// written through — the store only ever holds complete results.
+func TestStoreErrorNotSaved(t *testing.T) {
+	opt := cpu.Options{Predictor: bpred.Bim4k}
+	store := newFakeStore()
+	c := NewRunCache(8)
+	c.Store = store
+
+	wantErr := errors.New("canceled mid-run")
+	if _, err := c.Do(context.Background(), "164.gzip", opt, Quick, func(context.Context) (Run, error) {
+		return Run{}, wantErr
+	}); !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	if _, saves := store.counts(); saves != 0 {
+		t.Fatalf("errored compute was saved: saves = %d", saves)
+	}
+	if len(store.m) != 0 {
+		t.Fatalf("store holds %d entries after an errored compute", len(store.m))
+	}
+}
+
+// TestStoreSingleflightShares: waiters on an inflight key share the store
+// hit exactly as they would a computed result — one load, not one per
+// caller.
+func TestStoreSingleflightShares(t *testing.T) {
+	opt := cpu.Options{Predictor: bpred.Bim4k}
+	store := newFakeStore()
+	store.Save("164.gzip", opt, Quick, Run{Benchmark: "164.gzip", Machine: "m"})
+
+	// gateStore delays the leader's Load until both callers are in Do.
+	release := make(chan struct{})
+	gs := &gatedStore{inner: store, release: release}
+	c := NewRunCache(8)
+	c.Store = gs
+
+	var wg sync.WaitGroup
+	results := make([]Run, 2)
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.Do(context.Background(), "164.gzip", opt, Quick,
+				func(context.Context) (Run, error) {
+					t.Error("compute ran despite a store entry")
+					return Run{}, nil
+				})
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if results[i] != results[0] {
+			t.Fatalf("callers disagree: %+v vs %+v", results[i], results[0])
+		}
+	}
+	if loads, _ := store.counts(); loads != 1 {
+		t.Fatalf("store loaded %d times for one singleflighted key", loads)
+	}
+}
+
+// gatedStore blocks Load until released, letting the singleflight test pin
+// both callers behind one inflight entry.
+type gatedStore struct {
+	inner   *fakeStore
+	release chan struct{}
+}
+
+func (g *gatedStore) Load(bench string, opt cpu.Options, rc RunConfig) (Run, bool) {
+	<-g.release
+	return g.inner.Load(bench, opt, rc)
+}
+
+func (g *gatedStore) Save(bench string, opt cpu.Options, rc RunConfig, r Run) {
+	g.inner.Save(bench, opt, rc, r)
+}

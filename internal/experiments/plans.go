@@ -15,9 +15,9 @@ import (
 // Prefetch deduplicates, so overlap between plans (e.g. Figures 5-7 sharing
 // one sweep) costs nothing.
 
-// cross pairs every benchmark with every machine variant, variant-major to
+// Cross pairs every benchmark with every machine variant, variant-major to
 // match the loop nesting of the figures (variant outer, benchmark inner).
-func cross(bs []workload.Benchmark, opts ...cpu.Options) []Job {
+func Cross(bs []workload.Benchmark, opts ...cpu.Options) []Job {
 	jobs := make([]Job, 0, len(bs)*len(opts))
 	for _, opt := range opts {
 		for _, b := range bs {
@@ -37,7 +37,7 @@ func sweepOpts() []cpu.Options {
 }
 
 func planTable2() []Job {
-	return cross(workload.All(),
+	return Cross(workload.All(),
 		cpu.Options{Predictor: bpred.Bim16k},
 		cpu.Options{Predictor: bpred.Gsh16k12})
 }
@@ -49,14 +49,14 @@ func planFigure2() []Job {
 			cpu.Options{Predictor: spec, OldArrayModel: true, SquarifyClosest: true},
 			cpu.Options{Predictor: spec})
 	}
-	return cross(workload.SPECint2000(), opts...)
+	return Cross(workload.SPECint2000(), opts...)
 }
 
 // planSweepInt covers Figures 5, 6, and 7 (one shared sweep).
-func planSweepInt() []Job { return cross(workload.SPECint2000(), sweepOpts()...) }
+func planSweepInt() []Job { return Cross(workload.SPECint2000(), sweepOpts()...) }
 
 // planSweepFP covers Figures 8, 9, and 10.
-func planSweepFP() []Job { return cross(workload.SPECfp2000(), sweepOpts()...) }
+func planSweepFP() []Job { return Cross(workload.SPECfp2000(), sweepOpts()...) }
 
 func planFigures12And13() []Job {
 	var opts []cpu.Options
@@ -65,16 +65,16 @@ func planFigures12And13() []Job {
 			cpu.Options{Predictor: spec},
 			cpu.Options{Predictor: spec, BankedPredictor: true})
 	}
-	return cross(workload.Subset7(), opts...)
+	return Cross(workload.Subset7(), opts...)
 }
 
 func planFigure14() []Job {
-	return cross(workload.Subset7(), cpu.Options{Predictor: bpred.GAs32k8})
+	return Cross(workload.Subset7(), cpu.Options{Predictor: bpred.GAs32k8})
 }
 
 func planFigures16And17() []Job {
 	spec := bpred.GAs32k8
-	return cross(workload.Subset7(),
+	return Cross(workload.Subset7(),
 		cpu.Options{Predictor: spec},
 		cpu.Options{Predictor: spec, BankedPredictor: true},
 		cpu.Options{Predictor: spec, PPD: ppd.Scenario1},
@@ -91,7 +91,7 @@ func planFigure19() []Job {
 				Gating: gating.Config{Enabled: true, Threshold: n}})
 		}
 	}
-	return cross(workload.Subset7(), opts...)
+	return Cross(workload.Subset7(), opts...)
 }
 
 func planExtensionConfidence() []Job {
@@ -103,11 +103,11 @@ func planExtensionConfidence() []Job {
 				Gating: gating.Config{Enabled: true, Threshold: 0, Estimator: est}})
 		}
 	}
-	return cross(workload.Subset7(), opts...)
+	return Cross(workload.Subset7(), opts...)
 }
 
 func planExtensionLinePredictor() []Job {
-	return cross(workload.Subset7(),
+	return Cross(workload.Subset7(),
 		cpu.Options{Predictor: bpred.Hybrid1},
 		cpu.Options{Predictor: bpred.Hybrid1, LinePredictor: true})
 }
@@ -117,7 +117,7 @@ func planExtensionModern() []Job {
 	for _, spec := range modernSweepSpecs() {
 		opts = append(opts, cpu.Options{Predictor: spec})
 	}
-	return cross(workload.Subset7(), opts...)
+	return Cross(workload.Subset7(), opts...)
 }
 
 // planAll is the union of every figure's plan, in figure order, so All can

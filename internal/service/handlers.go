@@ -13,6 +13,7 @@ import (
 	"bpredpower/internal/bpred"
 	"bpredpower/internal/cpu"
 	"bpredpower/internal/experiments"
+	"bpredpower/internal/resultstore"
 	"bpredpower/internal/workload"
 )
 
@@ -333,7 +334,12 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WriteTo(w, s.Cache.Stats(), s.cfg.MaxConcurrent)
+	var ss *resultstore.Stats
+	if s.cfg.Store != nil {
+		snap := s.cfg.Store.Stats()
+		ss = &snap
+	}
+	s.metrics.WriteTo(w, s.Cache.Stats(), ss, s.cfg.MaxConcurrent)
 }
 
 func parseUintParam(s string) (uint64, error) {

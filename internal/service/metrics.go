@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"bpredpower/internal/experiments"
+	"bpredpower/internal/resultstore"
 )
 
 // Metrics is the service's hand-rolled Prometheus-text-format registry: a
@@ -79,8 +80,11 @@ func (m *Metrics) RequestStarted() { m.inflight.Add(1) }
 func (m *Metrics) RequestDone() { m.inflight.Add(-1) }
 
 // WriteTo renders the registry in Prometheus text exposition format,
-// folding in a cache snapshot and the configured simulation capacity.
-func (m *Metrics) WriteTo(w io.Writer, cs experiments.CacheStats, capacity int) {
+// folding in a cache snapshot, the persistent store's snapshot when one is
+// configured (ss may be nil — the cache-level store counters still render,
+// at zero, so scrapes see a stable metric set), and the configured
+// simulation capacity.
+func (m *Metrics) WriteTo(w io.Writer, cs experiments.CacheStats, ss *resultstore.Stats, capacity int) {
 	m.mu.Lock()
 	reqKeys := make([]routeCode, 0, len(m.requests))
 	for k := range m.requests { //bplint:allow maprange -- keys are sorted before rendering
@@ -153,6 +157,33 @@ func (m *Metrics) WriteTo(w io.Writer, cs experiments.CacheStats, capacity int) 
 	fmt.Fprintln(w, "# HELP bpserved_cache_programs Memoized program images.")
 	fmt.Fprintln(w, "# TYPE bpserved_cache_programs gauge")
 	fmt.Fprintf(w, "bpserved_cache_programs %d\n", cs.Programs)
+	fmt.Fprintln(w, "# HELP bpserved_cache_inflight Cache-miss computes in progress (singleflight leaders).")
+	fmt.Fprintln(w, "# TYPE bpserved_cache_inflight gauge")
+	fmt.Fprintf(w, "bpserved_cache_inflight %d\n", cs.Inflight)
+
+	fmt.Fprintln(w, "# HELP bpserved_store_hits_total Memory misses answered by the persistent result store.")
+	fmt.Fprintln(w, "# TYPE bpserved_store_hits_total counter")
+	fmt.Fprintf(w, "bpserved_store_hits_total %d\n", cs.StoreHits)
+	fmt.Fprintln(w, "# HELP bpserved_store_misses_total Memory misses that fell through the store to a simulation.")
+	fmt.Fprintln(w, "# TYPE bpserved_store_misses_total counter")
+	fmt.Fprintf(w, "bpserved_store_misses_total %d\n", cs.StoreMisses)
+	if ss != nil {
+		fmt.Fprintln(w, "# HELP bpserved_store_entries Result entries resident on disk.")
+		fmt.Fprintln(w, "# TYPE bpserved_store_entries gauge")
+		fmt.Fprintf(w, "bpserved_store_entries %d\n", ss.Entries)
+		fmt.Fprintln(w, "# HELP bpserved_store_bytes Approximate bytes of on-disk result entries.")
+		fmt.Fprintln(w, "# TYPE bpserved_store_bytes gauge")
+		fmt.Fprintf(w, "bpserved_store_bytes %d\n", ss.Bytes)
+		fmt.Fprintln(w, "# HELP bpserved_store_puts_total Result entries written to disk.")
+		fmt.Fprintln(w, "# TYPE bpserved_store_puts_total counter")
+		fmt.Fprintf(w, "bpserved_store_puts_total %d\n", ss.Puts)
+		fmt.Fprintln(w, "# HELP bpserved_store_evictions_total Entries deleted by the store's size-bounded GC.")
+		fmt.Fprintln(w, "# TYPE bpserved_store_evictions_total counter")
+		fmt.Fprintf(w, "bpserved_store_evictions_total %d\n", ss.Evicted)
+		fmt.Fprintln(w, "# HELP bpserved_store_corrupt_total Unreadable entries dropped on load.")
+		fmt.Fprintln(w, "# TYPE bpserved_store_corrupt_total counter")
+		fmt.Fprintf(w, "bpserved_store_corrupt_total %d\n", ss.Corrupt)
+	}
 
 	fmt.Fprintln(w, "# HELP bpserved_sim_busy_workers Simulations executing right now.")
 	fmt.Fprintln(w, "# TYPE bpserved_sim_busy_workers gauge")

@@ -26,6 +26,11 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// Unwrap exposes the underlying writer to http.ResponseController, so
+// streaming handlers (the sweep NDJSON stream) can flush through the
+// middleware stack.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
 func (r *statusRecorder) Write(p []byte) (int, error) {
 	if r.code == 0 {
 		r.code = http.StatusOK

@@ -19,10 +19,12 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"bpredpower/internal/experiments"
+	"bpredpower/internal/resultstore"
 )
 
 // Config sets the serving parameters. Zero values choose sane defaults; see
@@ -45,6 +47,11 @@ type Config struct {
 	// so an abandoned request frees its worker within one segment instead of
 	// one run. Results are byte-identical at any value.
 	SegmentInsts uint64
+	// Store, when non-nil, layers a persistent on-disk result store under
+	// the run cache: completed simulations are written through, and
+	// restarts or replicas sharing the directory answer from it instead of
+	// re-simulating. Responses are byte-identical with or without it.
+	Store *resultstore.Store
 	// Logger receives structured request logs (nil = slog.Default()).
 	Logger *slog.Logger
 }
@@ -62,6 +69,11 @@ type Server struct {
 	log     *slog.Logger
 	mux     *http.ServeMux
 	reqSeq  atomic.Uint64
+
+	// Sweep job registry: id → transcript, insertion-ordered for eviction.
+	jobsMu   sync.Mutex
+	jobs     map[string]*sweepJob
+	jobOrder []string
 }
 
 // New builds a Server from cfg.
@@ -88,8 +100,12 @@ func New(cfg Config) *Server {
 		metrics: NewMetrics(),
 		log:     cfg.Logger,
 		mux:     http.NewServeMux(),
+		jobs:    map[string]*sweepJob{},
 	}
 	s.Cache.Gate = make(chan struct{}, cfg.MaxConcurrent)
+	if cfg.Store != nil {
+		s.Cache.Store = cfg.Store
+	}
 	s.Cache.Hooks = experiments.RunCacheHooks{
 		BeforeRun: func(context.Context) { s.metrics.SimStarted() },
 		AfterRun:  func(r experiments.Run, err error) { s.metrics.SimFinished(r.Committed, err) },
@@ -98,6 +114,8 @@ func New(cfg Config) *Server {
 	s.mux.Handle("GET /v1/predictors", s.instrument("/v1/predictors", http.HandlerFunc(s.handlePredictors)))
 	s.mux.Handle("GET /v1/workloads", s.instrument("/v1/workloads", http.HandlerFunc(s.handleWorkloads)))
 	s.mux.Handle("POST /v1/simulate", s.instrument("/v1/simulate", http.HandlerFunc(s.handleSimulate)))
+	s.mux.Handle("POST /v1/sweeps", s.instrument("/v1/sweeps", http.HandlerFunc(s.handleSweeps)))
+	s.mux.Handle("GET /v1/sweeps/{id}", s.instrument("/v1/sweeps/{id}", http.HandlerFunc(s.handleSweepGet)))
 	s.mux.Handle("GET /v1/figures/{n}", s.instrument("/v1/figures", http.HandlerFunc(s.handleFigure)))
 	s.mux.Handle("GET /metrics", s.instrument("/metrics", http.HandlerFunc(s.handleMetrics)))
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {

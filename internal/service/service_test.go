@@ -471,6 +471,35 @@ func TestMetricsMove(t *testing.T) {
 	if got := metric(`bpserved_requests_total{route="/v1/simulate",code="200"}`); got != 2 {
 		t.Errorf("request counter = %g, want 2", got)
 	}
+
+	// The inflight gauge is quiescent between requests, and the store-layer
+	// counters render (at zero) even on a store-less server, so scrape
+	// configs see a stable metric set.
+	if got := metric("bpserved_cache_inflight"); got != 0 {
+		t.Errorf("cache inflight = %g at rest, want 0", got)
+	}
+	_, data := get(t, ts, "/metrics")
+	for _, name := range []string{"bpserved_store_hits_total 0", "bpserved_store_misses_total 0"} {
+		if !strings.Contains(string(data), name) {
+			t.Errorf("store-less /metrics is missing %q", name)
+		}
+	}
+	if strings.Contains(string(data), "bpserved_store_entries") {
+		t.Error("store occupancy gauges should not render without a store")
+	}
+
+	// A sweep moves its own route counter and streams through the same
+	// instrumentation.
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json",
+		strings.NewReader(`{"predictors":["Bim_4k"],"workload":"164.gzip","warmup_insts":2000,"measure_insts":4000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := metric(`bpserved_requests_total{route="/v1/sweeps",code="200"}`); got != 1 {
+		t.Errorf("sweep request counter = %g, want 1", got)
+	}
 }
 
 // TestRequestIDStability checks an inbound X-Request-ID is echoed and a

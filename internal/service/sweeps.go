@@ -1,0 +1,417 @@
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"bpredpower/internal/bpred"
+	"bpredpower/internal/cpu"
+	"bpredpower/internal/experiments"
+)
+
+// Grid bounds: a sweep is a batch job, not a denial-of-service vector. The
+// caps are enforced structurally by decodeSweepRequest (predictor/axis
+// counts) and by the handler after workload resolution (total points).
+const (
+	maxSweepPredictors = 32
+	maxSweepPoints     = 512
+)
+
+// SweepRequest is the body of POST /v1/sweeps: a parameter grid
+// predictors × banked × benchmarks, simulated at one fidelity. The grid
+// order is fixed — predictor-major, then banked, then benchmark — and the
+// response streams one NDJSON line per grid point in exactly that order,
+// followed by a summary line, so response bodies are byte-identical at any
+// worker count, segment count, replica count, or store state.
+type SweepRequest struct {
+	// Predictors names registered configurations (GET /v1/predictors).
+	Predictors []string `json:"predictors"`
+	// Workload is a benchmark or suite name, as in SimulateRequest.
+	Workload string `json:"workload"`
+	// Banked lists the banking axis values (default {false}).
+	Banked []bool `json:"banked,omitempty"`
+	// Fidelity/window overrides match SimulateRequest.
+	Fidelity     string `json:"fidelity,omitempty"`
+	WarmupInsts  uint64 `json:"warmup_insts,omitempty"`
+	MeasureInsts uint64 `json:"measure_insts,omitempty"`
+	// TimeoutMS tightens (never loosens) the job deadline.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// sweepWire is the decode shape: the numeric fields come in as float64 so
+// degenerate values (negative, fractional, astronomically large) are
+// rejected with a precise error instead of a json.Unmarshal type error or,
+// worse, a silent truncation.
+type sweepWire struct {
+	Predictors   []string `json:"predictors"`
+	Workload     string   `json:"workload"`
+	Banked       []bool   `json:"banked"`
+	Fidelity     string   `json:"fidelity"`
+	WarmupInsts  float64  `json:"warmup_insts"`
+	MeasureInsts float64  `json:"measure_insts"`
+	TimeoutMS    float64  `json:"timeout_ms"`
+}
+
+// wireCount validates one numeric field: a finite non-negative integer no
+// larger than limit.
+func wireCount(name string, v, limit float64) (uint64, error) {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return 0, fmt.Errorf("%s must be a non-negative finite number", name)
+	}
+	if v != math.Trunc(v) {
+		return 0, fmt.Errorf("%s must be an integer", name)
+	}
+	if v > limit {
+		return 0, fmt.Errorf("%s exceeds the cap of %d", name, uint64(limit))
+	}
+	return uint64(v), nil
+}
+
+// decodeSweepRequest parses and structurally validates a sweep body. It
+// checks everything that does not need the registries: axis sizes and
+// duplicates, window and timeout sanity. Name resolution (and the total
+// grid-point cap, which needs the workload's benchmark count) stays with
+// the handler so its errors can list valid names.
+func decodeSweepRequest(data []byte) (SweepRequest, error) {
+	var w sweepWire
+	var req SweepRequest
+	if err := json.Unmarshal(data, &w); err != nil {
+		return req, fmt.Errorf("decoding request: %w", err)
+	}
+	if len(w.Predictors) == 0 {
+		return req, errors.New("predictors must name at least one configuration")
+	}
+	if len(w.Predictors) > maxSweepPredictors {
+		return req, fmt.Errorf("%d predictors exceeds the cap of %d", len(w.Predictors), maxSweepPredictors)
+	}
+	seen := make(map[string]bool, len(w.Predictors))
+	for _, p := range w.Predictors {
+		if p == "" {
+			return req, errors.New("predictor names must be non-empty")
+		}
+		if seen[p] {
+			return req, fmt.Errorf("duplicate predictor %q makes the grid degenerate", p)
+		}
+		seen[p] = true
+	}
+	if w.Workload == "" {
+		return req, errors.New("workload is required")
+	}
+	if len(w.Banked) > 2 || (len(w.Banked) == 2 && w.Banked[0] == w.Banked[1]) {
+		return req, errors.New("banked axis must list distinct values (at most [false, true])")
+	}
+	warmup, err := wireCount("warmup_insts", w.WarmupInsts, maxWindowInsts)
+	if err != nil {
+		return req, err
+	}
+	measure, err := wireCount("measure_insts", w.MeasureInsts, maxWindowInsts)
+	if err != nil {
+		return req, err
+	}
+	// One day is beyond any deadline the server would grant anyway.
+	timeout, err := wireCount("timeout_ms", w.TimeoutMS, 24*60*60*1000)
+	if err != nil {
+		return req, err
+	}
+	banked := w.Banked
+	if len(banked) == 0 {
+		banked = []bool{false}
+	}
+	return SweepRequest{
+		Predictors:   w.Predictors,
+		Workload:     w.Workload,
+		Banked:       banked,
+		Fidelity:     w.Fidelity,
+		WarmupInsts:  warmup,
+		MeasureInsts: measure,
+		TimeoutMS:    int64(timeout),
+	}, nil
+}
+
+// sweepHeader is the first NDJSON line of a sweep stream. ID is
+// content-addressed from the resolved grid, so it — like every other byte
+// of the body — is identical across servers, replicas, and retries.
+type sweepHeader struct {
+	ID           string   `json:"id"`
+	Points       int      `json:"points"`
+	Workload     string   `json:"workload"`
+	Fidelity     string   `json:"fidelity"`
+	WarmupInsts  uint64   `json:"warmup_insts"`
+	MeasureInsts uint64   `json:"measure_insts"`
+	Predictors   []string `json:"predictors"`
+	Banked       []bool   `json:"banked"`
+}
+
+// SweepPoint is one per-point NDJSON line: the grid coordinates plus the
+// simulated result.
+type SweepPoint struct {
+	Point     int    `json:"point"`
+	Predictor string `json:"predictor"`
+	Banked    bool   `json:"banked"`
+	RunResult
+}
+
+// sweepSummary is the success trailer.
+type sweepSummary struct {
+	Done   bool      `json:"done"`
+	Points int       `json:"points"`
+	Mean   RunResult `json:"mean"`
+}
+
+// sweepFailure is the trailer of a canceled or deadline-exceeded sweep:
+// every line before it is a completed, valid grid point.
+type sweepFailure struct {
+	Error     string `json:"error"`
+	Completed int    `json:"completed"`
+}
+
+// sweepID derives the job id from the resolved grid and run configuration.
+// Identical grids — whatever the axis spellings that produced them — map to
+// the same id.
+func sweepID(hdr sweepHeader, rc experiments.RunConfig) string {
+	canon, _ := json.Marshal(struct {
+		Schema int
+		Header sweepHeader
+		RC     experiments.RunConfig
+	}{1, hdr, rc})
+	sum := sha256.Sum256(canon)
+	return "sw-" + hex.EncodeToString(sum[:8])
+}
+
+// ndjsonLine marshals v as one stream line.
+func ndjsonLine(v any) []byte {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Line payloads are plain structs of strings and numbers; a marshal
+		// failure is a programming error.
+		panic("service: marshaling sweep line: " + err.Error())
+	}
+	return append(data, '\n')
+}
+
+// handleSweeps is POST /v1/sweeps: validate, resolve, and either attach to
+// an equivalent existing job (in-flight or finished — the stream replays its
+// transcript) or start a new one and stream it. The response is NDJSON:
+// header line, one line per grid point in grid order, then a summary (or
+// failure) trailer.
+func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	req, err := decodeSweepRequest(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	specs := make([]bpred.Spec, len(req.Predictors))
+	for i, name := range req.Predictors {
+		if specs[i], err = bpred.ByName(name); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+	bs, err := resolveWorkload(req.Workload)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	rc, fidelity, err := runConfigFor(req.Fidelity, req.WarmupInsts, req.MeasureInsts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	total := len(specs) * len(req.Banked) * len(bs)
+	if total > maxSweepPoints {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("grid has %d points, exceeding the cap of %d", total, maxSweepPoints))
+		return
+	}
+
+	// The grid, in its canonical order: predictor-major, then banked, then
+	// benchmark (experiments.Cross is variant-major, matching the figures).
+	opts := make([]cpu.Options, 0, len(specs)*len(req.Banked))
+	names := make([]string, len(specs))
+	for i, spec := range specs {
+		names[i] = spec.Name
+		for _, b := range req.Banked {
+			opts = append(opts, cpu.Options{Predictor: spec, BankedPredictor: b})
+		}
+	}
+	points := experiments.Cross(bs, opts...)
+	hdr := sweepHeader{
+		Points:       total,
+		Workload:     req.Workload,
+		Fidelity:     fidelity,
+		WarmupInsts:  rc.WarmupInsts,
+		MeasureInsts: rc.MeasureInsts,
+		Predictors:   names,
+		Banked:       req.Banked,
+	}
+	hdr.ID = sweepID(hdr, rc)
+
+	// An equivalent job that is in flight or finished successfully is
+	// shared/replayed; a failed one is replaced by a fresh run.
+	if job, ok := s.lookupJob(hdr.ID); ok {
+		if done, success := job.done(); !done || success {
+			defer job.release()
+			s.streamJob(w, r, job)
+			return
+		}
+		job.release() // finished in failure: replace it with a fresh run
+	}
+
+	timeout := s.cfg.RequestTimeout
+	if req.TimeoutMS > 0 {
+		if t := time.Duration(req.TimeoutMS) * time.Millisecond; t < timeout {
+			timeout = t
+		}
+	}
+	jobCtx, cancel := context.WithTimeout(context.Background(), timeout)
+	job := newSweepJob(hdr.ID, ndjsonLine(hdr), cancel)
+	job.acquire() // the creating stream's watch; released below
+	s.registerJob(job)
+	go s.runSweep(jobCtx, job, points) //bplint:allow goroutine -- the job outlives this request by design; the watcher refcount cancels it and runSweep joins its pool before returning
+	defer job.release()
+	s.streamJob(w, r, job)
+}
+
+// handleSweepGet is GET /v1/sweeps/{id}: replay a finished job or attach to
+// an in-flight one (the stream catches up on recorded lines, then follows).
+func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.lookupJob(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown sweep %q", id))
+		return
+	}
+	defer job.release()
+	s.streamJob(w, r, job)
+}
+
+// runSweep executes one job: fan the grid out across the worker pool (every
+// point flows through the shared RunCache, so singleflight, the concurrency
+// gate, and the persistent store all apply) and append per-point lines in
+// grid order as their results become final. The emit loop waits on point i
+// before looking at i+1 — later points may finish earlier, but their lines
+// are withheld until their turn, which is what makes the body byte-identical
+// at any worker count while still streaming incrementally.
+func (s *Server) runSweep(ctx context.Context, job *sweepJob, points []experiments.Job) {
+	n := len(points)
+	results := make([]experiments.Run, n)
+	errs := make([]error, n)
+	ready := make([]chan struct{}, n)
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		experiments.ForEachCtx(ctx, s.cfg.Parallel, n, func(i int) {
+			// A fresh harness per point: the memo maps are per-goroutine,
+			// all sharing happens in the RunCache underneath.
+			h := s.harness(ctx, s.rcFor(job))
+			results[i] = h.Simulate(points[i].Bench, points[i].Opt)
+			errs[i] = h.Err()
+			close(ready[i])
+		})
+	}()
+	defer wg.Wait()
+
+	emitted := 0
+	for i := 0; i < n; i++ {
+		select {
+		case <-ready[i]:
+			if errs[i] != nil {
+				job.finish(ndjsonLine(sweepFailure{Error: sweepErrorText(errs[i]), Completed: emitted}), true)
+				return
+			}
+			job.append(ndjsonLine(SweepPoint{
+				Point:     i,
+				Predictor: points[i].Opt.Predictor.Name,
+				Banked:    points[i].Opt.BankedPredictor,
+				RunResult: toRunResult(results[i]),
+			}))
+			emitted++
+		case <-ctx.Done():
+			job.finish(ndjsonLine(sweepFailure{Error: sweepErrorText(ctx.Err()), Completed: emitted}), true)
+			return
+		}
+	}
+	rrs := make([]RunResult, n)
+	for i, r := range results {
+		rrs[i] = toRunResult(r)
+	}
+	job.finish(ndjsonLine(sweepSummary{Done: true, Points: n, Mean: meanResult(rrs)}), false)
+}
+
+// rcFor recovers the job's run configuration from its header line. The
+// header is the single source of truth for the resolved windows, so the
+// runner can never drift from what the stream advertises.
+func (s *Server) rcFor(job *sweepJob) experiments.RunConfig {
+	var hdr sweepHeader
+	if err := json.Unmarshal(job.header, &hdr); err != nil {
+		panic("service: sweep header round-trip: " + err.Error())
+	}
+	return experiments.RunConfig{WarmupInsts: hdr.WarmupInsts, MeasureInsts: hdr.MeasureInsts}
+}
+
+// sweepErrorText maps a job error to its stable in-stream message.
+func sweepErrorText(err error) string {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return "sweep deadline exceeded"
+	case errors.Is(err, context.Canceled):
+		return "sweep canceled"
+	default:
+		return err.Error()
+	}
+}
+
+// streamJob writes a job's transcript to one client: everything recorded so
+// far, then (for in-flight jobs) each new line as the runner appends it,
+// flushing after every write so clients see points incrementally. The
+// status is always 200 — a failure surfaces as the in-band trailer, since
+// points may already be on the wire when it happens.
+func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, job *sweepJob) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Sweep-ID", job.id)
+	w.WriteHeader(http.StatusOK)
+	ctl := http.NewResponseController(w)
+	if _, err := w.Write(job.header); err != nil {
+		return
+	}
+	ctl.Flush()
+	sent := 0
+	for {
+		lines, trailer, change := job.snapshot(sent)
+		for _, ln := range lines {
+			if _, err := w.Write(ln); err != nil {
+				return
+			}
+		}
+		sent += len(lines)
+		if trailer != nil {
+			w.Write(trailer)
+			ctl.Flush()
+			return
+		}
+		ctl.Flush()
+		select {
+		case <-change:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

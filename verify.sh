@@ -34,11 +34,12 @@ for ex in examples/*/; do
     go run "./$ex" > /dev/null
 done
 
-# Fuzz smoke: both binary decoders must survive sustained fuzzing with no
-# crashes or round-trip violations. The minimize budget is capped so a slow
-# minimization cannot eat the whole fuzz window.
+# Fuzz smoke: the binary decoders and the sweep-grid decoder must survive
+# sustained fuzzing with no crashes or invariant violations. The minimize
+# budget is capped so a slow minimization cannot eat the whole fuzz window.
 go test -run '^$' -fuzz '^FuzzTraceDecode$' -fuzztime 5s -fuzzminimizetime 5s ./internal/trace
 go test -run '^$' -fuzz '^FuzzProgramDecode$' -fuzztime 5s -fuzzminimizetime 5s ./internal/program
+(cd internal/service && go test -run '^$' -fuzz '^FuzzSweepRequestDecode$' -fuzztime 5s -fuzzminimizetime 5s .)
 
 # Coverage floor for the lint suite itself: the fixtures and mutation
 # tests must keep exercising the analyzers they pin.
@@ -57,6 +58,15 @@ if [ -z "$svc_cov" ] || ! awk "BEGIN{exit !($svc_cov >= 70)}"; then
     exit 1
 fi
 echo "service coverage: ${svc_cov}% (floor 70%)"
+
+# Coverage floor for the persistent result store: the crash-safety and GC
+# tests must keep exercising the corruption and eviction paths.
+store_cov="$(go test -cover ./internal/resultstore | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p')"
+if [ -z "$store_cov" ] || ! awk "BEGIN{exit !($store_cov >= 80)}"; then
+    echo "internal/resultstore coverage ${store_cov:-unknown}% is below the 80% floor" >&2
+    exit 1
+fi
+echo "resultstore coverage: ${store_cov}% (floor 80%)"
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -134,3 +144,80 @@ diff "$tmp/simulate.1.json" "$tmp/simulate.4.json"
 diff "$tmp/predictors.1.json" cmd/bpserved/testdata/predictors.golden
 diff "$tmp/simulate.1.json" cmd/bpserved/testdata/simulate.golden
 echo "service smoke: responses identical at -parallel 1 and -parallel 4 and match goldens"
+
+# Sweep determinism: the streamed NDJSON sweep body must be byte-identical
+# across worker counts {1,4}, cold vs warm store, and a restart resuming
+# from the populated store directory.
+sweep_body='{"predictors":["Bim_4k","Gsh_1_16k_12"],"workload":"164.gzip","banked":[false,true],"warmup_insts":4000,"measure_insts":8000}'
+wait_healthy() {
+    for _ in $(seq 1 50); do
+        if curl -sf --max-time 2 "http://$serve_addr/healthz" > /dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    return 1
+}
+sweep_pass() { # name, extra bpserved flags...
+    local name="$1"; shift
+    "$tmp/bpserved" -addr "$serve_addr" "$@" 2> "$tmp/bpserved.$name.log" &
+    serve_pid=$!
+    if ! wait_healthy; then
+        echo "bpserved ($name) never became healthy:" >&2
+        cat "$tmp/bpserved.$name.log" >&2
+        kill "$serve_pid" 2> /dev/null || true
+        exit 1
+    fi
+    curl -sf -X POST -d "$sweep_body" "http://$serve_addr/v1/sweeps" > "$tmp/sweep.$name.ndjson"
+    kill -TERM "$serve_pid"
+    wait "$serve_pid"
+}
+sweep_pass serial-cold    -parallel 1 -store-dir "$tmp/store-a"
+sweep_pass parallel-cold  -parallel 4 -store-dir "$tmp/store-b"
+sweep_pass restart-warm   -parallel 4 -store-dir "$tmp/store-a"
+sweep_pass no-store       -parallel 4
+diff "$tmp/sweep.serial-cold.ndjson" "$tmp/sweep.parallel-cold.ndjson"
+diff "$tmp/sweep.serial-cold.ndjson" "$tmp/sweep.restart-warm.ndjson"
+diff "$tmp/sweep.serial-cold.ndjson" "$tmp/sweep.no-store.ndjson"
+echo "sweep smoke: bodies identical across worker counts, cold/warm store, and restart"
+
+# Two-replica shared-store smoke: two live bpserved processes over one store
+# directory must serve byte-identical sweep bodies, and the second replica
+# must answer from the store the first populated.
+replica_addr2="127.0.0.1:18480"
+"$tmp/bpserved" -addr "$serve_addr"   -store-dir "$tmp/store-shared" 2> "$tmp/bpserved.r1.log" &
+r1_pid=$!
+"$tmp/bpserved" -addr "$replica_addr2" -store-dir "$tmp/store-shared" 2> "$tmp/bpserved.r2.log" &
+r2_pid=$!
+if ! wait_healthy; then
+    echo "replica 1 never became healthy" >&2; cat "$tmp/bpserved.r1.log" >&2
+    kill "$r1_pid" "$r2_pid" 2> /dev/null || true
+    exit 1
+fi
+curl -sf -X POST -d "$sweep_body" "http://$serve_addr/v1/sweeps" > "$tmp/sweep.r1.ndjson"
+for _ in $(seq 1 50); do
+    if curl -sf --max-time 2 "http://$replica_addr2/healthz" > /dev/null 2>&1; then break; fi
+    sleep 0.1
+done
+curl -sf -X POST -d "$sweep_body" "http://$replica_addr2/v1/sweeps" > "$tmp/sweep.r2.ndjson"
+curl -sf "http://$replica_addr2/metrics" | grep -q '^bpserved_store_hits_total [1-9]'
+diff "$tmp/sweep.r1.ndjson" "$tmp/sweep.r2.ndjson"
+kill -TERM "$r1_pid" "$r2_pid"
+wait "$r1_pid" "$r2_pid"
+echo "replica smoke: two servers on one store served identical bodies, second from disk"
+
+# Load smoke: bpload drives a mixed simulate/sweep/cancel workload and exits
+# nonzero on any non-cancellation failure.
+go build -o "$tmp/bpload" ./cmd/bpload
+"$tmp/bpserved" -addr "$serve_addr" -store-dir "$tmp/store-load" 2> "$tmp/bpserved.load.log" &
+load_pid=$!
+if ! wait_healthy; then
+    echo "bpserved (load) never became healthy" >&2; cat "$tmp/bpserved.load.log" >&2
+    kill "$load_pid" 2> /dev/null || true
+    exit 1
+fi
+"$tmp/bpload" -addr "$serve_addr" -smoke -o "$tmp/load.json"
+grep -q '"errors": 0' "$tmp/load.json"
+kill -TERM "$load_pid"
+wait "$load_pid"
+echo "load smoke: bpload -smoke completed with zero errors"

@@ -76,8 +76,13 @@ type report struct {
 	SoACommitScan result `json:"soa_commit_scan"`
 	// CheckpointRestore is one full Checkpoint plus Restore of a warm
 	// simulator — the per-boundary hand-off cost of a segmented run.
-	CheckpointRestore result            `json:"checkpoint_restore"`
-	Figures           map[string]result `json:"figures,omitempty"`
+	CheckpointRestore result `json:"checkpoint_restore"`
+	// RepriceFold is one pricing-key fold: rebuilding the unit set for a
+	// power configuration and repricing a cached activity vector through it.
+	// This bounds the per-variant cost of activity/price decoupling — it
+	// must stay orders of magnitude below a full simulation.
+	RepriceFold result            `json:"reprice_fold"`
+	Figures     map[string]result `json:"figures,omitempty"`
 	// ThroughputHistory is the dated ns/inst trajectory across optimization
 	// passes, carried forward from the previous report at the output path. A
 	// new point is appended only when -date supplies an explicit date.
@@ -282,6 +287,23 @@ func main() {
 	fmt.Printf("checkpoint        %8.2f ns/op    %d allocs/op\n",
 		rep.CheckpointRestore.NsPerOp, rep.CheckpointRestore.AllocsPerOp)
 
+	rep.RepriceFold = measureBest(func(b *testing.B) {
+		sim := cpu.MustNew(prog, cpu.Options{Predictor: bpred.Hybrid1})
+		sim.Run(6000)
+		rec := experiments.ActivityRecord{Run: experiments.Run{Benchmark: gzip.Name}, Activity: sim.Meter().Activity()}
+		sim.Release()
+		opt := cpu.Options{Predictor: bpred.Hybrid1, BankedPredictor: true, ClockGating: power.CC1}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.Reprice(rec, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	fmt.Printf("reprice_fold      %8.2f ns/op    %d allocs/op\n",
+		rep.RepriceFold.NsPerOp, rep.RepriceFold.AllocsPerOp)
+
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
 		if err != nil {
@@ -422,6 +444,9 @@ func compareReports(oldPath string, newRep report, threshold float64) bool {
 	}
 	// CheckpointRestore is allocation-bound (deep state copies) and swings
 	// with heap layout, so it is recorded but not gated.
+	if oldRep.RepriceFold.Iterations > 0 {
+		entries = append(entries, entry{"reprice_fold", oldRep.RepriceFold, newRep.RepriceFold})
+	}
 
 	ok := true
 	fmt.Printf("compare vs %s (threshold %.0f%%):\n", oldPath, threshold*100)

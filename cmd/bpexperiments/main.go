@@ -7,6 +7,12 @@
 //	bpexperiments -quick          # shorter runs for a smoke pass
 //	bpexperiments -table 2        # one table
 //	bpexperiments -figure 16      # one figure (16 also prints 17, 12 also 13)
+//	bpexperiments -reprice=false  # re-simulate every power configuration
+//
+// By default runs differing only in pricing knobs (banking, array model,
+// organization search, clock-gating style) are repriced from one cached
+// activity vector per execution key; -reprice=false forces a full
+// simulation per configuration. Output is byte-identical either way.
 package main
 
 import (
@@ -19,12 +25,13 @@ import (
 
 func main() {
 	table := flag.Int("table", 0, "print only this table (1, 2, or 3)")
-	figure := flag.Int("figure", 0, "print only this figure (2,3,5..14,16,17,19; 20=confidence, 21=line-predictor, 22=modern-predictor extension)")
+	figure := flag.Int("figure", 0, "print only this figure (2,3,5..14,16,17,19; 20=confidence, 21=line-predictor, 22=modern-predictor, 23=gating-style extension)")
 	quick := flag.Bool("quick", false, "use short simulation windows")
 	warm := flag.Uint64("warmup", 0, "override warm-up instruction count")
 	measure := flag.Uint64("measure", 0, "override measured instruction count")
 	parallel := flag.Int("parallel", 0, "simulation worker count (0 = GOMAXPROCS); output is identical at any value")
 	segments := flag.Int("segments", 0, "split each simulation into this many checkpoint-stitched segments (0 or 1 = monolithic); output is identical at any value")
+	reprice := flag.Bool("reprice", true, "reprice pricing-only variants from cached activity vectors; output is identical at any value")
 	flag.Parse()
 
 	rc := experiments.Default
@@ -40,6 +47,7 @@ func main() {
 	h := experiments.NewHarness(rc)
 	h.Parallel = *parallel
 	h.Segments = *segments
+	h.Reprice = *reprice
 	w := os.Stdout
 
 	switch {
@@ -84,6 +92,8 @@ func main() {
 		experiments.ExtensionLinePredictor(h, w)
 	case *figure == 22:
 		experiments.ExtensionModernPredictors(h, w)
+	case *figure == 23:
+		experiments.ExtensionGatingStyles(h, w)
 	case *figure != 0:
 		fmt.Fprintf(os.Stderr, "unknown figure %d\n", *figure)
 		os.Exit(2)

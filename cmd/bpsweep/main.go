@@ -9,12 +9,18 @@
 // and reports, through the frontend layer, the organization, energy, and
 // access time chosen for each of the predictor's tables.
 //
+// With -pred and -reprice it runs one short 164.gzip simulation of the
+// named predictor and reprices every pricing-key variant — banking crossed
+// with the four clock-gating styles — from that single cached activity
+// vector, reporting the simulation and fold counts alongside the table.
+//
 // Usage:
 //
 //	bpsweep -entries 16384
 //	bpsweep -entries 32768 -banked
 //	bpsweep -sweep          # the Figure 3 / Figure 11 size sweep
 //	bpsweep -pred Hybrid_1  # per-table report for one configuration
+//	bpsweep -pred Hybrid_1 -reprice  # 8 power variants from 1 simulation
 package main
 
 import (
@@ -28,9 +34,11 @@ import (
 	"bpredpower/internal/atime"
 	"bpredpower/internal/bpred"
 	"bpredpower/internal/config"
+	"bpredpower/internal/cpu"
 	"bpredpower/internal/experiments"
 	"bpredpower/internal/frontend"
 	"bpredpower/internal/power"
+	"bpredpower/internal/workload"
 )
 
 func main() {
@@ -39,6 +47,7 @@ func main() {
 	sweep := flag.Bool("sweep", false, "sweep the Figure 3/11 size range instead")
 	predName := flag.String("pred", "", "report a named predictor configuration's tables instead")
 	parallel := flag.Int("parallel", 0, "-sweep worker count (0 = GOMAXPROCS); output is identical at any value")
+	reprice := flag.Bool("reprice", false, "with -pred: reprice banking x gating-style variants from one simulation")
 	flag.Parse()
 
 	am := array.NewModel()
@@ -48,6 +57,13 @@ func main() {
 		if err := predReport(os.Stdout, *predName, *banked); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
+		}
+		if *reprice {
+			fmt.Println()
+			if err := repriceReport(os.Stdout, *predName); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
 		}
 		return
 	}
@@ -138,6 +154,48 @@ func predReport(w io.Writer, name string, banked bool) error {
 			ba.Array.Name, ba.Array.Spec.Entries, ba.Array.Spec.Width,
 			max(1, ba.Array.Spec.Banks), ba.Org, ba.Unit.ERead*1e12, ba.AccessTime*1e9)
 	}
+	return nil
+}
+
+// repriceReport demonstrates activity/price decoupling on a named predictor:
+// one short 164.gzip simulation supplies the activity vector, and the eight
+// pricing-key variants (flat/banked x CC0..CC3) are folded from it. The
+// trailing simulations/folds line is the proof the variants were repriced,
+// not re-run.
+func repriceReport(w io.Writer, name string) error {
+	spec, err := bpred.ByName(name)
+	if err != nil {
+		return err
+	}
+	bench, err := workload.ByName("164.gzip")
+	if err != nil {
+		return err
+	}
+	h := experiments.NewHarness(experiments.RunConfig{WarmupInsts: 2000, MeasureInsts: 4000})
+	h.Parallel = 1
+	fmt.Fprintf(w, "%s repriced on %s (2k warmup + 4k measured insts)\n", spec.Name, bench.Name)
+	fmt.Fprintf(w, "%-6s %-8s %12s %10s %12s %14s\n",
+		"style", "arrays", "bpred mW", "total W", "total uJ", "ED (uJ*ms)")
+	for _, bankedVariant := range []bool{false, true} {
+		arrays := "flat"
+		if bankedVariant {
+			arrays = "banked"
+		}
+		for _, style := range []power.GatingStyle{power.CC0, power.CC1, power.CC2, power.CC3} {
+			r := h.Simulate(bench, cpu.Options{
+				Predictor:       spec,
+				BankedPredictor: bankedVariant,
+				ClockGating:     style,
+			})
+			fmt.Fprintf(w, "%-6s %-8s %12.3f %10.2f %12.1f %14.4f\n",
+				style, arrays, r.BpredPower*1e3, r.TotalPower, r.TotalEnergy*1e6, r.EnergyDelay*1e9)
+		}
+	}
+	if err := h.Err(); err != nil {
+		return err
+	}
+	st := h.RepriceStats()
+	fmt.Fprintf(w, "simulations=%d folds=%d\n", st.Simulations, st.Folds)
 	return nil
 }
 

@@ -39,6 +39,22 @@ func TestPredReportGolden(t *testing.T) {
 	}
 }
 
+// TestRepriceReportGolden pins the -reprice demo: eight pricing-key
+// variants of one predictor priced from a single short simulation, with the
+// trailing simulations/folds line proving the fold count. A diff here means
+// the power model, the activity export, or the repricer changed.
+func TestRepriceReportGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := repriceReport(&buf, "Hybrid_1"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "simulations=1 folds=7\n") {
+		t.Errorf("reprice report should fold 7 of 8 variants from 1 simulation:\n%s", out)
+	}
+	compareGolden(t, filepath.Join("testdata", "reprice_hybrid1.golden"), buf.Bytes())
+}
+
 // TestPredReportUnknown checks the registry error carries the valid names,
 // so a typo on the command line is self-correcting.
 func TestPredReportUnknown(t *testing.T) {

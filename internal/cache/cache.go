@@ -73,6 +73,11 @@ func (c Config) Validate() error {
 //bp:hotpath
 func (c Config) Sets() int { return c.SizeBytes / (c.BlockBytes * c.Ways) }
 
+// NumLines is the total number of physical lines (sets * ways) a cache built
+// from this config will hold. Exposed so geometry consumers (the standalone
+// power meter in package cpu) need not construct the cache.
+func (c Config) NumLines() int { return c.Sets() * c.Ways }
+
 type line struct {
 	valid bool
 	dirty bool
@@ -161,7 +166,7 @@ func New(cfg Config, next Level) *Cache {
 	return &Cache{
 		cfg:        cfg,
 		next:       next,
-		lines:      newLines(cfg.Sets() * cfg.Ways),
+		lines:      newLines(cfg.NumLines()),
 		blockShift: log2u(uint64(cfg.BlockBytes)),
 		setShift:   log2u(uint64(cfg.Sets())),
 		setMask:    uint64(cfg.Sets() - 1),

@@ -174,11 +174,10 @@ type Sim struct {
 	stats Stats
 }
 
-// New builds a simulator for prog under opt.
-func New(prog *program.Program, opt Options) (*Sim, error) {
-	if prog == nil {
-		return nil, fmt.Errorf("cpu: nil program")
-	}
+// normalizeOptions applies New's defaulting — the zero Config means
+// config.Default(), the zero Predictor means bpred.Hybrid1 — so that every
+// consumer of an Options (New, NewMeter) resolves it the same way.
+func normalizeOptions(opt Options) (Options, config.Processor) {
 	cfg := opt.Config
 	if cfg.RUUSize == 0 {
 		cfg = config.Default()
@@ -186,6 +185,15 @@ func New(prog *program.Program, opt Options) (*Sim, error) {
 	if opt.Predictor.Name == "" {
 		opt.Predictor = bpred.Hybrid1
 	}
+	return opt, cfg
+}
+
+// New builds a simulator for prog under opt.
+func New(prog *program.Program, opt Options) (*Sim, error) {
+	if prog == nil {
+		return nil, fmt.Errorf("cpu: nil program")
+	}
+	opt, cfg := normalizeOptions(opt)
 	if opt.Gating.Enabled && opt.Gating.Estimator == gating.EstimatorBothStrong && opt.Predictor.Kind != bpred.KindHybrid {
 		return nil, fmt.Errorf("cpu: 'both strong' confidence estimation requires a hybrid predictor (use the JRS or perfect estimator for other kinds)")
 	}

@@ -1,0 +1,77 @@
+package cpu
+
+import (
+	"testing"
+
+	"bpredpower/internal/bpred"
+	"bpredpower/internal/gating"
+	"bpredpower/internal/power"
+	"bpredpower/internal/ppd"
+)
+
+// NewMeter must build exactly the unit set a live simulation builds — same
+// names, same registration order — for every structural shape of Options
+// (BTB vs line predictor, PPD on/off, JRS estimator on/off, defaults).
+// Unit-set identity is what makes SetActivity on a standalone meter price a
+// cached vector exactly as the original simulation would.
+func TestNewMeterMatchesSimUnitSet(t *testing.T) {
+	prog := testProgram(7)
+	opts := []Options{
+		{},
+		{Predictor: bpred.TAGE64k},
+		{Predictor: bpred.Hybrid1, BankedPredictor: true, OldArrayModel: true, ClockGating: power.CC0},
+		{Predictor: bpred.Gsh16k12, LinePredictor: true},
+		{Predictor: bpred.Hybrid1, PPD: ppd.Scenario1},
+		{Predictor: bpred.Hybrid1, Gating: gating.Config{Enabled: true, Threshold: 3,
+			Estimator: gating.EstimatorJRS}},
+	}
+	for _, opt := range opts {
+		sim, err := New(prog, opt)
+		if err != nil {
+			t.Fatalf("New(%+v): %v", opt, err)
+		}
+		m, err := NewMeter(opt)
+		if err != nil {
+			t.Fatalf("NewMeter(%+v): %v", opt, err)
+		}
+		simUnits := sim.Meter().Activity().Units
+		meterUnits := m.Activity().Units
+		sim.Release()
+		if len(simUnits) != len(meterUnits) {
+			t.Fatalf("%+v: sim has %d units, standalone meter %d", opt, len(simUnits), len(meterUnits))
+		}
+		for i := range simUnits {
+			if simUnits[i].Name != meterUnits[i].Name {
+				t.Fatalf("%+v: unit %d is %q in sim, %q in standalone meter", opt, i, simUnits[i].Name, meterUnits[i].Name)
+			}
+		}
+	}
+}
+
+// Loading a live simulation's activity into a standalone meter must
+// reproduce its read accessors bit for bit.
+func TestNewMeterRepricesSimActivity(t *testing.T) {
+	prog := testProgram(11)
+	opt := Options{Predictor: bpred.Hybrid1}
+	sim := MustNew(prog, opt)
+	defer sim.Release()
+	sim.Run(3000)
+	ref := sim.Meter()
+
+	m, err := NewMeter(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetActivity(ref.Activity()); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.TotalEnergy(), ref.TotalEnergy(); got != want {
+		t.Fatalf("TotalEnergy = %v, want %v (bit-exact)", got, want)
+	}
+	if got, want := m.PredictorEnergy(), ref.PredictorEnergy(); got != want {
+		t.Fatalf("PredictorEnergy = %v, want %v", got, want)
+	}
+	if got, want := m.EnergyDelay(), ref.EnergyDelay(); got != want {
+		t.Fatalf("EnergyDelay = %v, want %v", got, want)
+	}
+}

@@ -3,7 +3,11 @@ package cpu
 import (
 	"fmt"
 
+	"bpredpower/internal/bpred"
+	"bpredpower/internal/btb"
+	"bpredpower/internal/config"
 	"bpredpower/internal/frontend"
+	"bpredpower/internal/gating"
 	"bpredpower/internal/power"
 )
 
@@ -35,57 +39,95 @@ type powerUnits struct {
 	resultBus   *power.Unit
 }
 
-// frontendSpec declares the simulated machine's structures in meter
+// machineSpec declares the simulated machine's structures in meter
 // registration order. All geometry and transform handling lives in package
 // frontend; this is the only place the cpu package says *what* exists, never
-// *how* it is costed.
-func (s *Sim) frontendSpec() frontend.Spec {
+// *how* it is costed. It is a free function of the options, config, and a few
+// derived geometry numbers so that the live simulator (buildPowerModel) and
+// the standalone repricing meter (NewMeter) construct provably identical unit
+// sets — they cannot drift because they share this one definition.
+func machineSpec(opt Options, cfg config.Processor, predTables []bpred.TableSpec, btbTagBits, il1Lines, jrsEntries int) frontend.Spec {
 	structures := []frontend.Structure{
-		frontend.Predictor{Tables: s.pred.Tables()},
+		frontend.Predictor{Tables: predTables},
 	}
-	if s.opt.LinePredictor {
-		structures = append(structures, frontend.LinePredictor{Lines: s.il1.NumLines()})
+	if opt.LinePredictor {
+		structures = append(structures, frontend.LinePredictor{Lines: il1Lines})
 	} else {
 		structures = append(structures, frontend.BTB{
-			Sets:    s.cfg.BTBEntries / s.cfg.BTBWays,
-			Ways:    s.cfg.BTBWays,
-			TagBits: s.btb.TagBits(s.cfg.VAddrBits),
+			Sets:    cfg.BTBEntries / cfg.BTBWays,
+			Ways:    cfg.BTBWays,
+			TagBits: btbTagBits,
 		})
 	}
 	structures = append(structures,
-		frontend.RAS{Entries: s.cfg.RASEntries},
-		frontend.PPD{Entries: s.il1.NumLines()},
+		frontend.RAS{Entries: cfg.RASEntries},
+		frontend.PPD{Entries: il1Lines},
 	)
-	if j := s.gate.JRSTable(); j != nil {
-		structures = append(structures, frontend.JRS{Entries: j.Entries()})
+	if jrsEntries > 0 {
+		structures = append(structures, frontend.JRS{Entries: jrsEntries})
 	}
 	structures = append(structures,
-		frontend.Cache{Label: "il1", Group: power.GroupFetch, Config: s.cfg.IL1, VAddrBits: s.cfg.VAddrBits, Ports: 1},
-		frontend.Cache{Label: "dl1", Group: power.GroupDMem, Config: s.cfg.DL1, VAddrBits: s.cfg.VAddrBits, Ports: s.cfg.MemPorts},
-		frontend.Cache{Label: "ul2", Group: power.GroupL2, Config: s.cfg.L2, VAddrBits: s.cfg.VAddrBits, Ports: 1},
-		frontend.TLB{Label: "itlb", Group: power.GroupFetch, Entries: s.cfg.TLBEntries, Ports: 1},
-		frontend.TLB{Label: "dtlb", Group: power.GroupDMem, Entries: s.cfg.TLBEntries, Ports: s.cfg.MemPorts},
+		frontend.Cache{Label: "il1", Group: power.GroupFetch, Config: cfg.IL1, VAddrBits: cfg.VAddrBits, Ports: 1},
+		frontend.Cache{Label: "dl1", Group: power.GroupDMem, Config: cfg.DL1, VAddrBits: cfg.VAddrBits, Ports: cfg.MemPorts},
+		frontend.Cache{Label: "ul2", Group: power.GroupL2, Config: cfg.L2, VAddrBits: cfg.VAddrBits, Ports: 1},
+		frontend.TLB{Label: "itlb", Group: power.GroupFetch, Entries: cfg.TLBEntries, Ports: 1},
+		frontend.TLB{Label: "dtlb", Group: power.GroupDMem, Entries: cfg.TLBEntries, Ports: cfg.MemPorts},
 		frontend.Execution{Units: []frontend.Fixed{
-			{Name: "rename", Ports: s.cfg.DecodeWidth},
-			{Name: "window", Ports: 3 * s.cfg.IssueWidth},
-			{Name: "lsq", Ports: 2 * s.cfg.MemPorts},
-			{Name: "regfile", Ports: 3 * s.cfg.IssueWidth},
-			{Name: "ialu", Ports: s.cfg.IntALU},
-			{Name: "imult", Ports: s.cfg.IntMultDiv},
-			{Name: "falu", Ports: s.cfg.FPALU},
-			{Name: "fmult", Ports: s.cfg.FPMultDiv},
-			{Name: "resultbus", Ports: s.cfg.IssueWidth},
+			{Name: "rename", Ports: cfg.DecodeWidth},
+			{Name: "window", Ports: 3 * cfg.IssueWidth},
+			{Name: "lsq", Ports: 2 * cfg.MemPorts},
+			{Name: "regfile", Ports: 3 * cfg.IssueWidth},
+			{Name: "ialu", Ports: cfg.IntALU},
+			{Name: "imult", Ports: cfg.IntMultDiv},
+			{Name: "falu", Ports: cfg.FPALU},
+			{Name: "fmult", Ports: cfg.FPMultDiv},
+			{Name: "resultbus", Ports: cfg.IssueWidth},
 		}},
 	)
 	return frontend.Spec{
 		Structures: structures,
 		Transforms: frontend.Transforms{
-			OldArrayModel:   s.opt.OldArrayModel,
-			SquarifyClosest: s.opt.SquarifyClosest,
-			BankedPredictor: s.opt.BankedPredictor,
-			PPD:             s.opt.PPD,
+			OldArrayModel:   opt.OldArrayModel,
+			SquarifyClosest: opt.SquarifyClosest,
+			BankedPredictor: opt.BankedPredictor,
+			PPD:             opt.PPD,
 		},
 	}
+}
+
+func (s *Sim) frontendSpec() frontend.Spec {
+	jrs := 0
+	if j := s.gate.JRSTable(); j != nil {
+		jrs = j.Entries()
+	}
+	return machineSpec(s.opt, s.cfg, s.pred.Tables(), s.btb.TagBits(s.cfg.VAddrBits), s.il1.NumLines(), jrs)
+}
+
+// NewMeter builds the power meter a simulation under opt would build, without
+// a program or a pipeline: the same Options normalization as New, the same
+// structure list (via machineSpec), the same registry. Loading a cached
+// activity vector into it with Meter.SetActivity therefore prices that
+// activity exactly as the original simulation would have — bit-identical
+// closed-form folds over bit-identical counters on an identically
+// constructed unit set.
+func NewMeter(opt Options) (*power.Meter, error) {
+	opt, cfg := normalizeOptions(opt)
+	jrs := 0
+	if j := gating.New(opt.Gating).JRSTable(); j != nil {
+		jrs = j.Entries()
+	}
+	spec := machineSpec(opt, cfg,
+		opt.Predictor.Build().Tables(),
+		btb.New(cfg.BTBEntries, cfg.BTBWays).TagBits(cfg.VAddrBits),
+		cfg.IL1.NumLines(),
+		jrs)
+	m := power.NewMeter(cfg.CycleSeconds())
+	m.Style = opt.ClockGating
+	m.Accounting = opt.Accounting
+	if _, err := frontend.NewRegistry().Build(spec, m); err != nil {
+		return nil, fmt.Errorf("cpu: building power model: %w", err)
+	}
+	return m, nil
 }
 
 // buildPowerModel constructs the Meter and all units through the frontend

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"container/list"
+	"context"
+	"unsafe"
+
+	"bpredpower/internal/cpu"
+)
+
+// ActivityStore is the optional persistent plane for activity records,
+// implemented alongside RunStore by internal/resultstore. A RunCache whose
+// Store also implements it writes every computed record through and answers
+// reprice misses from disk — replicas sharing one store reprice each other's
+// simulations instead of re-running them.
+type ActivityStore interface {
+	LoadActivity(bench string, opt cpu.Options, rc RunConfig) (ActivityRecord, bool)
+	SaveActivity(bench string, opt cpu.Options, rc RunConfig, rec ActivityRecord)
+}
+
+// actEntry mirrors cacheEntry for the activity plane.
+type actEntry struct {
+	key  cacheKey
+	done chan struct{} // closed when rec/err are final
+	rec  ActivityRecord
+	err  error
+	size int64
+	elem *list.Element // nil while inflight or after eviction
+}
+
+// DoActivity is Do for activity records: the memoized ActivityRecord of an
+// execution key (bench, execOpt, rc), computed via compute — one full base
+// simulation — on a miss. It shares Do's semantics exactly: singleflight
+// across harnesses, persistent-store consult and write-through (when the
+// Store also implements ActivityStore), Gate-bounded and Hooks-observed
+// computes, LRU eviction, and error entries dropped so a later call retries.
+// The callers' pricing-variant folds never pass through here — only the one
+// simulation per execution key does, which is the whole point. Activity
+// lookups count into the shared Hits/Misses alongside the plane-specific
+// RepriceHits/RepriceMisses, so cache-effectiveness dashboards keep working
+// when repriceable traffic moves off the run plane.
+func (c *RunCache) DoActivity(ctx context.Context, bench string, opt cpu.Options, rc RunConfig, compute func(context.Context) (ActivityRecord, error)) (ActivityRecord, error) {
+	key := cacheKey{bench, opt, rc}
+	c.mu.Lock()
+	if e, ok := c.actEntries[key]; ok {
+		select {
+		case <-e.done:
+			c.hits++
+			c.repriceHits++
+			c.actLru.MoveToFront(e.elem)
+			rec := e.rec
+			c.mu.Unlock()
+			return rec, nil
+		default:
+		}
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+			if e.err != nil {
+				return ActivityRecord{}, e.err
+			}
+			c.mu.Lock()
+			c.hits++
+			c.repriceHits++
+			if e.elem != nil {
+				c.actLru.MoveToFront(e.elem)
+			}
+			c.mu.Unlock()
+			return e.rec, nil
+		case <-ctx.Done():
+			return ActivityRecord{}, ctx.Err()
+		}
+	}
+	e := &actEntry{key: key, done: make(chan struct{})}
+	c.actEntries[key] = e
+	c.misses++
+	c.repriceMiss++
+	c.mu.Unlock()
+
+	as, _ := c.Store.(ActivityStore)
+	fromStore := false
+	var rec ActivityRecord
+	var err error
+	if as != nil {
+		if r, ok := as.LoadActivity(bench, opt, rc); ok {
+			c.count(func() { c.storeHits++ })
+			rec, fromStore = r, true
+		} else {
+			c.count(func() { c.storeMiss++ })
+		}
+	}
+	if !fromStore {
+		rec, err = c.computeActivity(ctx, compute)
+	}
+
+	c.mu.Lock()
+	e.rec, e.err = rec, err
+	if err != nil {
+		delete(c.actEntries, key)
+	} else {
+		e.size = activityBytes(rec)
+		c.bytes += e.size
+		e.elem = c.actLru.PushFront(e)
+		c.evictActivityLocked()
+	}
+	c.mu.Unlock()
+	close(e.done)
+	if err == nil && !fromStore && as != nil {
+		as.SaveActivity(bench, opt, rc, rec)
+	}
+	return rec, err
+}
+
+// computeActivity is compute for the activity plane: same Gate slot, same
+// hooks (AfterRun observes the record's base Run — a base simulation is a
+// simulation like any other to the occupancy/throughput metrics).
+func (c *RunCache) computeActivity(ctx context.Context, fn func(context.Context) (ActivityRecord, error)) (ActivityRecord, error) {
+	if c.Gate != nil {
+		select {
+		case c.Gate <- struct{}{}:
+			defer func() { <-c.Gate }()
+		case <-ctx.Done():
+			return ActivityRecord{}, ctx.Err()
+		}
+	}
+	if h := c.Hooks.BeforeRun; h != nil {
+		h(ctx)
+	}
+	rec, err := fn(ctx)
+	if h := c.Hooks.AfterRun; h != nil {
+		h(rec.Run, err)
+	}
+	return rec, err
+}
+
+// evictActivityLocked bounds the activity plane to the same maxEntries as
+// the result plane (each plane gets its own budget — an activity record
+// serves every pricing variant of its key, so it earns a full slot).
+func (c *RunCache) evictActivityLocked() {
+	if c.maxEntries <= 0 {
+		return
+	}
+	for c.actLru.Len() > c.maxEntries {
+		back := c.actLru.Back()
+		e := back.Value.(*actEntry)
+		c.actLru.Remove(back)
+		e.elem = nil
+		delete(c.actEntries, e.key)
+		c.bytes -= e.size
+		c.evictions++
+	}
+}
+
+// noteFolds records folds performed by a harness against this cache, so
+// /metrics sees fold traffic wherever the cache is shared.
+func (c *RunCache) noteFolds(n uint64) {
+	c.count(func() { c.folds += n })
+}
+
+// activityBytes approximates the resident size of one activity record: the
+// Run, the per-unit counter slice, and the unit-name strings.
+func activityBytes(rec ActivityRecord) int64 {
+	n := runBytes(rec.Run) + int64(unsafe.Sizeof(rec.Activity))
+	for _, u := range rec.Activity.Units {
+		n += int64(unsafe.Sizeof(u)) + int64(len(u.Name))
+	}
+	return n
+}

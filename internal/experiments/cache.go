@@ -55,6 +55,15 @@ type RunCache struct {
 	storeMiss  uint64
 	bytes      int64
 
+	// Activity-record plane (see activitycache.go): the same singleflight +
+	// LRU + store machinery keyed by execution key, holding the per-unit
+	// counter vectors pricing variants are folded from.
+	actEntries  map[cacheKey]*actEntry
+	actLru      *list.List // of *actEntry; front = most recently used
+	repriceHits uint64
+	repriceMiss uint64
+	folds       uint64
+
 	progMu sync.Mutex
 	progs  map[string]*progEntry
 }
@@ -110,10 +119,18 @@ type CacheStats struct {
 	// StoreHits/StoreMisses count memory misses answered by (or falling
 	// through) the persistent Store layer; both stay zero without one.
 	StoreHits, StoreMisses uint64
-	Entries                int   // completed, resident entries
-	Inflight               int   // computes in progress
-	Bytes                  int64 // approximate resident result bytes
-	Programs               int   // memoized program images
+	// RepriceHits/RepriceMisses count activity-record lookups (one per
+	// execution key a repricing harness needs): hits were answered from
+	// memory or the store, misses ran the one base simulation. Both also
+	// count into Hits/Misses — the activity plane is part of the cache.
+	// RepriceFolds counts pricing variants produced by closed-form folding
+	// instead of simulation.
+	RepriceHits, RepriceMisses, RepriceFolds uint64
+	Entries                                  int   // completed, resident entries (both planes)
+	Inflight                                 int   // computes in progress (both planes)
+	ActivityEntries                          int   // resident activity records
+	Bytes                                    int64 // approximate resident result bytes
+	Programs                                 int   // memoized program images
 }
 
 // NewRunCache builds a cache bounded to maxEntries completed results
@@ -123,6 +140,8 @@ func NewRunCache(maxEntries int) *RunCache {
 		maxEntries: maxEntries,
 		entries:    map[cacheKey]*cacheEntry{},
 		lru:        list.New(),
+		actEntries: map[cacheKey]*actEntry{},
+		actLru:     list.New(),
 		progs:      map[string]*progEntry{},
 	}
 }
@@ -275,14 +294,18 @@ func (c *RunCache) Program(b workload.Benchmark) *program.Program {
 func (c *RunCache) Stats() CacheStats {
 	c.mu.Lock()
 	s := CacheStats{
-		Hits:        c.hits,
-		Misses:      c.misses,
-		Evictions:   c.evictions,
-		StoreHits:   c.storeHits,
-		StoreMisses: c.storeMiss,
-		Entries:     c.lru.Len(),
-		Inflight:    len(c.entries) - c.lru.Len(),
-		Bytes:       c.bytes,
+		Hits:            c.hits,
+		Misses:          c.misses,
+		Evictions:       c.evictions,
+		StoreHits:       c.storeHits,
+		StoreMisses:     c.storeMiss,
+		RepriceHits:     c.repriceHits,
+		RepriceMisses:   c.repriceMiss,
+		RepriceFolds:    c.folds,
+		Entries:         c.lru.Len() + c.actLru.Len(),
+		Inflight:        (len(c.entries) - c.lru.Len()) + (len(c.actEntries) - c.actLru.Len()),
+		ActivityEntries: c.actLru.Len(),
+		Bytes:           c.bytes,
 	}
 	c.mu.Unlock()
 	c.progMu.Lock()

@@ -9,6 +9,8 @@ import (
 
 	"bpredpower/internal/bpred"
 	"bpredpower/internal/cpu"
+	"bpredpower/internal/power"
+	"bpredpower/internal/workload"
 )
 
 // fakeStore is an in-memory RunStore that records its traffic, standing in
@@ -210,4 +212,96 @@ func (g *gatedStore) Load(bench string, opt cpu.Options, rc RunConfig) (Run, boo
 
 func (g *gatedStore) Save(bench string, opt cpu.Options, rc RunConfig, r Run) {
 	g.inner.Save(bench, opt, rc, r)
+}
+
+// fakeActivityStore extends fakeStore with the activity plane, standing in
+// for resultstore's ActivityStore implementation.
+type fakeActivityStore struct {
+	fakeStore
+	amu      sync.Mutex
+	acts     map[string]ActivityRecord
+	actLoads int
+	actSaves int
+}
+
+func newFakeActivityStore() *fakeActivityStore {
+	return &fakeActivityStore{fakeStore: fakeStore{m: map[string]Run{}}, acts: map[string]ActivityRecord{}}
+}
+
+func (f *fakeActivityStore) LoadActivity(bench string, opt cpu.Options, rc RunConfig) (ActivityRecord, bool) {
+	f.amu.Lock()
+	defer f.amu.Unlock()
+	f.actLoads++
+	rec, ok := f.acts[f.key(bench, opt, rc)]
+	return rec, ok
+}
+
+func (f *fakeActivityStore) SaveActivity(bench string, opt cpu.Options, rc RunConfig, rec ActivityRecord) {
+	f.amu.Lock()
+	defer f.amu.Unlock()
+	f.actSaves++
+	f.acts[f.key(bench, opt, rc)] = rec
+}
+
+// The replica contract for repricing: replica A simulates one base run and
+// writes the activity record through; replica B (a second cache over the
+// same store) serves every pricing variant by repricing the stored record,
+// with zero simulations of its own and byte-identical results.
+func TestActivityStoreWriteThroughAcrossReplicas(t *testing.T) {
+	bench, err := workload.ByName("164.gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := RunConfig{WarmupInsts: 2000, MeasureInsts: 4000}
+	store := newFakeActivityStore()
+	variants := []cpu.Options{
+		{Predictor: bpred.Hybrid1},
+		{Predictor: bpred.Hybrid1, BankedPredictor: true},
+		{Predictor: bpred.Hybrid1, ClockGating: power.CC0},
+		{Predictor: bpred.Hybrid1, BankedPredictor: true, OldArrayModel: true, ClockGating: power.CC2},
+	}
+
+	runsOn := func(c *RunCache, sims *int) []Run {
+		h := NewHarness(rc)
+		h.Parallel = 1
+		h.Cache = c
+		var out []Run
+		for _, opt := range variants {
+			out = append(out, h.Simulate(bench, opt))
+		}
+		if err := h.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	a := NewRunCache(8)
+	a.Store = store
+	simsA := 0
+	a.Hooks.BeforeRun = func(context.Context) { simsA++ }
+	got := runsOn(a, &simsA)
+	if simsA != 1 {
+		t.Fatalf("replica A ran %d simulations, want 1", simsA)
+	}
+	if store.actSaves != 1 {
+		t.Fatalf("activity write-through: %d saves, want 1", store.actSaves)
+	}
+
+	b := NewRunCache(8)
+	b.Store = store
+	simsB := 0
+	b.Hooks.BeforeRun = func(context.Context) { simsB++ }
+	got2 := runsOn(b, &simsB)
+	if simsB != 0 {
+		t.Fatalf("replica B ran %d simulations, want 0 (should reprice from the store)", simsB)
+	}
+	for i := range got {
+		if got[i] != got2[i] {
+			t.Fatalf("variant %d: replica B's repriced run differs:\n A %+v\n B %+v", i, got[i], got2[i])
+		}
+	}
+	bs := b.Stats()
+	if bs.StoreHits == 0 {
+		t.Fatalf("replica B stats = %+v, want store hits", bs)
+	}
 }

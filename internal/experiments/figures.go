@@ -397,6 +397,8 @@ func All(h *Harness, w io.Writer) {
 	ExtensionLinePredictor(h, w)
 	fmt.Fprintln(w)
 	ExtensionModernPredictors(h, w)
+	fmt.Fprintln(w)
+	ExtensionGatingStyles(h, w)
 }
 
 // ExtensionConfidence is the study the paper calls for in Section 4.3
@@ -515,5 +517,36 @@ func ExtensionModernPredictors(h *Harness, w io.Writer) {
 			mean(sweep[i], func(r Run) float64 { return r.BpredEnergy * 1e6 }),
 			mean(sweep[i], func(r Run) float64 { return r.TotalEnergy * 1e6 }),
 			mean(sweep[i], func(r Run) float64 { return r.EnergyDelay * 1e9 }))
+	}
+}
+
+// ExtensionGatingStyles is the ablation the repricer makes nearly free: the
+// paper's Hybrid_1 machine priced under every Wattch conditional-clocking
+// style (Section 2.2's cc0-cc3 spectrum), flat and banked — eight pricing
+// variants of one execution key per benchmark, so a repricing harness runs
+// one simulation per benchmark and folds the other seven variants from its
+// cached activity vector (figure 23 in the CLI/service numbering).
+func ExtensionGatingStyles(h *Harness, w io.Writer) {
+	h.Prefetch(planExtensionGatingStyles())
+	bs := workload.Subset7()
+	fmt.Fprintln(w, "Extension: clock-gating styles x banking, repriced from one activity vector per benchmark (7-benchmark subset averages)")
+	fmt.Fprintf(w, "%-6s %-8s %10s %10s %12s %12s %14s\n",
+		"style", "arrays", "bpredW", "totalW", "bpred uJ", "total uJ", "ED uJ*ms")
+	for _, style := range gatingStyleList {
+		for _, banked := range []bool{false, true} {
+			arrays := "flat"
+			if banked {
+				arrays = "banked"
+			}
+			runs := h.SimulateAll(bs, cpu.Options{Predictor: bpred.Hybrid1,
+				BankedPredictor: banked, ClockGating: style})
+			fmt.Fprintf(w, "%-6s %-8s %10.3f %10.2f %12.2f %12.1f %14.4f\n",
+				style.String(), arrays,
+				mean(runs, func(r Run) float64 { return r.BpredPower }),
+				mean(runs, func(r Run) float64 { return r.TotalPower }),
+				mean(runs, func(r Run) float64 { return r.BpredEnergy * 1e6 }),
+				mean(runs, func(r Run) float64 { return r.TotalEnergy * 1e6 }),
+				mean(runs, func(r Run) float64 { return r.EnergyDelay * 1e9 }))
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bpredpower/internal/bpred"
 	"bpredpower/internal/cpu"
 	"bpredpower/internal/gating"
+	"bpredpower/internal/power"
 	"bpredpower/internal/ppd"
 	"bpredpower/internal/workload"
 )
@@ -123,6 +124,21 @@ func planExtensionModern() []Job {
 // planAll is the union of every figure's plan, in figure order, so All can
 // keep the worker pool saturated across the whole regeneration instead of
 // draining it at each figure boundary.
+// gatingStyleList is ExtensionGatingStyles' display order: Wattch's
+// aggressive-to-conservative ablations first, the paper's cc3 baseline last.
+var gatingStyleList = []power.GatingStyle{power.CC0, power.CC1, power.CC2, power.CC3}
+
+func planExtensionGatingStyles() []Job {
+	var opts []cpu.Options
+	for _, style := range gatingStyleList {
+		for _, banked := range []bool{false, true} {
+			opts = append(opts, cpu.Options{Predictor: bpred.Hybrid1,
+				BankedPredictor: banked, ClockGating: style})
+		}
+	}
+	return Cross(workload.Subset7(), opts...)
+}
+
 func planAll() []Job {
 	var jobs []Job
 	for _, p := range [][]Job{
@@ -137,6 +153,7 @@ func planAll() []Job {
 		planExtensionConfidence(),
 		planExtensionLinePredictor(),
 		planExtensionModern(),
+		planExtensionGatingStyles(),
 	} {
 		jobs = append(jobs, p...)
 	}

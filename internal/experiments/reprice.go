@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"context"
+
+	"bpredpower/internal/cpu"
+	"bpredpower/internal/power"
+	"bpredpower/internal/program"
+	"bpredpower/internal/workload"
+)
+
+// This file splits a run's identity into an execution key and a pricing key,
+// and implements the repricer that turns N full simulations into 1 simulation
+// plus N closed-form folds.
+//
+// Execution key: everything that steers the pipeline — predictor config,
+// workload, instruction counts, PPD scenario, gating policy, line predictor,
+// charge policy, processor config. Two runs with the same execution key
+// commit the same instructions on the same cycles and accumulate bit-identical
+// per-unit activity counters.
+//
+// Pricing key: everything that only prices that activity — which array model
+// costs the tables, whether the predictor arrays are banked, which physical
+// organization is chosen, which conditional-clocking style folds idle cycles.
+// None of these are consulted by the pipeline; they exist only inside
+// internal/power and internal/frontend at unit-construction and fold time.
+//
+// A repriced Run is byte-identical to a fully simulated one by construction:
+// cpu.NewMeter builds the unit set through the same machineSpec the simulator
+// uses, Meter.SetActivity restores the same integer counters, and the read
+// accessors evaluate the same closed forms in the same registration order —
+// identical float64 operations in an identical sequence.
+
+// PricingKey is the subset of cpu.Options that prices activity without
+// affecting execution. The zero value is the canonical base configuration
+// (new array model, flat arrays, standard organization search, CC3 gating —
+// power.CC3 is GatingStyle's zero value).
+type PricingKey struct {
+	BankedPredictor bool
+	OldArrayModel   bool
+	SquarifyClosest bool
+	ClockGating     power.GatingStyle
+}
+
+// IsBase reports whether pk is the canonical base pricing configuration —
+// the one the execution key's single full simulation runs under.
+func (pk PricingKey) IsBase() bool { return pk == PricingKey{} }
+
+// SplitOptions factors opt into its execution options (pricing fields zeroed
+// to the canonical base) and its pricing key. Applying pk back onto execOpt
+// reproduces opt exactly; the activity-invariance property test guards the
+// classification.
+func SplitOptions(opt cpu.Options) (execOpt cpu.Options, pk PricingKey) {
+	pk = PricingKey{
+		BankedPredictor: opt.BankedPredictor,
+		OldArrayModel:   opt.OldArrayModel,
+		SquarifyClosest: opt.SquarifyClosest,
+		ClockGating:     opt.ClockGating,
+	}
+	execOpt = opt
+	execOpt.BankedPredictor = false
+	execOpt.OldArrayModel = false
+	execOpt.SquarifyClosest = false
+	execOpt.ClockGating = power.CC3
+	return execOpt, pk
+}
+
+// applyPricing is SplitOptions' inverse: the execution options of a record
+// re-dressed with a concrete pricing key.
+func applyPricing(execOpt cpu.Options, pk PricingKey) cpu.Options {
+	execOpt.BankedPredictor = pk.BankedPredictor
+	execOpt.OldArrayModel = pk.OldArrayModel
+	execOpt.SquarifyClosest = pk.SquarifyClosest
+	execOpt.ClockGating = pk.ClockGating
+	return execOpt
+}
+
+// Repriceable reports whether runs under opt can be produced by repricing a
+// cached activity vector. Only deferred accounting qualifies: the eager
+// modes (percycle, crosscheck) exist to exercise the fold-every-cycle path
+// and must keep simulating for real.
+func Repriceable(opt cpu.Options) bool {
+	return opt.Accounting == power.AccountDeferred
+}
+
+// ActivityRecord is what one full simulation of an execution key leaves
+// behind: the Run priced under the base pricing key, plus the activity
+// vector every other pricing key is folded from. It round-trips through
+// JSON exactly (integer counters; float64s print shortest-round-trip), so
+// persisted records reprice to the same bytes as fresh ones.
+type ActivityRecord struct {
+	Run      Run            `json:"run"`
+	Activity power.Activity `json:"activity"`
+}
+
+// Reprice prices a cached activity record under opt without simulating:
+// build the unit set a simulation under opt would build, load the counters,
+// evaluate the closed-form accessors. Execution-side fields (accuracy, IPC,
+// instruction counts) carry over from the record untouched; only the machine
+// label and the five power metrics are recomputed.
+func Reprice(rec ActivityRecord, opt cpu.Options) (Run, error) {
+	m, err := cpu.NewMeter(opt)
+	if err != nil {
+		return Run{}, err
+	}
+	if err := m.SetActivity(rec.Activity); err != nil {
+		return Run{}, err
+	}
+	r := rec.Run
+	r.Machine = machineLabel(opt)
+	r.BpredPower = m.PredictorPower()
+	r.TotalPower = m.AveragePower()
+	r.BpredEnergy = m.PredictorEnergy()
+	r.TotalEnergy = m.TotalEnergy()
+	r.EnergyDelay = m.EnergyDelay()
+	return r, nil
+}
+
+// RepriceStats is a harness's activity-path traffic, for CLI display and
+// tests: how many base simulations this harness actually ran, and how many
+// Runs it produced by folding instead of simulating.
+type RepriceStats struct {
+	Simulations uint64
+	Folds       uint64
+}
+
+// RepriceStats reports this harness's own reprice traffic. Simulations
+// counts base runs computed by this harness's compute functions (cache and
+// store hits are not included — those are exactly the simulations repricing
+// avoided). Folds counts Runs produced via Reprice.
+func (h *Harness) RepriceStats() RepriceStats {
+	return RepriceStats{Simulations: h.actSims.Load(), Folds: h.actFolds.Load()}
+}
+
+// simulateActivityCtx is the activity-producing simulation: one full run of
+// the execution key under the base pricing key, returning both the priced
+// Run and the raw counters every other pricing key folds from.
+func simulateActivityCtx(ctx context.Context, p *program.Program, b workload.Benchmark, execOpt cpu.Options, rc RunConfig, segments int) (ActivityRecord, error) {
+	r, act, err := simulateSegmentedCtx(ctx, p, b, execOpt, rc, segments)
+	if err != nil {
+		return ActivityRecord{}, err
+	}
+	return ActivityRecord{Run: r, Activity: act}, nil
+}
+
+// doActivity resolves the activity record of an execution key: through the
+// shared cache (singleflight + persistent store) when one is set, by direct
+// simulation otherwise. The harness-local memo (h.acts) is the caller's job.
+func (h *Harness) doActivity(ctx context.Context, b workload.Benchmark, execOpt cpu.Options, p *program.Program) (ActivityRecord, error) {
+	compute := func(cctx context.Context) (ActivityRecord, error) {
+		h.actSims.Add(1)
+		return simulateActivityCtx(cctx, p, b, execOpt, h.RC, h.Segments)
+	}
+	if h.Cache != nil {
+		return h.Cache.DoActivity(ctx, b.Name, execOpt, h.RC, compute)
+	}
+	return compute(ctx)
+}
+
+// fold produces and memoizes the Run for a pricing variant of an execution
+// key whose activity record is already in hand.
+func (h *Harness) fold(key runKey, rec ActivityRecord, opt cpu.Options) (Run, error) {
+	r, err := Reprice(rec, opt)
+	if err != nil {
+		return Run{}, err
+	}
+	h.actFolds.Add(1)
+	if h.Cache != nil {
+		h.Cache.noteFolds(1)
+	}
+	h.runs[key] = r
+	return r, nil
+}

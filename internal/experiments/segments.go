@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"bpredpower/internal/cpu"
+	"bpredpower/internal/power"
 	"bpredpower/internal/program"
 	"bpredpower/internal/workload"
 )
@@ -42,12 +43,12 @@ func SegmentsFor(rc RunConfig, maxInsts uint64) int {
 // bytes, at any segment count. What segmentation buys is bounded
 // cancellation latency — the context is consulted between segments, so a
 // canceled long run stops within one segment instead of one run.
-func simulateSegmentedCtx(ctx context.Context, p *program.Program, b workload.Benchmark, opt cpu.Options, rc RunConfig, segments int) (Run, error) {
+func simulateSegmentedCtx(ctx context.Context, p *program.Program, b workload.Benchmark, opt cpu.Options, rc RunConfig, segments int) (Run, power.Activity, error) {
 	if segments <= 1 {
 		return simulateCtx(ctx, p, b, opt, rc)
 	}
 	if err := ctx.Err(); err != nil {
-		return Run{}, err
+		return Run{}, power.Activity{}, err
 	}
 	cur := cpu.MustNew(p, opt)
 	spare := cpu.MustNew(p, opt)
@@ -73,20 +74,20 @@ func simulateSegmentedCtx(ctx context.Context, p *program.Program, b workload.Be
 		return nil
 	}
 	if err := advance(rc.WarmupInsts); err != nil {
-		return Run{}, err
+		return Run{}, power.Activity{}, err
 	}
 	if st := cur.Stats(); st.CycleLimitHit {
-		return Run{}, fmt.Errorf("experiments: %s on %s: warm-up hit the cycle safety limit after %d of %d instructions", b.Name, machineLabel(opt), st.Committed, rc.WarmupInsts)
+		return Run{}, power.Activity{}, fmt.Errorf("experiments: %s on %s: warm-up hit the cycle safety limit after %d of %d instructions", b.Name, machineLabel(opt), st.Committed, rc.WarmupInsts)
 	}
 	if err := ctx.Err(); err != nil {
-		return Run{}, err
+		return Run{}, power.Activity{}, err
 	}
 	cur.ResetMeasurement()
 	if err := advance(rc.MeasureInsts); err != nil {
-		return Run{}, err
+		return Run{}, power.Activity{}, err
 	}
 	if st := cur.Stats(); st.CycleLimitHit {
-		return Run{}, fmt.Errorf("experiments: %s on %s: measurement hit the cycle safety limit after %d of %d instructions", b.Name, machineLabel(opt), st.Committed, rc.MeasureInsts)
+		return Run{}, power.Activity{}, fmt.Errorf("experiments: %s on %s: measurement hit the cycle safety limit after %d of %d instructions", b.Name, machineLabel(opt), st.Committed, rc.MeasureInsts)
 	}
-	return runRecord(b, opt, cur), nil
+	return runRecord(b, opt, cur), cur.Meter().Activity(), nil
 }

@@ -1,0 +1,102 @@
+package power
+
+import "fmt"
+
+// UnitActivity is one unit's lifetime activity, the integer counters the
+// deferred accounting kernel accumulates and the closed-form fold consumes.
+// It carries no energies and no organization parameters: it is pure
+// execution-side state, invariant under every pricing transform (banking,
+// array model, clock-gating style).
+type UnitActivity struct {
+	// Name is the unit's registered name ("bpred.pht", "il1.data", ...).
+	Name string `json:"name"`
+	// ActiveCycles is the number of cycles with at least one access.
+	ActiveCycles uint64 `json:"active_cycles"` //bp:unit cycle
+	// Reads, Writes, Partials are lifetime access counts by kind.
+	Reads    uint64 `json:"reads"`
+	Writes   uint64 `json:"writes"`
+	Partials uint64 `json:"partials"`
+}
+
+// Activity is the serializable projection of a meter's deferred accounting
+// state: total cycles plus every unit's lifetime counters, in registration
+// order. Two simulations that differ only in pricing options (which units
+// cost, not which accesses happen) export bit-identical Activity values, so
+// one exported vector can be repriced under any pricing configuration via
+// SetActivity on a freshly built meter.
+type Activity struct {
+	// Cycles is the meter's total elapsed cycles.
+	Cycles uint64 `json:"cycles"` //bp:unit cycle
+	// Units holds per-unit counters in meter registration order.
+	Units []UnitActivity `json:"units"`
+}
+
+// Activity exports the meter's lifetime accounting as a per-unit counter
+// vector. It is a pure read: the meter is unchanged and can keep simulating.
+func (m *Meter) Activity() Activity {
+	a := Activity{Cycles: m.cycles, Units: make([]UnitActivity, len(m.units))}
+	for i, u := range m.units {
+		a.Units[i] = UnitActivity{
+			Name:         u.Name,
+			ActiveCycles: u.activeCycles,
+			Reads:        u.totalReads,
+			Writes:       u.totalWrites,
+			Partials:     u.totalPartials,
+		}
+	}
+	return a
+}
+
+// SetActivity loads a previously exported activity vector into the meter, so
+// the closed-form read accessors (TotalEnergy, AveragePower, EnergyDelay, ...)
+// price that activity under this meter's unit energies and gating style.
+// Units are matched by name and every meter unit must be covered — a mismatch
+// means the activity was exported from a differently shaped machine and is an
+// error, never a silent partial restore.
+//
+// The meter must use AccountDeferred: the eager accounting modes fold energy
+// during EndCycle, which a counter restore cannot reproduce.
+func (m *Meter) SetActivity(a Activity) error {
+	if m.Accounting != AccountDeferred {
+		return fmt.Errorf("power: SetActivity requires deferred accounting, meter uses %v", m.Accounting)
+	}
+	if len(a.Units) != len(m.units) {
+		return fmt.Errorf("power: activity has %d units, meter has %d", len(a.Units), len(m.units))
+	}
+	// Validate the whole vector before touching any unit, so a failed
+	// restore leaves the meter unmodified. Names are unique per meter, so a
+	// duplicate in the input would leave some unit silently unrestored.
+	seen := make(map[string]bool, len(a.Units))
+	for _, ua := range a.Units {
+		if m.byName[ua.Name] == nil {
+			return fmt.Errorf("power: activity names unknown unit %q", ua.Name)
+		}
+		if seen[ua.Name] {
+			return fmt.Errorf("power: activity names unit %q twice", ua.Name)
+		}
+		seen[ua.Name] = true
+	}
+	for _, ua := range a.Units {
+		u := m.byName[ua.Name]
+		u.activeCycles = ua.ActiveCycles
+		u.totalReads = ua.Reads
+		u.totalWrites = ua.Writes
+		u.totalPartials = ua.Partials
+		u.lastActive = ^uint64(0) // no cycle in progress
+		u.energy = 0              // deferred mode folds at read time
+	}
+	m.cycles = a.Cycles
+	m.clockEnergy = 0
+	return nil
+}
+
+// ParseGatingStyle resolves a conditional-clocking style name as printed by
+// GatingStyle.String ("cc0".."cc3").
+func ParseGatingStyle(name string) (GatingStyle, error) {
+	for i, n := range gatingNames {
+		if n == name {
+			return GatingStyle(i), nil
+		}
+	}
+	return 0, fmt.Errorf("power: unknown clock-gating style %q (have cc0, cc1, cc2, cc3)", name)
+}

@@ -1,0 +1,114 @@
+package resultstore
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"bpredpower/internal/experiments"
+	"bpredpower/internal/power"
+)
+
+func fakeActivity(i int) experiments.ActivityRecord {
+	return experiments.ActivityRecord{
+		Run: fakeRun(i),
+		Activity: power.Activity{
+			Cycles: uint64(100000 + i),
+			Units: []power.UnitActivity{
+				{Name: "bpred.pht", ActiveCycles: 9000, Reads: uint64(12000 + i), Writes: 800, Partials: 3},
+				{Name: "il1.data", ActiveCycles: 70000, Reads: 65000, Writes: 1200},
+			},
+		},
+	}
+}
+
+func TestActivityRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := experiments.Quick
+	want := fakeActivity(0)
+
+	if _, ok := s.LoadActivity("164.gzip", optFor(0), rc); ok {
+		t.Fatal("load on empty store reported a hit")
+	}
+	s.SaveActivity("164.gzip", optFor(0), rc, want)
+	got, ok := s.LoadActivity("164.gzip", optFor(0), rc)
+	if !ok {
+		t.Fatal("load after save missed")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Activity keys must not alias run keys: the same (bench, opt, rc) holds
+	// both entry kinds independently.
+	if _, ok := s.Load("164.gzip", optFor(0), rc); ok {
+		t.Fatal("activity entry answered a run load")
+	}
+	s.Save("164.gzip", optFor(0), rc, fakeRun(0))
+	st := s.Stats()
+	if st.Entries != 2 || st.ActivityEntries != 1 {
+		t.Fatalf("stats = %+v, want 2 entries of which 1 activity", st)
+	}
+
+	// A fresh handle rescans both kinds.
+	s2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := s2.Stats()
+	if st2.Entries != 2 || st2.ActivityEntries != 1 {
+		t.Fatalf("rescan stats = %+v", st2)
+	}
+}
+
+func TestActivityCorruptionTolerated(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := experiments.Quick
+	s.SaveActivity("164.gzip", optFor(0), rc, fakeActivity(0))
+
+	var actPath string
+	filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".act.json") {
+			actPath = path
+		}
+		return nil
+	})
+	if actPath == "" {
+		t.Fatal("no .act.json entry written")
+	}
+	if err := os.WriteFile(actPath, []byte("{garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.LoadActivity("164.gzip", optFor(0), rc); ok {
+		t.Fatal("corrupt activity entry reported a hit")
+	}
+	if _, err := os.Stat(actPath); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry not deleted")
+	}
+	st := s.Stats()
+	if st.Corrupt != 1 || st.ActivityEntries != 0 || st.Entries != 0 {
+		t.Fatalf("stats after corruption = %+v", st)
+	}
+
+	// The next save rewrites a clean entry.
+	s.SaveActivity("164.gzip", optFor(0), rc, fakeActivity(0))
+	if _, ok := s.LoadActivity("164.gzip", optFor(0), rc); !ok {
+		t.Fatal("save after corruption did not recover")
+	}
+}
+
+// The store implements the cache's ActivityStore contract, so replicas
+// sharing a directory reprice instead of re-simulating.
+func TestStoreImplementsActivityStore(t *testing.T) {
+	var _ experiments.ActivityStore = (*Store)(nil)
+}

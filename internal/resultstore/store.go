@@ -73,14 +73,15 @@ type Store struct {
 
 	gcBusy atomic.Bool
 
-	mu      sync.Mutex
-	entries int
-	bytes   int64
-	hits    uint64
-	misses  uint64
-	puts    uint64
-	evicted uint64
-	corrupt uint64
+	mu         sync.Mutex
+	entries    int
+	actEntries int
+	bytes      int64
+	hits       uint64
+	misses     uint64
+	puts       uint64
+	evicted    uint64
+	corrupt    uint64
 }
 
 // Stats is a point-in-time snapshot of store occupancy and traffic.
@@ -88,12 +89,15 @@ type Store struct {
 // the counters are handle-local.
 type Stats struct {
 	Entries int
-	Bytes   int64
-	Hits    uint64 // loads answered from disk
-	Misses  uint64 // loads with no (usable) entry
-	Puts    uint64 // entries written
-	Evicted uint64 // entries deleted by the size bound
-	Corrupt uint64 // unreadable entries dropped on load
+	// ActivityEntries is how many of Entries are activity records
+	// (".act.json", see activity.go) rather than run results.
+	ActivityEntries int
+	Bytes           int64
+	Hits            uint64 // loads answered from disk
+	Misses          uint64 // loads with no (usable) entry
+	Puts            uint64 // entries written
+	Evicted         uint64 // entries deleted by the size bound
+	Corrupt         uint64 // unreadable entries dropped on load
 }
 
 // Open creates (if needed) and scans the store directory, returning a handle
@@ -106,8 +110,8 @@ func Open(dir string, cfg Config) (*Store, error) {
 		return nil, fmt.Errorf("resultstore: %w", err)
 	}
 	s := &Store{dir: dir, maxBytes: cfg.MaxBytes}
-	entries, bytes := s.scan()
-	s.entries, s.bytes = entries, bytes
+	entries, actEntries, bytes := s.scan()
+	s.entries, s.actEntries, s.bytes = entries, actEntries, bytes
 	return s, nil
 }
 
@@ -179,24 +183,7 @@ func (s *Store) Save(bench string, opt cpu.Options, rc experiments.RunConfig, r 
 	if fi, err := os.Stat(path); err == nil {
 		prev, hadPrev = fi.Size(), true
 	}
-	// Atomic publish: the temp file lives in the store directory (same
-	// filesystem), so the rename is atomic and a reader never observes a
-	// partial entry.
-	tmp, err := os.CreateTemp(s.dir, ".put-*")
-	if err != nil {
-		return
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if !s.writeAtomic(path, data) {
 		return
 	}
 	gc := false
@@ -215,6 +202,30 @@ func (s *Store) Save(bench string, opt cpu.Options, rc experiments.RunConfig, r 
 	}
 }
 
+// writeAtomic publishes data at path via a temp file in the store directory
+// (same filesystem, so the rename is atomic): a reader never observes a
+// partial entry, and a crash leaves at worst a stray ".put-*" temp file.
+func (s *Store) writeAtomic(path string, data []byte) bool {
+	tmp, err := os.CreateTemp(s.dir, ".put-*")
+	if err != nil {
+		return false
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return false
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return false
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return false
+	}
+	return true
+}
+
 // count runs a counter mutation under the lock.
 func (s *Store) count(fn func()) {
 	s.mu.Lock()
@@ -227,13 +238,14 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		Entries: s.entries,
-		Bytes:   s.bytes,
-		Hits:    s.hits,
-		Misses:  s.misses,
-		Puts:    s.puts,
-		Evicted: s.evicted,
-		Corrupt: s.corrupt,
+		Entries:         s.entries,
+		ActivityEntries: s.actEntries,
+		Bytes:           s.bytes,
+		Hits:            s.hits,
+		Misses:          s.misses,
+		Puts:            s.puts,
+		Evicted:         s.evicted,
+		Corrupt:         s.corrupt,
 	}
 }
 
@@ -242,6 +254,7 @@ type scanned struct {
 	path  string
 	size  int64
 	mtime int64 // UnixNano; ordering key only, never fed into results
+	act   bool  // activity record (".act.json") vs run result
 }
 
 // list walks the store directory collecting entry files. Stray temp files
@@ -256,19 +269,22 @@ func (s *Store) list() []scanned {
 		if err != nil {
 			return nil
 		}
-		out = append(out, scanned{path: path, size: fi.Size(), mtime: fi.ModTime().UnixNano()})
+		out = append(out, scanned{path: path, size: fi.Size(), mtime: fi.ModTime().UnixNano(), act: strings.HasSuffix(path, ".act.json")})
 		return nil
 	})
 	return out
 }
 
 // scan totals the directory for Open.
-func (s *Store) scan() (entries int, bytes int64) {
+func (s *Store) scan() (entries, actEntries int, bytes int64) {
 	for _, e := range s.list() {
 		entries++
+		if e.act {
+			actEntries++
+		}
 		bytes += e.size
 	}
-	return entries, bytes
+	return entries, actEntries, bytes
 }
 
 // gc rescans the directory (so concurrent handles' writes are counted
@@ -293,6 +309,12 @@ func (s *Store) gc() {
 	})
 	var evicted uint64
 	entries := len(files)
+	actEntries := 0
+	for _, f := range files {
+		if f.act {
+			actEntries++
+		}
+	}
 	for _, f := range files {
 		if total <= s.maxBytes {
 			break
@@ -300,11 +322,15 @@ func (s *Store) gc() {
 		if os.Remove(f.path) == nil {
 			total -= f.size
 			entries--
+			if f.act {
+				actEntries--
+			}
 			evicted++
 		}
 	}
 	s.mu.Lock()
 	s.entries = entries
+	s.actEntries = actEntries
 	s.bytes = total
 	s.evicted += evicted
 	s.mu.Unlock()

@@ -261,7 +261,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 }
 
 // figureHandlers maps figure numbers to the CLI's figure printers. Figures
-// 12/13 and 16/17 print together, mirroring cmd/bpexperiments; 20-22 are
+// 12/13 and 16/17 print together, mirroring cmd/bpexperiments; 20-23 are
 // the extension studies.
 var figureHandlers = map[int]func(*experiments.Harness, io.Writer){
 	2:  experiments.Figure2,
@@ -282,6 +282,7 @@ var figureHandlers = map[int]func(*experiments.Harness, io.Writer){
 	20: experiments.ExtensionConfidence,
 	21: experiments.ExtensionLinePredictor,
 	22: experiments.ExtensionModernPredictors,
+	23: experiments.ExtensionGatingStyles,
 }
 
 func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
@@ -292,7 +293,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	}
 	fig, ok := figureHandlers[n]
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown figure %d (have 2,3,5-14,16,17,19,20,21,22)", n))
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown figure %d (have 2,3,5-14,16,17,19,20-23)", n))
 		return
 	}
 	q := r.URL.Query()

@@ -161,6 +161,19 @@ func (m *Metrics) WriteTo(w io.Writer, cs experiments.CacheStats, ss *resultstor
 	fmt.Fprintln(w, "# TYPE bpserved_cache_inflight gauge")
 	fmt.Fprintf(w, "bpserved_cache_inflight %d\n", cs.Inflight)
 
+	fmt.Fprintln(w, "# HELP bpserved_reprice_hits_total Activity-vector lookups answered from memory.")
+	fmt.Fprintln(w, "# TYPE bpserved_reprice_hits_total counter")
+	fmt.Fprintf(w, "bpserved_reprice_hits_total %d\n", cs.RepriceHits)
+	fmt.Fprintln(w, "# HELP bpserved_reprice_misses_total Activity-vector lookups that went to the store or a base simulation.")
+	fmt.Fprintln(w, "# TYPE bpserved_reprice_misses_total counter")
+	fmt.Fprintf(w, "bpserved_reprice_misses_total %d\n", cs.RepriceMisses)
+	fmt.Fprintln(w, "# HELP bpserved_reprice_folds_total Runs produced by repricing a cached activity vector instead of simulating.")
+	fmt.Fprintln(w, "# TYPE bpserved_reprice_folds_total counter")
+	fmt.Fprintf(w, "bpserved_reprice_folds_total %d\n", cs.RepriceFolds)
+	fmt.Fprintln(w, "# HELP bpserved_cache_activity_entries Activity vectors resident in the run cache.")
+	fmt.Fprintln(w, "# TYPE bpserved_cache_activity_entries gauge")
+	fmt.Fprintf(w, "bpserved_cache_activity_entries %d\n", cs.ActivityEntries)
+
 	fmt.Fprintln(w, "# HELP bpserved_store_hits_total Memory misses answered by the persistent result store.")
 	fmt.Fprintln(w, "# TYPE bpserved_store_hits_total counter")
 	fmt.Fprintf(w, "bpserved_store_hits_total %d\n", cs.StoreHits)
@@ -183,6 +196,9 @@ func (m *Metrics) WriteTo(w io.Writer, cs experiments.CacheStats, ss *resultstor
 		fmt.Fprintln(w, "# HELP bpserved_store_corrupt_total Unreadable entries dropped on load.")
 		fmt.Fprintln(w, "# TYPE bpserved_store_corrupt_total counter")
 		fmt.Fprintf(w, "bpserved_store_corrupt_total %d\n", ss.Corrupt)
+		fmt.Fprintln(w, "# HELP bpserved_store_activity_entries Activity-vector entries resident on disk.")
+		fmt.Fprintln(w, "# TYPE bpserved_store_activity_entries gauge")
+		fmt.Fprintf(w, "bpserved_store_activity_entries %d\n", ss.ActivityEntries)
 	}
 
 	fmt.Fprintln(w, "# HELP bpserved_sim_busy_workers Simulations executing right now.")

@@ -16,6 +16,7 @@ import (
 	"bpredpower/internal/bpred"
 	"bpredpower/internal/cpu"
 	"bpredpower/internal/experiments"
+	"bpredpower/internal/power"
 )
 
 // Grid bounds: a sweep is a batch job, not a denial-of-service vector. The
@@ -27,8 +28,9 @@ const (
 )
 
 // SweepRequest is the body of POST /v1/sweeps: a parameter grid
-// predictors × banked × benchmarks, simulated at one fidelity. The grid
-// order is fixed — predictor-major, then banked, then benchmark — and the
+// predictors × banked × clock-gating × benchmarks, simulated at one
+// fidelity. The grid order is fixed — predictor-major, then banked, then
+// gating style, then benchmark — and the
 // response streams one NDJSON line per grid point in exactly that order,
 // followed by a summary line, so response bodies are byte-identical at any
 // worker count, segment count, replica count, or store state.
@@ -39,6 +41,11 @@ type SweepRequest struct {
 	Workload string `json:"workload"`
 	// Banked lists the banking axis values (default {false}).
 	Banked []bool `json:"banked,omitempty"`
+	// ClockGating lists conditional-clocking style names ("cc0".."cc3",
+	// default {"cc3"}, the paper's configuration). Styles are a pricing
+	// axis: points differing only here are repriced from one simulation's
+	// cached activity vector, not re-simulated.
+	ClockGating []string `json:"clock_gating,omitempty"`
 	// Fidelity/window overrides match SimulateRequest.
 	Fidelity     string `json:"fidelity,omitempty"`
 	WarmupInsts  uint64 `json:"warmup_insts,omitempty"`
@@ -55,6 +62,7 @@ type sweepWire struct {
 	Predictors   []string `json:"predictors"`
 	Workload     string   `json:"workload"`
 	Banked       []bool   `json:"banked"`
+	ClockGating  []string `json:"clock_gating"`
 	Fidelity     string   `json:"fidelity"`
 	WarmupInsts  float64  `json:"warmup_insts"`
 	MeasureInsts float64  `json:"measure_insts"`
@@ -109,6 +117,16 @@ func decodeSweepRequest(data []byte) (SweepRequest, error) {
 	if len(w.Banked) > 2 || (len(w.Banked) == 2 && w.Banked[0] == w.Banked[1]) {
 		return req, errors.New("banked axis must list distinct values (at most [false, true])")
 	}
+	gatingSeen := make(map[string]bool, len(w.ClockGating))
+	for _, name := range w.ClockGating {
+		if _, err := power.ParseGatingStyle(name); err != nil {
+			return req, fmt.Errorf("clock_gating: %v", err)
+		}
+		if gatingSeen[name] {
+			return req, fmt.Errorf("duplicate clock-gating style %q makes the grid degenerate", name)
+		}
+		gatingSeen[name] = true
+	}
 	warmup, err := wireCount("warmup_insts", w.WarmupInsts, maxWindowInsts)
 	if err != nil {
 		return req, err
@@ -126,10 +144,15 @@ func decodeSweepRequest(data []byte) (SweepRequest, error) {
 	if len(banked) == 0 {
 		banked = []bool{false}
 	}
+	styles := w.ClockGating
+	if len(styles) == 0 {
+		styles = []string{power.CC3.String()}
+	}
 	return SweepRequest{
 		Predictors:   w.Predictors,
 		Workload:     w.Workload,
 		Banked:       banked,
+		ClockGating:  styles,
 		Fidelity:     w.Fidelity,
 		WarmupInsts:  warmup,
 		MeasureInsts: measure,
@@ -149,14 +172,16 @@ type sweepHeader struct {
 	MeasureInsts uint64   `json:"measure_insts"`
 	Predictors   []string `json:"predictors"`
 	Banked       []bool   `json:"banked"`
+	ClockGating  []string `json:"clock_gating"`
 }
 
 // SweepPoint is one per-point NDJSON line: the grid coordinates plus the
 // simulated result.
 type SweepPoint struct {
-	Point     int    `json:"point"`
-	Predictor string `json:"predictor"`
-	Banked    bool   `json:"banked"`
+	Point       int    `json:"point"`
+	Predictor   string `json:"predictor"`
+	Banked      bool   `json:"banked"`
+	ClockGating string `json:"clock_gating"`
 	RunResult
 }
 
@@ -231,7 +256,12 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	total := len(specs) * len(req.Banked) * len(bs)
+	styles := make([]power.GatingStyle, len(req.ClockGating))
+	for i, name := range req.ClockGating {
+		// Already validated by decodeSweepRequest; resolve for grid build.
+		styles[i], _ = power.ParseGatingStyle(name)
+	}
+	total := len(specs) * len(req.Banked) * len(styles) * len(bs)
 	if total > maxSweepPoints {
 		writeError(w, http.StatusBadRequest,
 			fmt.Sprintf("grid has %d points, exceeding the cap of %d", total, maxSweepPoints))
@@ -239,13 +269,17 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// The grid, in its canonical order: predictor-major, then banked, then
-	// benchmark (experiments.Cross is variant-major, matching the figures).
-	opts := make([]cpu.Options, 0, len(specs)*len(req.Banked))
+	// clock-gating style, then benchmark (experiments.Cross is variant-major,
+	// matching the figures). The gating axis is pure pricing: its points
+	// reprice the shared activity vector rather than re-simulate.
+	opts := make([]cpu.Options, 0, len(specs)*len(req.Banked)*len(styles))
 	names := make([]string, len(specs))
 	for i, spec := range specs {
 		names[i] = spec.Name
 		for _, b := range req.Banked {
-			opts = append(opts, cpu.Options{Predictor: spec, BankedPredictor: b})
+			for _, style := range styles {
+				opts = append(opts, cpu.Options{Predictor: spec, BankedPredictor: b, ClockGating: style})
+			}
 		}
 	}
 	points := experiments.Cross(bs, opts...)
@@ -257,6 +291,7 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 		MeasureInsts: rc.MeasureInsts,
 		Predictors:   names,
 		Banked:       req.Banked,
+		ClockGating:  req.ClockGating,
 	}
 	hdr.ID = sweepID(hdr, rc)
 
@@ -338,10 +373,11 @@ func (s *Server) runSweep(ctx context.Context, job *sweepJob, points []experimen
 				return
 			}
 			job.append(ndjsonLine(SweepPoint{
-				Point:     i,
-				Predictor: points[i].Opt.Predictor.Name,
-				Banked:    points[i].Opt.BankedPredictor,
-				RunResult: toRunResult(results[i]),
+				Point:       i,
+				Predictor:   points[i].Opt.Predictor.Name,
+				Banked:      points[i].Opt.BankedPredictor,
+				ClockGating: points[i].Opt.ClockGating.String(),
+				RunResult:   toRunResult(results[i]),
 			}))
 			emitted++
 		case <-ctx.Done():

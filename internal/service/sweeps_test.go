@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"bpredpower/internal/bpred"
+	"bpredpower/internal/power"
 	"bpredpower/internal/resultstore"
 )
 
@@ -445,6 +446,8 @@ func TestSweepBadRequests(t *testing.T) {
 		{"unknown workload", `{"predictors":["Bim_4k"],"workload":"999.nope"}`, "999.nope"},
 		{"degenerate banked", `{"predictors":["Bim_4k"],"workload":"164.gzip","banked":[true,true]}`, "banked"},
 		{"banked overlong", `{"predictors":["Bim_4k"],"workload":"164.gzip","banked":[true,false,true]}`, "banked"},
+		{"unknown gating style", `{"predictors":["Bim_4k"],"workload":"164.gzip","clock_gating":["cc9"]}`, "cc9"},
+		{"duplicate gating style", `{"predictors":["Bim_4k"],"workload":"164.gzip","clock_gating":["cc0","cc0"]}`, "clock-gating"},
 		{"negative window", `{"predictors":["Bim_4k"],"workload":"164.gzip","warmup_insts":-5}`, "warmup_insts"},
 		{"fractional window", `{"predictors":["Bim_4k"],"workload":"164.gzip","measure_insts":100.5}`, "integer"},
 		{"oversized window", `{"predictors":["Bim_4k"],"workload":"164.gzip","measure_insts":99000000}`, "measure_insts"},
@@ -586,6 +589,67 @@ func TestStoreMetricsMove(t *testing.T) {
 	}
 }
 
+// TestSweepClockGatingAxisReprices is the service-level acceptance test for
+// activity/price decoupling: a sweep spanning all four gating styles (and
+// both banking arrangements) of one predictor × benchmark performs exactly
+// one full simulation, reprices the other seven points from its cached
+// activity vector, and reports the repricing through /metrics.
+func TestSweepClockGatingAxisReprices(t *testing.T) {
+	srv := New(testConfig())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := `{"predictors":["Hybrid_1"],"workload":"164.gzip","banked":[false,true],` +
+		`"clock_gating":["cc0","cc1","cc2","cc3"],"warmup_insts":2000,"measure_insts":4000}`
+	resp, data := postSweep(t, ts, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, data)
+	}
+	hdr, points, _ := parseSweep(t, data)
+	if hdr.Points != 8 || len(points) != 8 {
+		t.Fatalf("grid has %d/%d points, want 8", hdr.Points, len(points))
+	}
+	// Grid order is banked-major then gating within one predictor; every
+	// point carries its style and a fully priced power figure.
+	wantStyles := []string{"cc0", "cc1", "cc2", "cc3"}
+	for i, p := range points {
+		if p.Banked != (i >= 4) || p.ClockGating != wantStyles[i%4] {
+			t.Errorf("point %d coordinates wrong: %+v", i, p)
+		}
+		if p.TotalPowerW <= 0 || p.Committed == 0 {
+			t.Errorf("point %d looks empty: %+v", i, p)
+		}
+	}
+	// The gating styles must actually price differently: cc0 (no gating)
+	// burns strictly more power than cc3 (the paper's configuration).
+	if points[0].TotalPowerW <= points[3].TotalPowerW {
+		t.Errorf("cc0 power %g should exceed cc3 power %g", points[0].TotalPowerW, points[3].TotalPowerW)
+	}
+	// All eight points differ only in the pricing key, so execution-side
+	// numbers are shared while the repriced power figures are not.
+	for _, p := range points[1:] {
+		if p.IPC != points[0].IPC || p.Committed != points[0].Committed {
+			t.Errorf("execution stats differ across pricing variants: %+v vs %+v", p, points[0])
+		}
+	}
+
+	_, mdata := get(t, ts, "/metrics")
+	metrics := string(mdata)
+	for _, want := range []string{
+		"bpserved_simulations_total 1",
+		"bpserved_reprice_misses_total 1",
+		"bpserved_reprice_folds_total 7",
+		"bpserved_cache_activity_entries 1",
+	} {
+		if !strings.Contains(metrics, want+"\n") {
+			t.Errorf("/metrics missing %q after gating-axis sweep", want)
+		}
+	}
+	if cs := srv.Cache.Stats(); cs.RepriceFolds != 7 || cs.RepriceMisses != 1 {
+		t.Errorf("cache stats = %+v, want 1 reprice miss and 7 folds", cs)
+	}
+}
+
 // FuzzSweepRequestDecode hardens the grid decoder: no input may panic it,
 // and anything it accepts must satisfy the structural invariants the handler
 // depends on.
@@ -598,6 +662,8 @@ func FuzzSweepRequestDecode(f *testing.F) {
 	f.Add([]byte(`{"predictors":["x"],"workload":"w","measure_insts":1e300}`))
 	f.Add([]byte(`{"predictors":["x"],"workload":"w","measure_insts":0.5}`))
 	f.Add([]byte(`{"banked":[true,true,true]}`))
+	f.Add([]byte(`{"predictors":["Hybrid_1"],"workload":"164.gzip","clock_gating":["cc0","cc1","cc2","cc3"]}`))
+	f.Add([]byte(`{"predictors":["x"],"workload":"w","clock_gating":["cc9"]}`))
 	f.Add([]byte(`null`))
 	f.Add([]byte(``))
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -621,6 +687,19 @@ func FuzzSweepRequestDecode(f *testing.F) {
 		if len(req.Banked) == 0 || len(req.Banked) > 2 ||
 			(len(req.Banked) == 2 && req.Banked[0] == req.Banked[1]) {
 			t.Fatalf("accepted degenerate banked axis %v", req.Banked)
+		}
+		if len(req.ClockGating) == 0 {
+			t.Fatal("accepted empty clock-gating axis")
+		}
+		styles := map[string]bool{}
+		for _, name := range req.ClockGating {
+			if _, err := power.ParseGatingStyle(name); err != nil {
+				t.Fatalf("accepted unparsable gating style %q", name)
+			}
+			if styles[name] {
+				t.Fatalf("accepted duplicate gating style in %v", req.ClockGating)
+			}
+			styles[name] = true
 		}
 		if req.WarmupInsts > maxWindowInsts || req.MeasureInsts > maxWindowInsts {
 			t.Fatalf("accepted oversized window %d/%d", req.WarmupInsts, req.MeasureInsts)

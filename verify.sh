@@ -110,6 +110,22 @@ go run ./cmd/bpsweep -pred TAGE_64k | grep -q "tage4"
 go run ./cmd/bpsweep -pred Perceptron_64k | grep -q "weights"
 echo "extension smoke: modern-predictor sweep and per-table reports run"
 
+# Reprice byte-identity gate: the gating-style figure spans four pricing-key
+# variants per execution key, so it exercises the repricer end to end. With
+# -reprice=false every variant is fully simulated; the two outputs must be
+# byte-identical (DESIGN.md §9h), and so must the rest of the figure set.
+go run ./cmd/bpexperiments -quick -warmup 4000 -measure 8000 -figure 23 > "$tmp/gating.txt"
+go run ./cmd/bpexperiments -quick -warmup 4000 -measure 8000 -figure 23 -reprice=false > "$tmp/gating-full.txt"
+diff "$tmp/gating.txt" "$tmp/gating-full.txt"
+go run ./cmd/bpexperiments -quick -warmup 4000 -measure 8000 -reprice=false > "$tmp/norepric.txt"
+diff "$tmp/serial.txt" "$tmp/norepric.txt"
+echo "reprice smoke: output identical with repricing on and off"
+
+# Reprice CLI smoke: the -reprice report must fold 7 of its 8 variants from
+# a single simulation.
+go run ./cmd/bpsweep -pred Hybrid_1 -reprice | grep -q '^simulations=1 folds=7$'
+echo "reprice smoke: bpsweep -reprice folded 7 variants from 1 simulation"
+
 # Service smoke: boot bpserved, hit the discovery and simulate endpoints at
 # two worker counts, require byte-identical responses across worker counts
 # and against the committed goldens, then shut down cleanly.
@@ -202,9 +218,20 @@ done
 curl -sf -X POST -d "$sweep_body" "http://$replica_addr2/v1/sweeps" > "$tmp/sweep.r2.ndjson"
 curl -sf "http://$replica_addr2/metrics" | grep -q '^bpserved_store_hits_total [1-9]'
 diff "$tmp/sweep.r1.ndjson" "$tmp/sweep.r2.ndjson"
+
+# Shared-store reprice smoke: a clock-gating-axis sweep on replica 1 runs one
+# simulation per execution key and folds the rest; replica 2 reprices the
+# same grid entirely from the shared store's activity vectors — fold traffic
+# moves on both, and replica 2 hits the store instead of simulating.
+gating_body='{"predictors":["Hybrid_1"],"workload":"164.gzip","clock_gating":["cc0","cc1","cc2","cc3"],"warmup_insts":4000,"measure_insts":8000}'
+curl -sf -X POST -d "$gating_body" "http://$serve_addr/v1/sweeps" > "$tmp/gatsweep.r1.ndjson"
+curl -sf "http://$serve_addr/metrics" | grep -q '^bpserved_reprice_folds_total [1-9]'
+curl -sf -X POST -d "$gating_body" "http://$replica_addr2/v1/sweeps" > "$tmp/gatsweep.r2.ndjson"
+curl -sf "http://$replica_addr2/metrics" | grep -q '^bpserved_reprice_folds_total [1-9]'
+diff "$tmp/gatsweep.r1.ndjson" "$tmp/gatsweep.r2.ndjson"
 kill -TERM "$r1_pid" "$r2_pid"
 wait "$r1_pid" "$r2_pid"
-echo "replica smoke: two servers on one store served identical bodies, second from disk"
+echo "replica smoke: two servers on one store served identical bodies, second repriced from disk"
 
 # Load smoke: bpload drives a mixed simulate/sweep/cancel workload and exits
 # nonzero on any non-cancellation failure.
